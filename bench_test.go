@@ -1,0 +1,276 @@
+// Benchmark harness: one benchmark per evaluation table/figure (T1–T8, F1,
+// F2 and ablations A1–A4 — see DESIGN.md §3 and EXPERIMENTS.md), plus
+// micro-benchmarks of the substrate hot paths. Each experiment benchmark regenerates its table(s)
+// and reports the headline quantity through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Run with -short for reduced scale.
+package mprs_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	mprs "github.com/rulingset/mprs"
+	"github.com/rulingset/mprs/internal/clique"
+	"github.com/rulingset/mprs/internal/experiments"
+	"github.com/rulingset/mprs/internal/gen"
+	"github.com/rulingset/mprs/internal/hash"
+	"github.com/rulingset/mprs/internal/mpc"
+	"github.com/rulingset/mprs/internal/rulingset"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Quick: testing.Short(), Seed: 1}
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rep.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			rows := 0
+			for _, t := range rep.Tables {
+				rows += len(t.Rows)
+			}
+			b.ReportMetric(float64(rows), "table-rows")
+		}
+	}
+}
+
+// BenchmarkT1RoundsVsN regenerates Table T1 (MPC rounds vs n, all four MPC
+// algorithms).
+func BenchmarkT1RoundsVsN(b *testing.B) { benchExperiment(b, "T1") }
+
+// BenchmarkT2Families regenerates Table T2 (rounds vs Δ across families).
+func BenchmarkT2Families(b *testing.B) { benchExperiment(b, "T2") }
+
+// BenchmarkT3ChunkSize regenerates Table T3 (seed-search cost vs chunk z).
+func BenchmarkT3ChunkSize(b *testing.B) { benchExperiment(b, "T3") }
+
+// BenchmarkT4Quality regenerates Table T4 (determinism and quality).
+func BenchmarkT4Quality(b *testing.B) { benchExperiment(b, "T4") }
+
+// BenchmarkT5ModelCompliance regenerates Table T5 (budget compliance).
+func BenchmarkT5ModelCompliance(b *testing.B) { benchExperiment(b, "T5") }
+
+// BenchmarkT6Estimator regenerates Table T6 (derandomization guarantee).
+func BenchmarkT6Estimator(b *testing.B) { benchExperiment(b, "T6") }
+
+// BenchmarkT7Parallelism regenerates Table T7 (simulator scaling).
+func BenchmarkT7Parallelism(b *testing.B) { benchExperiment(b, "T7") }
+
+// BenchmarkT8CliqueVsMPC regenerates Table T8 (congested clique vs MPC).
+func BenchmarkT8CliqueVsMPC(b *testing.B) { benchExperiment(b, "T8") }
+
+// BenchmarkF1Sparsification regenerates Figure F1 (per-phase collapse).
+func BenchmarkF1Sparsification(b *testing.B) { benchExperiment(b, "F1") }
+
+// BenchmarkF2BetaTradeoff regenerates Figure F2 (β tradeoff).
+func BenchmarkF2BetaTradeoff(b *testing.B) { benchExperiment(b, "F2") }
+
+// BenchmarkF3AdaptiveRadius regenerates Figure F3 (adaptive radius vs
+// budget).
+func BenchmarkF3AdaptiveRadius(b *testing.B) { benchExperiment(b, "F3") }
+
+// BenchmarkA1SeedPolicy regenerates ablation A1 (seed search vs random/zero
+// seeds).
+func BenchmarkA1SeedPolicy(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkA2BenefitCap regenerates ablation A2 (estimator neighborhood cap).
+func BenchmarkA2BenefitCap(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkA3AlphaWeight regenerates ablation A3 (estimator cost weight).
+func BenchmarkA3AlphaWeight(b *testing.B) { benchExperiment(b, "A3") }
+
+// BenchmarkA4LubyThresholds regenerates ablation A4 (Luby marking family).
+func BenchmarkA4LubyThresholds(b *testing.B) { benchExperiment(b, "A4") }
+
+// ---- substrate micro-benchmarks ----
+
+func benchGraph(b *testing.B, n int) *mprs.Graph {
+	b.Helper()
+	g, err := mprs.BuildGraph("gnp:n=4096,p=0.004", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = n
+	return g
+}
+
+func BenchmarkGreedyMIS(b *testing.B) {
+	g := benchGraph(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(mprs.GreedyMIS(g)) == 0 {
+			b.Fatal("empty MIS")
+		}
+	}
+}
+
+func BenchmarkLubyMIS(b *testing.B) {
+	g := benchGraph(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mprs.MIS(g, mprs.Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandRuling2(b *testing.B) {
+	g := benchGraph(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mprs.RulingSet2(g, mprs.Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetRuling2(b *testing.B) {
+	g := benchGraph(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mprs.DetRulingSet2(g, mprs.Options{ChunkBits: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetLubyMIS(b *testing.B) {
+	g := benchGraph(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mprs.DetMIS(g, mprs.Options{ChunkBits: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashMarkProb(b *testing.B) {
+	fam, err := hash.NewBits(1<<20, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := fam.NewSeed()
+	seed.SetChunk(0, 40, 0x1234567890)
+	seed.SetFixed(40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fam.MarkProb(seed, i&0xFFFFF)
+	}
+}
+
+func BenchmarkHashPairMarkProb(b *testing.B) {
+	fam, err := hash.NewBits(1<<20, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := fam.NewSeed()
+	seed.SetChunk(0, 40, 0x1234567890)
+	seed.SetFixed(40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fam.PairMarkProb(seed, i&0xFFFFF, (i+7919)&0xFFFFF|1)
+	}
+}
+
+func BenchmarkGNPGeneration(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.GNP(1<<14, 0.001, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphPower2(b *testing.B) {
+	g := gen.MustBuild("grid:rows=48,cols=48", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Power(2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyRulingSet(b *testing.B) {
+	g := benchGraph(b, 4096)
+	res, err := mprs.RulingSet2(g, mprs.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !mprs.IsRulingSet(g, res.Members, 2) {
+			b.Fatal("invalid")
+		}
+	}
+}
+
+func BenchmarkCliqueDetRuling2(b *testing.B) {
+	g := benchGraph(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rulingset.CliqueDetRuling2(g, rulingset.Options{ChunkBits: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Stats.Rounds), "rounds")
+		}
+	}
+}
+
+func BenchmarkCliqueScatterAggregate(b *testing.B) {
+	c, err := clique.NewCluster(clique.Config{}, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ScatterAggregateFloat("bench", 256, func(v, e int) float64 {
+			return float64(v ^ e)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPCStepBarrier(b *testing.B) {
+	c, err := mpc.NewCluster(mpc.Config{Machines: 8}, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Step("bench", func(x *mpc.Ctx) {
+			x.Send((x.Machine+1)%8, uint64(i))
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExchangeActiveSimulation(b *testing.B) {
+	// One full Luby iteration's worth of exchanges, isolating simulator
+	// overhead from algorithm logic.
+	g := benchGraph(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rulingset.LubyMIS(g, rulingset.Options{Seed: 1, MaxIterations: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Members) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

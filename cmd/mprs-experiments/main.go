@@ -1,0 +1,92 @@
+// Command mprs-experiments regenerates every table and figure of the
+// reproduction's evaluation (DESIGN.md §3 / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mprs-experiments               # run everything at full scale
+//	mprs-experiments -quick        # CI-scale run
+//	mprs-experiments -run T1,F2    # selected experiments
+//	mprs-experiments -list         # list experiment ids
+//	mprs-experiments -csv out/     # additionally write each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/rulingset/mprs/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mprs-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mprs-experiments", flag.ContinueOnError)
+	var (
+		quick  = fs.Bool("quick", false, "run at reduced scale")
+		seed   = fs.Int64("seed", 1, "workload seed")
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		runIDs = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		csvDir = fs.String("csv", "", "directory to also write tables as CSV")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-4s %s\n", id, experiments.Describe(id))
+		}
+		return nil
+	}
+	ids := experiments.IDs()
+	if *runIDs != "" {
+		ids = nil
+		for _, id := range strings.Split(*runIDs, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, rep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSVs(dir string, rep experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, tb := range rep.Tables {
+		name := fmt.Sprintf("%s-%d.csv", rep.ID, i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := tb.RenderCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

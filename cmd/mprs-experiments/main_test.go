@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "T99", "-quick"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestQuickSelectedWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-run", "T5,T6", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"T5-0.csv", "T6-0.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Command mprs runs ruling-set algorithms on generated or loaded graphs
+// inside the MPC simulator and reports the model measurements.
+//
+// Usage:
+//
+//	mprs gen  -spec gnp:n=4096,p=0.004 -seed 1 -o graph.txt [-binary]
+//	mprs info -spec ... | -in graph.txt
+//	mprs run  -algo det2 -spec gnp:n=4096,p=0.004 [-machines 8] [-regime linear]
+//	          [-epsilon 0.5] [-chunk 8] [-beta 3] [-alpha 3] [-trace] [-verify]
+//
+// Algorithms: luby, detluby, rand2, det2, randbeta, detbeta, randab, detab,
+// clique2, cliquedet2 (congested clique), greedy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/rulingset/mprs/internal/gen"
+	"github.com/rulingset/mprs/internal/graph"
+	"github.com/rulingset/mprs/internal/metrics"
+	"github.com/rulingset/mprs/internal/mpc"
+	"github.com/rulingset/mprs/internal/rulingset"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mprs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mprs <gen|info|run> [flags]; see -h of each subcommand")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:])
+	case "info":
+		return cmdInfo(args[1:])
+	case "run":
+		return cmdRun(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen, info or run)", args[0])
+	}
+}
+
+// graphFlags adds the shared -spec/-in/-seed flags and returns a loader.
+func graphFlags(fs *flag.FlagSet) func() (*graph.Graph, error) {
+	spec := fs.String("spec", "", "workload spec, e.g. gnp:n=4096,p=0.004")
+	in := fs.String("in", "", "read graph from an edge-list file instead")
+	seed := fs.Int64("seed", 1, "generator seed")
+	return func() (*graph.Graph, error) {
+		switch {
+		case *spec != "" && *in != "":
+			return nil, fmt.Errorf("-spec and -in are mutually exclusive")
+		case *spec != "":
+			s, err := gen.ParseSpec(*spec)
+			if err != nil {
+				return nil, err
+			}
+			return s.Build(*seed)
+		case *in != "":
+			f, err := os.Open(*in)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return graph.ReadEdgeList(f)
+		default:
+			return nil, fmt.Errorf("one of -spec or -in is required")
+		}
+	}
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	load := graphFlags(fs)
+	out := fs.String("o", "", "output file (default stdout)")
+	binary := fs.Bool("binary", false, "write the compact binary format instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *binary {
+		return g.WriteBinary(w)
+	}
+	return g.WriteEdgeList(w)
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	load := graphFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	_, comps := g.ConnectedComponents()
+	tb := metrics.NewTable("graph", "n", "m", "Δ", "avg deg", "components")
+	tb.AddRow(g.N(), g.M(), g.MaxDegree(), g.AvgDegree(), comps)
+	return tb.Render(os.Stdout)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	load := graphFlags(fs)
+	var (
+		algo     = fs.String("algo", "det2", "luby|detluby|rand2|det2|randbeta|detbeta|randab|detab|clique2|cliquedet2|greedy")
+		machines = fs.Int("machines", 8, "simulated machine count")
+		regime   = fs.String("regime", "linear", "memory regime: linear|sublinear|explicit")
+		epsilon  = fs.Float64("epsilon", 0.5, "sublinear memory exponent")
+		memory   = fs.Int("memory", 0, "explicit per-machine budget in words")
+		chunk    = fs.Int("chunk", 8, "derandomizer chunk width z")
+		algoSeed = fs.Int64("algo-seed", 1, "seed for randomized algorithms")
+		beta     = fs.Int("beta", 3, "beta for randbeta/detbeta/randab/detab")
+		alpha    = fs.Int("alpha", 3, "alpha for randab/detab")
+		strict   = fs.Bool("strict", false, "fail on budget violations")
+		trace    = fs.Bool("trace", false, "print the per-phase trace")
+		rounds   = fs.Bool("rounds", false, "print the per-round communication log")
+		verify   = fs.Bool("verify", true, "verify independence and radius")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	opts := rulingset.Options{
+		Machines:    *machines,
+		Epsilon:     *epsilon,
+		MemoryWords: *memory,
+		ChunkBits:   *chunk,
+		Seed:        *algoSeed,
+		Strict:      *strict,
+	}
+	switch *regime {
+	case "linear":
+		opts.Regime = mpc.RegimeLinear
+	case "sublinear":
+		opts.Regime = mpc.RegimeSublinear
+	case "explicit":
+		opts.Regime = mpc.RegimeExplicit
+	default:
+		return fmt.Errorf("unknown regime %q", *regime)
+	}
+
+	if *algo == "greedy" {
+		start := time.Now()
+		mis := rulingset.GreedyMIS(g)
+		fmt.Printf("greedy MIS: %d members in %v\n", len(mis), time.Since(start))
+		return nil
+	}
+	if *algo == "clique2" || *algo == "cliquedet2" {
+		return runClique(g, *algo, opts, *verify)
+	}
+
+	start := time.Now()
+	var res rulingset.Result
+	switch *algo {
+	case "luby":
+		res, err = rulingset.LubyMIS(g, opts)
+	case "detluby":
+		res, err = rulingset.DetLubyMIS(g, opts)
+	case "rand2":
+		res, err = rulingset.RandRuling2(g, opts)
+	case "det2":
+		res, err = rulingset.DetRuling2(g, opts)
+	case "randbeta":
+		res, err = rulingset.RandRulingBeta(g, *beta, opts)
+	case "detbeta":
+		res, err = rulingset.DetRulingBeta(g, *beta, opts)
+	case "randab":
+		res, err = rulingset.RandRulingAlphaBeta(g, *alpha, *beta, opts)
+	case "detab":
+		res, err = rulingset.DetRulingAlphaBeta(g, *alpha, *beta, opts)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	tb := metrics.NewTable(fmt.Sprintf("%s on %v (%d machines, %s regime)", *algo, g, *machines, *regime),
+		"members", "beta", "rounds", "messages", "words", "peak sent", "peak recv", "peak resident", "violations", "wall")
+	tb.AddRow(len(res.Members), res.Beta, res.Stats.Rounds, res.Stats.Messages, res.Stats.Words,
+		res.Stats.PeakSent, res.Stats.PeakRecv, res.Stats.PeakResident, len(res.Stats.Violations), wall.String())
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if *trace && len(res.Phases) > 0 {
+		pt := metrics.NewTable("phase trace", "phase", "j", "active before", "active after",
+			"highdeg", "marked", "cand edges", "seed steps", "E[Φ] init", "Φ final")
+		for _, ps := range res.Phases {
+			pt.AddRow(ps.Phase, ps.J, ps.ActiveBefore, ps.ActiveAfter, ps.HighDegBefore,
+				ps.Marked, ps.CandidateEdges, ps.SeedSteps, ps.EstimatorInitial, ps.EstimatorFinal)
+		}
+		fmt.Println()
+		if err := pt.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *rounds && len(res.Stats.Log) > 0 {
+		rt := metrics.NewTable("round log", "round", "step", "messages", "words", "max sent", "max recv")
+		for i, info := range res.Stats.Log {
+			rt.AddRow(i+1, info.Name, info.Messages, info.Words, info.MaxSent, info.MaxRecv)
+		}
+		fmt.Println()
+		if err := rt.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *verify {
+		if err := rulingset.Check(g, res); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		fmt.Printf("verified: independent, radius <= %d\n", res.Beta)
+	}
+	for _, v := range res.Stats.Violations {
+		fmt.Printf("budget violation: %s\n", v)
+	}
+	return nil
+}
+
+// runClique executes the congested-clique algorithms, which carry their own
+// model statistics.
+func runClique(g *graph.Graph, algo string, opts rulingset.Options, verify bool) error {
+	start := time.Now()
+	var (
+		res rulingset.CliqueResult
+		err error
+	)
+	if algo == "clique2" {
+		res, err = rulingset.CliqueRandRuling2(g, opts)
+	} else {
+		res, err = rulingset.CliqueDetRuling2(g, opts)
+	}
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	tb := metrics.NewTable(fmt.Sprintf("%s on %v (congested clique, %d nodes)", algo, g, g.N()),
+		"members", "beta", "rounds", "messages", "words", "peak recv", "violations", "wall")
+	tb.AddRow(len(res.Members), res.Beta, res.Stats.Rounds, res.Stats.Messages,
+		res.Stats.Words, res.Stats.PeakRecv, len(res.Stats.Violations), wall.String())
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if verify {
+		if !rulingset.IsRulingSet(g, res.Members, res.Beta) {
+			return fmt.Errorf("verification failed")
+		}
+		fmt.Printf("verified: independent, radius <= %d\n", res.Beta)
+	}
+	return nil
+}

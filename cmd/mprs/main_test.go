@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "no args", args: nil},
+		{name: "unknown subcommand", args: []string{"frobnicate"}},
+		{name: "run without graph", args: []string{"run", "-algo", "det2"}},
+		{name: "run bad algo", args: []string{"run", "-algo", "nope", "-spec", "path:n=4"}},
+		{name: "run bad regime", args: []string{"run", "-regime", "weird", "-spec", "path:n=4"}},
+		{name: "run spec and in", args: []string{"run", "-spec", "path:n=4", "-in", "x"}},
+		{name: "gen bad spec", args: []string{"gen", "-spec", "nosuch:n=4"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Fatalf("args %v accepted", tt.args)
+			}
+		})
+	}
+}
+
+func TestGenInfoRunPipeline(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "g.txt")
+	if err := run([]string{"gen", "-spec", "gnp:n=300,p=0.02", "-seed", "3", "-o", file}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "300 ") {
+		t.Fatalf("edge list header wrong: %q", string(data[:20]))
+	}
+	if err := run([]string{"info", "-in", file}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	for _, algo := range []string{"luby", "detluby", "rand2", "det2", "detbeta", "detab", "clique2", "cliquedet2", "greedy"} {
+		if err := run([]string{"run", "-algo", algo, "-in", file, "-chunk", "4", "-trace", "-rounds"}); err != nil {
+			t.Fatalf("run %s: %v", algo, err)
+		}
+	}
+}
+
+func TestGenBinaryOutput(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "g.bin")
+	if err := run([]string{"gen", "-spec", "path:n=10", "-o", file, "-binary"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "MPRSG1") {
+		t.Fatalf("binary magic missing")
+	}
+}
+
+func TestRunStrictSublinearFails(t *testing.T) {
+	err := run([]string{"run", "-algo", "rand2", "-spec", "gnp:n=2000,p=0.004",
+		"-regime", "sublinear", "-epsilon", "0.5", "-strict"})
+	if err == nil {
+		t.Fatal("strict sublinear run must fail")
+	}
+}

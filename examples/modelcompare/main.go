@@ -1,0 +1,62 @@
+// Model comparison: the same deterministic 2-ruling set computation in the
+// two models the paper's community works in — near-linear-memory MPC and the
+// congested clique. Both run the identical Θ(log log Δ) phase schedule; the
+// difference is the cost of fixing each phase's hash seed. In the clique, a
+// conditional-expectation chunk is O(1) rounds at any width (candidate
+// extensions spread across aggregator nodes), so rounds FALL as the chunk
+// width z grows; in MPC, the gather payload grows like 2^z per machine and
+// eventually blows the bandwidth budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mprs "github.com/rulingset/mprs"
+)
+
+func main() {
+	g, err := mprs.BuildGraph("gnp:n=4096,p=0.003", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input: %v\n\n", g)
+	fmt.Printf("%-4s %-22s %-22s %-14s\n", "z", "MPC rounds (peak recv)", "clique rounds (viol.)", "members equal?")
+
+	for _, z := range []int{2, 4, 8} {
+		m, err := mprs.DetRulingSet2(g, mprs.Options{Machines: 8, ChunkBits: z})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := mprs.CliqueDetRulingSet2(g, mprs.Options{ChunkBits: z})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mprs.Check(g, m); err != nil {
+			log.Fatal(err)
+		}
+		if !mprs.IsRulingSet(g, c.Members, 2) {
+			log.Fatal("clique output invalid")
+		}
+		equal := len(m.Members) == len(c.Members)
+		if equal {
+			for i := range m.Members {
+				if m.Members[i] != c.Members[i] {
+					equal = false
+					break
+				}
+			}
+		}
+		fmt.Printf("%-4d %-22s %-22s %-14v\n",
+			z,
+			fmt.Sprintf("%d (%d words)", m.Stats.Rounds, m.Stats.PeakRecv),
+			fmt.Sprintf("%d (%d)", c.Stats.Rounds, len(c.Stats.Violations)),
+			equal)
+	}
+
+	fmt.Println()
+	fmt.Println("reading the table: clique rounds fall as z grows (O(1)-round chunks),")
+	fmt.Println("MPC rounds fall too but its gather payload grows 2^z per machine;")
+	fmt.Println("the outputs agree whenever both models evaluate chunks of equal width,")
+	fmt.Println("because the estimator and tie-breaking are identical.")
+}

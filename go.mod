@@ -1,0 +1,3 @@
+module github.com/rulingset/mprs
+
+go 1.22

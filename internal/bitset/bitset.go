@@ -1,0 +1,162 @@
+// Package bitset provides a compact, fixed-capacity bit set used throughout
+// the simulator for vertex sets (active sets, marks, membership flags).
+//
+// The zero value is an empty set with zero capacity; use New to allocate a
+// set that can hold indices in [0, n).
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set over indices [0, n).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for indices in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{
+		words: make([]uint64, (n+wordBits-1)/wordBits),
+		n:     n,
+	}
+}
+
+// Len returns the capacity n the set was created with.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts i into the set. Indices outside [0, n) are ignored.
+func (s *Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set. Indices outside [0, n) are ignored.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill adds every index in [0, n).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trimTail()
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{
+		words: make([]uint64, len(s.words)),
+		n:     s.n,
+	}
+	copy(c.words, s.words)
+	return c
+}
+
+// Union adds every element of o to s. Sets must have equal capacity; if they
+// differ, only the overlapping words are merged.
+func (s *Set) Union(o *Set) {
+	k := min(len(s.words), len(o.words))
+	for i := 0; i < k; i++ {
+		s.words[i] |= o.words[i]
+	}
+	s.trimTail()
+}
+
+// Intersect keeps only elements present in both s and o.
+func (s *Set) Intersect(o *Set) {
+	k := min(len(s.words), len(o.words))
+	for i := 0; i < k; i++ {
+		s.words[i] &= o.words[i]
+	}
+	for i := k; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// Subtract removes every element of o from s.
+func (s *Set) Subtract(o *Set) {
+	k := min(len(s.words), len(o.words))
+	for i := 0; i < k; i++ {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// Equal reports whether s and o contain exactly the same elements.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls f for every element in ascending order. Iteration stops if f
+// returns false.
+func (s *Set) ForEach(f func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Elements returns the elements in ascending order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// trimTail clears bits at positions >= n in the final word so Count and
+// iteration never observe out-of-range indices.
+func (s *Set) trimTail() {
+	if r := s.n % wordBits; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(r)) - 1
+	}
+}

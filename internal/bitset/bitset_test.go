@@ -1,0 +1,189 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Count() != 0 {
+		t.Fatalf("new set not empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Count() != 3 {
+		t.Fatalf("count = %d, want 3", s.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !s.Contains(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Contains(1) || s.Contains(128) {
+		t.Errorf("contains spurious elements")
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != 2 {
+		t.Errorf("remove failed")
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	s := New(10)
+	s.Add(-1)
+	s.Add(10)
+	s.Add(1000)
+	if s.Count() != 0 {
+		t.Fatalf("out-of-range adds must be ignored")
+	}
+	if s.Contains(-1) || s.Contains(10) {
+		t.Fatalf("out-of-range contains must be false")
+	}
+	s.Remove(-1) // must not panic
+	s.Remove(99)
+}
+
+func TestFillAndClear(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Errorf("n=%d: fill count = %d", n, s.Count())
+		}
+		s.ForEach(func(i int) bool {
+			if i < 0 || i >= n {
+				t.Errorf("n=%d: iterated out-of-range %d", n, i)
+			}
+			return true
+		})
+		s.Clear()
+		if s.Count() != 0 {
+			t.Errorf("n=%d: clear count = %d", n, s.Count())
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	for i := 0; i < 100; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Add(i)
+	}
+	u := a.Clone()
+	u.Union(b)
+	inter := a.Clone()
+	inter.Intersect(b)
+	diff := a.Clone()
+	diff.Subtract(b)
+	for i := 0; i < 100; i++ {
+		even, third := i%2 == 0, i%3 == 0
+		if u.Contains(i) != (even || third) {
+			t.Errorf("union wrong at %d", i)
+		}
+		if inter.Contains(i) != (even && third) {
+			t.Errorf("intersect wrong at %d", i)
+		}
+		if diff.Contains(i) != (even && !third) {
+			t.Errorf("subtract wrong at %d", i)
+		}
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := New(50)
+	a.Add(7)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatalf("clone not equal")
+	}
+	b.Add(8)
+	if a.Equal(b) {
+		t.Fatalf("mutated clone still equal")
+	}
+	if a.Equal(New(51)) {
+		t.Fatalf("different capacities must not be equal")
+	}
+}
+
+func TestElementsSortedAndComplete(t *testing.T) {
+	check := func(raw []uint16) bool {
+		s := New(1 << 16)
+		want := make(map[int]bool)
+		for _, r := range raw {
+			s.Add(int(r))
+			want[int(r)] = true
+		}
+		got := s.Elements()
+		if len(got) != len(want) {
+			return false
+		}
+		for i, e := range got {
+			if !want[e] {
+				return false
+			}
+			if i > 0 && got[i-1] >= e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(100)
+	for i := 0; i < 100; i++ {
+		s.Add(i)
+	}
+	visited := 0
+	s.ForEach(func(i int) bool {
+		visited++
+		return visited < 5
+	})
+	if visited != 5 {
+		t.Fatalf("early stop visited %d, want 5", visited)
+	}
+}
+
+func TestUnionDeMorganProperty(t *testing.T) {
+	// |A ∪ B| + |A ∩ B| == |A| + |B| for random sets.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		u := a.Clone()
+		u.Union(b)
+		in := a.Clone()
+		in.Intersect(b)
+		if u.Count()+in.Count() != a.Count()+b.Count() {
+			t.Fatalf("trial %d: inclusion-exclusion violated", trial)
+		}
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	var s Set
+	if s.Count() != 0 || s.Len() != 0 {
+		t.Fatalf("zero value must be empty")
+	}
+	s.Add(0) // ignored, must not panic
+	if s.Contains(0) {
+		t.Fatalf("zero value must stay empty")
+	}
+}

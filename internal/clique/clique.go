@@ -1,0 +1,408 @@
+// Package clique simulates the congested clique model — the distributed
+// model in which the sample-and-sparsify ruling-set algorithms (and their
+// derandomizations) were originally developed, and to which near-linear-
+// memory MPC is equivalent up to constants.
+//
+// There are n nodes, one per graph vertex; every node initially knows its
+// own incident edges. Computation proceeds in synchronous rounds: in each
+// round every ORDERED PAIR of nodes may exchange at most PairWords machine
+// words (one word models the O(log n)-bit messages of the model). So a node
+// may receive up to n−1 words per round — the all-to-all "congested" power
+// that makes O(1)-round collectives possible — but may not shove a large
+// payload down a single pair link.
+//
+// Lenzen's routing theorem (any communication pattern where every node sends
+// and receives at most n messages can be scheduled in O(1) rounds) is
+// exposed as RouteStep: per-node budgets of n·PairWords words instead of
+// per-pair budgets, charged as LenzenRounds rounds.
+//
+// As in the mpc package, accounting (rounds, words, budget violations) is
+// the point: the quantities the theory bounds are metered on every run, and
+// execution is deterministic regardless of goroutine scheduling.
+package clique
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// LenzenRounds is the constant number of rounds charged for one Lenzen
+// routing step (the theorem's constant; 2 matches the standard statement's
+// small constant without claiming tightness).
+const LenzenRounds = 2
+
+// Config describes a simulated congested clique.
+type Config struct {
+	// PairWords is the per-ordered-pair per-round bandwidth in words;
+	// default 1 (one O(log n)-bit message).
+	PairWords int
+	// Strict makes violations errors instead of recorded statistics.
+	Strict bool
+}
+
+// Violation records a bandwidth breach.
+type Violation struct {
+	Round int
+	Src   int
+	Dst   int // -1 for per-node budget breaches
+	Kind  string
+	Words int
+	Limit int
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	if v.Dst >= 0 {
+		return fmt.Sprintf("round %d: pair (%d→%d) carried %d words > %d", v.Round, v.Src, v.Dst, v.Words, v.Limit)
+	}
+	return fmt.Sprintf("round %d: node %d %s %d words > %d", v.Round, v.Src, v.Kind, v.Words, v.Limit)
+}
+
+// Stats aggregates model measurements of a simulation.
+type Stats struct {
+	Rounds     int
+	Messages   int64
+	Words      int64
+	PeakRecv   int // max words received by one node in one round
+	Violations []Violation
+}
+
+// ErrBandwidth is wrapped by errors returned in Strict mode.
+var ErrBandwidth = errors.New("clique: bandwidth budget exceeded")
+
+// Message is a payload received from node Src.
+type Message struct {
+	Src     int
+	Payload []uint64
+}
+
+// Cluster is a simulated congested clique on n nodes.
+type Cluster struct {
+	cfg     Config
+	n       int
+	stats   Stats
+	inboxes [][]Message
+	mu      sync.Mutex
+	outbox  [][]Message // indexed by destination
+}
+
+// NewCluster creates an n-node congested clique.
+func NewCluster(cfg Config, n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("clique: n %d < 1", n)
+	}
+	if cfg.PairWords == 0 {
+		cfg.PairWords = 1
+	}
+	if cfg.PairWords < 0 {
+		return nil, fmt.Errorf("clique: pair bandwidth %d < 0", cfg.PairWords)
+	}
+	return &Cluster{
+		cfg:     cfg,
+		n:       n,
+		inboxes: make([][]Message, n),
+		outbox:  make([][]Message, n),
+	}, nil
+}
+
+// N returns the node count.
+func (c *Cluster) N() int { return c.n }
+
+// Config returns the configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cluster) Stats() Stats {
+	out := c.stats
+	out.Violations = append([]Violation(nil), c.stats.Violations...)
+	return out
+}
+
+// ChargeRounds accounts for k analytically modeled rounds.
+func (c *Cluster) ChargeRounds(k int) { c.stats.Rounds += k }
+
+// Ctx is one node's view within a step.
+type Ctx struct {
+	Node int
+
+	c     *Cluster
+	inbox []Message
+}
+
+// Inbox returns the messages delivered at the end of the previous step,
+// ordered by sender.
+func (x *Ctx) Inbox() []Message { return x.inbox }
+
+// Send queues payload words to node dst for delivery at the end of the
+// step. The payload is copied.
+func (x *Ctx) Send(dst int, payload ...uint64) {
+	cp := make([]uint64, len(payload))
+	copy(cp, payload)
+	x.c.mu.Lock()
+	x.c.outbox[dst] = append(x.c.outbox[dst], Message{Src: x.Node, Payload: cp})
+	x.c.mu.Unlock()
+}
+
+// Step executes one synchronous round under the per-pair bandwidth budget.
+func (c *Cluster) Step(name string, f func(x *Ctx)) error {
+	return c.step(name, f, false)
+}
+
+// RouteStep executes one Lenzen-routed exchange: per-node send/receive
+// budgets of n·PairWords words, charged as LenzenRounds rounds.
+func (c *Cluster) RouteStep(name string, f func(x *Ctx)) error {
+	return c.step(name, f, true)
+}
+
+func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
+	_ = name
+	ctxs := make([]*Ctx, c.n)
+	for v := 0; v < c.n; v++ {
+		ctxs[v] = &Ctx{Node: v, c: c, inbox: c.inboxes[v]}
+	}
+	// Bounded worker pool: n can be thousands of nodes.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > c.n {
+		workers = c.n
+	}
+	var wg sync.WaitGroup
+	per := (c.n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > c.n {
+			hi = c.n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				f(ctxs[v])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	if routed {
+		c.stats.Rounds += LenzenRounds
+	} else {
+		c.stats.Rounds++
+	}
+
+	var firstErr error
+	sentByNode := make([]int, c.n)
+	for dst := 0; dst < c.n; dst++ {
+		box := c.outbox[dst]
+		sort.SliceStable(box, func(i, j int) bool { return box[i].Src < box[j].Src })
+		recv := 0
+		pairWords := 0
+		prevSrc := -1
+		for _, msg := range box {
+			if msg.Src != prevSrc {
+				pairWords = 0
+				prevSrc = msg.Src
+			}
+			pairWords += len(msg.Payload)
+			recv += len(msg.Payload)
+			sentByNode[msg.Src] += len(msg.Payload)
+			c.stats.Messages++
+			c.stats.Words += int64(len(msg.Payload))
+			if !routed && pairWords > c.cfg.PairWords {
+				if err := c.violate(Violation{
+					Round: c.stats.Rounds, Src: msg.Src, Dst: dst,
+					Kind: "pair", Words: pairWords, Limit: c.cfg.PairWords,
+				}); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				pairWords = -1 << 30 // flag once per pair per round
+			}
+		}
+		if recv > c.stats.PeakRecv {
+			c.stats.PeakRecv = recv
+		}
+		nodeLimit := c.n * c.cfg.PairWords
+		if recv > nodeLimit {
+			if err := c.violate(Violation{
+				Round: c.stats.Rounds, Src: dst, Dst: -1,
+				Kind: "received", Words: recv, Limit: nodeLimit,
+			}); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		c.inboxes[dst] = box
+		c.outbox[dst] = nil
+	}
+	if routed {
+		nodeLimit := c.n * c.cfg.PairWords
+		for v, sent := range sentByNode {
+			if sent > nodeLimit {
+				if err := c.violate(Violation{
+					Round: c.stats.Rounds, Src: v, Dst: -1,
+					Kind: "routed", Words: sent, Limit: nodeLimit,
+				}); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+func (c *Cluster) violate(v Violation) error {
+	c.stats.Violations = append(c.stats.Violations, v)
+	if c.cfg.Strict {
+		return fmt.Errorf("%w: %s", ErrBandwidth, v)
+	}
+	return nil
+}
+
+// Drain empties and returns node v's inbox — the node-local consumption of
+// delivered messages between steps.
+func (c *Cluster) Drain(v int) []Message {
+	box := c.inboxes[v]
+	c.inboxes[v] = nil
+	return box
+}
+
+// SumToZero has every node contribute one word, summed at node 0 in one
+// round (each contribution travels a distinct pair link). Returns the sum.
+func (c *Cluster) SumToZero(name string, local func(v int) uint64) (uint64, error) {
+	if err := c.Step(name, func(x *Ctx) {
+		x.Send(0, local(x.Node))
+	}); err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, msg := range c.Drain(0) {
+		for _, w := range msg.Payload {
+			sum += w
+		}
+	}
+	return sum, nil
+}
+
+// MaxToZero is SumToZero with max instead of sum.
+func (c *Cluster) MaxToZero(name string, local func(v int) uint64) (uint64, error) {
+	if err := c.Step(name, func(x *Ctx) {
+		x.Send(0, local(x.Node))
+	}); err != nil {
+		return 0, err
+	}
+	var best uint64
+	for _, msg := range c.Drain(0) {
+		for _, w := range msg.Payload {
+			if w > best {
+				best = w
+			}
+		}
+	}
+	return best, nil
+}
+
+// BroadcastWord has node 0 send one word to every node in one round.
+func (c *Cluster) BroadcastWord(name string, word uint64) error {
+	if err := c.Step(name, func(x *Ctx) {
+		if x.Node != 0 {
+			return
+		}
+		for dst := 1; dst < c.n; dst++ {
+			x.Send(dst, word)
+		}
+	}); err != nil {
+		return err
+	}
+	for v := 1; v < c.n; v++ {
+		c.inboxes[v] = nil
+	}
+	return nil
+}
+
+// ScatterAggregate is the congested clique's O(1)-round vector reduction:
+// every node holds nExt values (nExt <= n); coordinate e is summed at
+// aggregator node e — every contribution rides a distinct pair link as a
+// single word — and the aggregated vector is collected at node 0, each
+// aggregator's sum again one word on its own link. Two rounds total,
+// independent of nExt.
+//
+// This primitive is what makes a conditional-expectation chunk O(1) rounds
+// in the clique for any chunk width up to log₂ n — the collective the MPC
+// simulator must pay ⌈·⌉ gathers for.
+func (c *Cluster) ScatterAggregate(name string, nExt int, local func(v, e int) uint64) ([]uint64, error) {
+	if nExt > c.n {
+		return nil, fmt.Errorf("clique: %d extensions exceed scatter capacity n=%d", nExt, c.n)
+	}
+	if err := c.Step(name+"/scatter", func(x *Ctx) {
+		for e := 0; e < nExt; e++ {
+			x.Send(e, local(x.Node, e))
+		}
+	}); err != nil {
+		return nil, err
+	}
+	// Aggregators sum their coordinate locally, then forward to node 0; the
+	// sender id identifies the coordinate.
+	partial := make([]uint64, nExt)
+	for agg := 0; agg < nExt; agg++ {
+		for _, msg := range c.Drain(agg) {
+			for _, w := range msg.Payload {
+				partial[agg] += w
+			}
+		}
+	}
+	if err := c.Step(name+"/collect", func(x *Ctx) {
+		if x.Node < nExt {
+			x.Send(0, partial[x.Node])
+		}
+	}); err != nil {
+		return nil, err
+	}
+	sums := make([]uint64, nExt)
+	for _, msg := range c.Drain(0) {
+		if msg.Src < nExt && len(msg.Payload) == 1 {
+			sums[msg.Src] = msg.Payload[0]
+		}
+	}
+	return sums, nil
+}
+
+// ScatterAggregateFloat is ScatterAggregate for float64 contributions
+// (transported as IEEE-754 bit patterns, summed as floats at aggregators).
+func (c *Cluster) ScatterAggregateFloat(name string, nExt int, local func(v, e int) float64) ([]float64, error) {
+	if nExt > c.n {
+		return nil, fmt.Errorf("clique: %d extensions exceed scatter capacity n=%d", nExt, c.n)
+	}
+	if err := c.Step(name+"/scatter", func(x *Ctx) {
+		for e := 0; e < nExt; e++ {
+			x.Send(e, math.Float64bits(local(x.Node, e)))
+		}
+	}); err != nil {
+		return nil, err
+	}
+	partial := make([]float64, nExt)
+	for agg := 0; agg < nExt; agg++ {
+		for _, msg := range c.Drain(agg) {
+			for _, w := range msg.Payload {
+				partial[agg] += math.Float64frombits(w)
+			}
+		}
+	}
+	if err := c.Step(name+"/collect", func(x *Ctx) {
+		if x.Node < nExt {
+			x.Send(0, math.Float64bits(partial[x.Node]))
+		}
+	}); err != nil {
+		return nil, err
+	}
+	sums := make([]float64, nExt)
+	for _, msg := range c.Drain(0) {
+		if msg.Src < nExt && len(msg.Payload) == 1 {
+			sums[msg.Src] = math.Float64frombits(msg.Payload[0])
+		}
+	}
+	return sums, nil
+}

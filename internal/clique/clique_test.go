@@ -1,0 +1,266 @@
+package clique
+
+import (
+	"errors"
+	"testing"
+)
+
+func newTestClique(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewCluster(Config{PairWords: -1}, 4); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+	c, err := NewCluster(Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config().PairWords != 1 {
+		t.Errorf("default pair bandwidth = %d", c.Config().PairWords)
+	}
+}
+
+func TestStepDeliveryAndOrdering(t *testing.T) {
+	c := newTestClique(t, 5)
+	if err := c.Step("ring", func(x *Ctx) {
+		x.Send((x.Node+1)%5, uint64(x.Node))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		msgs := c.Drain(v)
+		if len(msgs) != 1 {
+			t.Fatalf("node %d received %d messages", v, len(msgs))
+		}
+		want := (v + 4) % 5
+		if msgs[0].Src != want || msgs[0].Payload[0] != uint64(want) {
+			t.Fatalf("node %d got %+v", v, msgs[0])
+		}
+	}
+	if c.Stats().Rounds != 1 || c.Stats().Messages != 5 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestInboxSortedBySender(t *testing.T) {
+	c := newTestClique(t, 8)
+	if err := c.Step("fanin", func(x *Ctx) {
+		if x.Node != 0 {
+			x.Send(0, uint64(x.Node))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	msgs := c.Drain(0)
+	if len(msgs) != 7 {
+		t.Fatalf("received %d", len(msgs))
+	}
+	for i, msg := range msgs {
+		if msg.Src != i+1 {
+			t.Fatalf("inbox[%d].Src = %d", i, msg.Src)
+		}
+	}
+}
+
+func TestPairBandwidthViolation(t *testing.T) {
+	c := newTestClique(t, 3)
+	if err := c.Step("burst", func(x *Ctx) {
+		if x.Node == 0 {
+			x.Send(1, 7, 8) // two words on one pair link
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if len(st.Violations) != 1 || st.Violations[0].Kind != "pair" {
+		t.Fatalf("violations = %v", st.Violations)
+	}
+	// Fan-in of one word per pair is legal (the clique's defining power).
+	c2 := newTestClique(t, 64)
+	if err := c2.Step("fanin", func(x *Ctx) {
+		x.Send(0, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Stats().Violations) != 0 {
+		t.Fatalf("legal fan-in flagged: %v", c2.Stats().Violations)
+	}
+}
+
+func TestStrictMode(t *testing.T) {
+	c, err := NewCluster(Config{Strict: true}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Step("burst", func(x *Ctx) {
+		if x.Node == 0 {
+			x.Send(1, 1, 2)
+		}
+	})
+	if !errors.Is(err, ErrBandwidth) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRouteStepBudgets(t *testing.T) {
+	const n = 6
+	c := newTestClique(t, n)
+	// A many-words-to-one pattern within Lenzen budgets: node 1 sends n
+	// words to node 0.
+	if err := c.RouteStep("route", func(x *Ctx) {
+		if x.Node == 1 {
+			for i := 0; i < n; i++ {
+				x.Send(0, uint64(i))
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Rounds != LenzenRounds {
+		t.Fatalf("routed step charged %d rounds, want %d", st.Rounds, LenzenRounds)
+	}
+	if len(st.Violations) != 0 {
+		t.Fatalf("legal routing flagged: %v", st.Violations)
+	}
+	// Exceeding the per-node budget must be flagged.
+	c2 := newTestClique(t, 3)
+	if err := c2.RouteStep("overflow", func(x *Ctx) {
+		if x.Node == 1 {
+			for i := 0; i < 10; i++ { // 10 > n·PairWords = 3
+				x.Send(0, uint64(i))
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Stats().Violations) == 0 {
+		t.Fatal("routing overflow not flagged")
+	}
+}
+
+func TestSumAndMaxToZero(t *testing.T) {
+	c := newTestClique(t, 10)
+	sum, err := c.SumToZero("s", func(v int) uint64 { return uint64(v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 45 {
+		t.Fatalf("sum = %d", sum)
+	}
+	best, err := c.MaxToZero("m", func(v int) uint64 { return uint64(v * 3) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 27 {
+		t.Fatalf("max = %d", best)
+	}
+	if c.Stats().Rounds != 2 {
+		t.Fatalf("rounds = %d", c.Stats().Rounds)
+	}
+}
+
+func TestBroadcastWord(t *testing.T) {
+	c := newTestClique(t, 6)
+	if err := c.BroadcastWord("b", 42); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Rounds != 1 || st.Words != 5 || len(st.Violations) != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestScatterAggregate(t *testing.T) {
+	const n, nExt = 12, 8
+	c := newTestClique(t, n)
+	sums, err := c.ScatterAggregate("sa", nExt, func(v, e int) uint64 {
+		return uint64(v * e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σ_v v·e = e·n(n-1)/2.
+	for e := 0; e < nExt; e++ {
+		want := uint64(e * n * (n - 1) / 2)
+		if sums[e] != want {
+			t.Fatalf("sums[%d] = %d, want %d", e, sums[e], want)
+		}
+	}
+	st := c.Stats()
+	if st.Rounds != 2 {
+		t.Fatalf("scatter-aggregate cost %d rounds, want 2 (O(1) regardless of width)", st.Rounds)
+	}
+	if len(st.Violations) != 0 {
+		t.Fatalf("violations: %v", st.Violations)
+	}
+	if _, err := c.ScatterAggregate("too-wide", n+1, func(v, e int) uint64 { return 0 }); err == nil {
+		t.Fatal("over-capacity scatter accepted")
+	}
+}
+
+func TestScatterAggregateFloat(t *testing.T) {
+	const n, nExt = 9, 4
+	c := newTestClique(t, n)
+	sums, err := c.ScatterAggregateFloat("sa", nExt, func(v, e int) float64 {
+		return 0.5 * float64(e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < nExt; e++ {
+		want := 0.5 * float64(e) * float64(n)
+		if sums[e] != want {
+			t.Fatalf("sums[%d] = %v, want %v", e, sums[e], want)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []uint64 {
+		c := newTestClique(t, 16)
+		if err := c.Step("all-to-all", func(x *Ctx) {
+			for d := 0; d < 16; d++ {
+				if d != x.Node {
+					x.Send(d, uint64(x.Node*100+d))
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var out []uint64
+		for v := 0; v < 16; v++ {
+			for _, msg := range c.Drain(v) {
+				out = append(out, msg.Payload...)
+			}
+		}
+		return out
+	}
+	want := run()
+	for i := 0; i < 10; i++ {
+		got := run()
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatal("nondeterministic delivery")
+			}
+		}
+	}
+}
+
+func TestChargeRounds(t *testing.T) {
+	c := newTestClique(t, 2)
+	c.ChargeRounds(5)
+	if c.Stats().Rounds != 5 {
+		t.Fatalf("rounds = %d", c.Stats().Rounds)
+	}
+}

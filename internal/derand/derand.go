@@ -1,0 +1,237 @@
+// Package derand implements the distributed method of conditional
+// expectations — the derandomization engine of the reproduced paper.
+//
+// A randomized phase draws a seed for a pairwise-independent hash family and
+// succeeds in expectation: E[Φ(seed)] is good, where Φ is a pessimistic
+// estimator of the phase's progress. The deterministic version fixes the
+// seed bit-chunk by bit-chunk: for each candidate extension of the next z
+// bits, every machine computes its local contribution to the conditional
+// expectation E[Φ | prefix, extension] exactly (the hash package provides
+// closed-form conditional laws); contributions are summed by a gather, the
+// coordinator keeps the best extension, and broadcasts it. By induction the
+// fully fixed seed satisfies Φ(seed) ≤ E[Φ] (for minimization) — a per-phase
+// guarantee that holds with certainty, not merely with high probability.
+//
+// The chunk width z trades rounds for local work and bandwidth: a seed of L
+// bits is fixed in ⌈L/z⌉ gather/broadcast pairs, while each machine
+// evaluates 2^z conditional expectations per chunk. With z = Θ(log n) the
+// whole seed is fixed in O(1) collective steps in the near-linear-memory
+// regime — the observation behind the paper's round bounds.
+package derand
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rulingset/mprs/internal/hash"
+	"github.com/rulingset/mprs/internal/mpc"
+)
+
+// Objective says whether smaller or larger estimator values are better.
+type Objective int
+
+const (
+	// Minimize prefers smaller Φ (e.g. cost − benefit potentials).
+	Minimize Objective = iota + 1
+	// Maximize prefers larger Φ (e.g. expected progress lower bounds).
+	Maximize
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case Minimize:
+		return "minimize"
+	case Maximize:
+		return "maximize"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// Config tunes the seed-selection procedure.
+type Config struct {
+	// ChunkBits is z, the number of seed bits fixed per gather/broadcast
+	// step (1 <= z <= 20). Default 8.
+	ChunkBits int
+	// Objective selects the optimization direction; default Minimize.
+	Objective Objective
+	// AlignTo, when positive, truncates chunks at multiples of AlignTo so a
+	// chunk never straddles an alignment boundary. The mark-tracking
+	// estimators set it to the hash family's per-linear-bit seed segment
+	// width, which keeps at most one segment partially fixed at any time.
+	AlignTo int
+	// OnChunk, when non-nil, is called once before each chunk's candidate
+	// extensions are evaluated, with the seed in its committed state. It lets
+	// estimators refresh incremental caches keyed on the fixed prefix.
+	OnChunk func(s *hash.Seed, start, width int)
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.ChunkBits == 0 {
+		cfg.ChunkBits = 8
+	}
+	if cfg.ChunkBits < 1 || cfg.ChunkBits > 20 {
+		return cfg, fmt.Errorf("derand: chunk bits %d out of [1,20]", cfg.ChunkBits)
+	}
+	if cfg.Objective == 0 {
+		cfg.Objective = Minimize
+	}
+	if cfg.Objective != Minimize && cfg.Objective != Maximize {
+		return cfg, fmt.Errorf("derand: unknown objective %v", cfg.Objective)
+	}
+	return cfg, nil
+}
+
+// LocalEval computes a machine's exact local contribution to the conditional
+// expectation E[Φ | seed state], i.e. the sum of the estimator terms owned by
+// the machine (its vertices/edges), conditioned on the seed's fixed prefix
+// plus the provisional chunk currently written in s. Implementations must
+// only read state belonging to the machine described by x.
+type LocalEval func(x *mpc.Ctx, s *hash.Seed) float64
+
+// Trace records the conditional-expectation trajectory of one seed
+// selection; the conditional expectations are non-increasing (Minimize) or
+// non-decreasing (Maximize) along Values — the method's defining guarantee,
+// asserted by tests and by experiment T6.
+type Trace struct {
+	// Initial is E[Φ] with no bits fixed.
+	Initial float64
+	// Values[i] is E[Φ | first i chunks fixed]; the last entry is the exact
+	// realized Φ of the selected seed.
+	Values []float64
+	// Steps is the number of gather/broadcast pairs used.
+	Steps int
+}
+
+// Final returns the realized estimator value of the selected seed.
+func (t Trace) Final() float64 {
+	if len(t.Values) == 0 {
+		return t.Initial
+	}
+	return t.Values[len(t.Values)-1]
+}
+
+// SelectSeed deterministically fixes all free bits of s by the method of
+// conditional expectations, using eval as the machine-local estimator and
+// the cluster's collectives for coordination. On return s is fully fixed and
+// the realized Φ(s) is at least as good as the initial expectation.
+func SelectSeed(c *mpc.Cluster, s *hash.Seed, cfg Config, eval LocalEval) (Trace, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Trace{}, err
+	}
+	var trace Trace
+
+	// Initial expectation: one extra collective, kept for the guarantee
+	// check; each machine evaluates the unconditioned expectation locally.
+	init, err := sumEval(c, "derand/init", s, eval)
+	if err != nil {
+		return Trace{}, err
+	}
+	trace.Initial = init
+
+	for s.Fixed() < s.Total() {
+		start := s.Fixed()
+		width := cfg.ChunkBits
+		if rem := s.Total() - start; width > rem {
+			width = rem
+		}
+		if cfg.AlignTo > 0 {
+			if toBoundary := cfg.AlignTo - start%cfg.AlignTo; width > toBoundary {
+				width = toBoundary
+			}
+		}
+		nExt := 1 << uint(width)
+		if cfg.OnChunk != nil {
+			cfg.OnChunk(s, start, width)
+		}
+
+		parts, err := c.Gather("derand/eval", func(x *mpc.Ctx) []uint64 {
+			local := s.Clone()
+			local.SetFixed(start + width)
+			out := make([]uint64, nExt)
+			for e := 0; e < nExt; e++ {
+				local.SetChunk(start, width, uint64(e))
+				out[e] = math.Float64bits(eval(x, local))
+			}
+			return out
+		})
+		if err != nil {
+			return trace, err
+		}
+		totals := make([]float64, nExt)
+		for m, part := range parts {
+			if part == nil {
+				continue
+			}
+			if len(part) != nExt {
+				return trace, fmt.Errorf("derand: machine %d sent %d values, want %d", m, len(part), nExt)
+			}
+			for e, w := range part {
+				totals[e] += math.Float64frombits(w)
+			}
+		}
+		best := 0
+		for e := 1; e < nExt; e++ {
+			if better(cfg.Objective, totals[e], totals[best]) {
+				best = e
+			}
+		}
+		if _, err := c.Broadcast("derand/pick", []uint64{uint64(best)}); err != nil {
+			return trace, err
+		}
+		s.SetChunk(start, width, uint64(best))
+		s.Commit(width)
+		trace.Values = append(trace.Values, totals[best])
+		trace.Steps++
+	}
+	return trace, nil
+}
+
+// sumEval runs one gather summing eval across machines under the current
+// seed state.
+func sumEval(c *mpc.Cluster, name string, s *hash.Seed, eval LocalEval) (float64, error) {
+	parts, err := c.Gather(name, func(x *mpc.Ctx) []uint64 {
+		return []uint64{math.Float64bits(eval(x, s.Clone()))}
+	})
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, part := range parts {
+		for _, w := range part {
+			sum += math.Float64frombits(w)
+		}
+	}
+	return sum, nil
+}
+
+// better reports whether candidate improves on incumbent under obj, with
+// strict improvement required so ties resolve to the smallest extension.
+func better(obj Objective, candidate, incumbent float64) bool {
+	if obj == Minimize {
+		return candidate < incumbent
+	}
+	return candidate > incumbent
+}
+
+// CheckMonotone verifies the conditional-expectation guarantee on a trace:
+// every value must be at least as good as the initial expectation (up to a
+// floating-point tolerance). It returns the first offending index or -1.
+func CheckMonotone(obj Objective, t Trace, tol float64) int {
+	prev := t.Initial
+	for i, v := range t.Values {
+		var bad bool
+		if obj == Minimize {
+			bad = v > prev+tol
+		} else {
+			bad = v < prev-tol
+		}
+		if bad {
+			return i
+		}
+		prev = v
+	}
+	return -1
+}

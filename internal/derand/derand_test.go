@@ -1,0 +1,241 @@
+package derand
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rulingset/mprs/internal/hash"
+	"github.com/rulingset/mprs/internal/mpc"
+)
+
+func newCluster(t *testing.T, machines, n int) *mpc.Cluster {
+	t.Helper()
+	c, err := mpc.NewCluster(mpc.Config{Machines: machines}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := newCluster(t, 1, 4)
+	fam, err := hash.NewBits(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := func(x *mpc.Ctx, s *hash.Seed) float64 { return 0 }
+	if _, err := SelectSeed(c, fam.NewSeed(), Config{ChunkBits: 99}, eval); err == nil {
+		t.Error("chunk bits 99 accepted")
+	}
+	if _, err := SelectSeed(c, fam.NewSeed(), Config{Objective: Objective(9)}, eval); err == nil {
+		t.Error("bad objective accepted")
+	}
+}
+
+// TestMaximizeMarks uses the simplest estimator: maximize the expected number
+// of marked vertices. The optimum is marking everything; conditional
+// expectations must find a seed achieving at least the expectation n·2^-j.
+func TestMaximizeMarks(t *testing.T) {
+	const n, j = 40, 2
+	for _, machines := range []int{1, 4} {
+		for _, chunk := range []int{1, 3, 8} {
+			c := newCluster(t, machines, n)
+			fam, err := hash.NewBits(n, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed := fam.NewSeed()
+			eval := func(x *mpc.Ctx, s *hash.Seed) float64 {
+				sum := 0.0
+				for v := x.Lo; v < x.Hi; v++ {
+					sum += fam.MarkProb(s, v)
+				}
+				return sum
+			}
+			trace, err := SelectSeed(c, seed, Config{ChunkBits: chunk, Objective: Maximize}, eval)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seed.Fixed() != seed.Total() {
+				t.Fatalf("seed not fully fixed")
+			}
+			expect := float64(n) * math.Ldexp(1, -j)
+			if math.Abs(trace.Initial-expect) > 1e-9 {
+				t.Fatalf("initial expectation = %v, want %v", trace.Initial, expect)
+			}
+			// Count realized marks; must be >= expectation (guarantee).
+			realized := 0
+			for v := 0; v < n; v++ {
+				if fam.Marked(seed, v) {
+					realized++
+				}
+			}
+			if float64(realized) < expect-1e-9 {
+				t.Fatalf("machines=%d chunk=%d: realized %d < expectation %v", machines, chunk, realized, expect)
+			}
+			if math.Abs(trace.Final()-float64(realized)) > 1e-9 {
+				t.Fatalf("trace final %v != realized %d", trace.Final(), realized)
+			}
+			if idx := CheckMonotone(Maximize, trace, 1e-9); idx != -1 {
+				t.Fatalf("trajectory not monotone at step %d: %+v", idx, trace)
+			}
+		}
+	}
+}
+
+// TestMinimizePairs minimizes the expected number of concurrently marked
+// adjacent pairs on a path; the realized count must not exceed the
+// expectation m·2^-2j.
+func TestMinimizePairs(t *testing.T) {
+	const n, j = 30, 2
+	c := newCluster(t, 3, n)
+	fam, err := hash.NewBits(n, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := fam.NewSeed()
+	eval := func(x *mpc.Ctx, s *hash.Seed) float64 {
+		sum := 0.0
+		for v := x.Lo; v < x.Hi && v < n-1; v++ {
+			sum += fam.PairMarkProb(s, v, v+1)
+		}
+		return sum
+	}
+	trace, err := SelectSeed(c, seed, Config{ChunkBits: 4, Objective: Minimize}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := float64(n-1) * math.Ldexp(1, -2*j)
+	realized := 0
+	for v := 0; v < n-1; v++ {
+		if fam.Marked(seed, v) && fam.Marked(seed, v+1) {
+			realized++
+		}
+	}
+	if float64(realized) > expect+1e-9 {
+		t.Fatalf("realized %d pairs > expectation %v", realized, expect)
+	}
+	if idx := CheckMonotone(Minimize, trace, 1e-9); idx != -1 {
+		t.Fatalf("trajectory not monotone at step %d", idx)
+	}
+}
+
+func TestAlignToKeepsChunksInsideSegments(t *testing.T) {
+	const n, j = 16, 3
+	c := newCluster(t, 2, n)
+	fam, err := hash.NewBits(n, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segW := fam.SegWidth()
+	seed := fam.NewSeed()
+	var boundaries []int
+	cfg := Config{
+		ChunkBits: segW - 1, // would straddle without alignment
+		Objective: Maximize,
+		AlignTo:   segW,
+		OnChunk: func(s *hash.Seed, start, width int) {
+			boundaries = append(boundaries, start, width)
+			if start/segW != (start+width-1)/segW {
+				t.Errorf("chunk [%d,%d) straddles a segment boundary (segW=%d)", start, start+width, segW)
+			}
+		},
+	}
+	eval := func(x *mpc.Ctx, s *hash.Seed) float64 {
+		sum := 0.0
+		for v := x.Lo; v < x.Hi; v++ {
+			sum += fam.MarkProb(s, v)
+		}
+		return sum
+	}
+	if _, err := SelectSeed(c, seed, cfg, eval); err != nil {
+		t.Fatal(err)
+	}
+	if len(boundaries) == 0 {
+		t.Fatal("OnChunk never called")
+	}
+	// Chunks must cover the whole seed contiguously.
+	at := 0
+	for i := 0; i < len(boundaries); i += 2 {
+		if boundaries[i] != at {
+			t.Fatalf("chunk %d starts at %d, want %d", i/2, boundaries[i], at)
+		}
+		at += boundaries[i+1]
+	}
+	if at != seed.Total() {
+		t.Fatalf("chunks cover %d bits, want %d", at, seed.Total())
+	}
+}
+
+func TestSelectSeedDeterministicAcrossMachineCounts(t *testing.T) {
+	const n, j = 24, 2
+	run := func(machines int) []uint64 {
+		c := newCluster(t, machines, n)
+		fam, err := hash.NewBits(n, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := fam.NewSeed()
+		eval := func(x *mpc.Ctx, s *hash.Seed) float64 {
+			sum := 0.0
+			for v := x.Lo; v < x.Hi; v++ {
+				sum += float64(v+1) * fam.MarkProb(s, v)
+			}
+			return sum
+		}
+		if _, err := SelectSeed(c, seed, Config{ChunkBits: 5, Objective: Maximize}, eval); err != nil {
+			t.Fatal(err)
+		}
+		bitsOut := make([]uint64, seed.Total())
+		for i := range bitsOut {
+			bitsOut[i] = seed.Bit(i)
+		}
+		return bitsOut
+	}
+	want := run(1)
+	for _, m := range []int{2, 3, 7} {
+		got := run(m)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("machines=%d: seed bit %d differs (machine partition must not change the estimator sum)", m, i)
+			}
+		}
+	}
+}
+
+func TestTraceStepsAndRounds(t *testing.T) {
+	const n, j = 10, 2
+	c := newCluster(t, 2, n)
+	fam, err := hash.NewBits(n, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := fam.NewSeed()
+	eval := func(x *mpc.Ctx, s *hash.Seed) float64 { return 0 }
+	trace, err := SelectSeed(c, seed, Config{ChunkBits: 4, Objective: Minimize}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSteps := (seed.Total() + 3) / 4
+	if trace.Steps != wantSteps {
+		t.Fatalf("steps = %d, want %d", trace.Steps, wantSteps)
+	}
+	// Rounds: 1 init gather + 2 per chunk (gather + broadcast).
+	if got := c.Stats().Rounds; got != 1+2*wantSteps {
+		t.Fatalf("rounds = %d, want %d", got, 1+2*wantSteps)
+	}
+}
+
+func TestCheckMonotone(t *testing.T) {
+	good := Trace{Initial: 10, Values: []float64{9, 9, 8.5}}
+	if CheckMonotone(Minimize, good, 1e-12) != -1 {
+		t.Error("good minimizing trace flagged")
+	}
+	bad := Trace{Initial: 10, Values: []float64{9, 11, 8}}
+	if CheckMonotone(Minimize, bad, 1e-12) != 1 {
+		t.Error("regression at index 1 not flagged")
+	}
+	if CheckMonotone(Maximize, Trace{Initial: 1, Values: []float64{2, 1.5}}, 1e-12) != 1 {
+		t.Error("maximizing regression not flagged")
+	}
+}

@@ -1,0 +1,37 @@
+package gen
+
+import "testing"
+
+// FuzzParseSpecBuild: arbitrary spec strings must parse-or-error without
+// panics, and every successful small build must validate.
+func FuzzParseSpecBuild(f *testing.F) {
+	f.Add("gnp:n=50,p=0.1")
+	f.Add("grid:rows=4,cols=4,wrap=true")
+	f.Add("powerlaw:n=60,gamma=2.5,avg=4")
+	f.Add("geometric:n=40,r=0.2")
+	f.Add("star")
+	f.Add(":")
+	f.Add("x:=")
+	f.Add("gnp:n=-5")
+	f.Add("complete:n=99999999")
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseSpec(input)
+		if err != nil {
+			return
+		}
+		// Clamp sizes so fuzzing stays fast: reject anything that asks for a
+		// big instance before building.
+		for _, key := range []string{"n", "rows", "cols", "spine", "k", "a", "b", "d"} {
+			if v, err := spec.intParam(key, 0); err != nil || v > 300 || v < 0 {
+				return
+			}
+		}
+		g, err := spec.Build(1)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("spec %q built invalid graph: %v", input, err)
+		}
+	})
+}

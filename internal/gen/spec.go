@@ -1,0 +1,231 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"github.com/rulingset/mprs/internal/graph"
+)
+
+// Spec is a parsed textual workload description of the form
+//
+//	family:key=value,key=value,...
+//
+// e.g. "gnp:n=4096,p=0.004" or "grid:rows=64,cols=64,wrap=true". It is the
+// single workload vocabulary shared by the CLI, the experiment harness and
+// the benchmarks.
+type Spec struct {
+	Family string
+	Params map[string]string
+}
+
+// ParseSpec parses the textual form of a Spec. It validates syntax only;
+// family/parameter validation happens in Build.
+func ParseSpec(s string) (Spec, error) {
+	family, rest, _ := strings.Cut(s, ":")
+	family = strings.TrimSpace(family)
+	if family == "" {
+		return Spec{}, fmt.Errorf("gen: empty family in spec %q", s)
+	}
+	spec := Spec{Family: family, Params: make(map[string]string)}
+	if strings.TrimSpace(rest) == "" {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("gen: malformed parameter %q in spec %q", kv, s)
+		}
+		spec.Params[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return spec, nil
+}
+
+// String renders the spec back to its textual form with parameters in
+// insertion-independent (sorted) order.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Family
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	// Small n; insertion order is irrelevant, keep deterministic.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+s.Params[k])
+	}
+	return s.Family + ":" + strings.Join(parts, ",")
+}
+
+func (s Spec) intParam(key string, def int) (int, error) {
+	v, ok := s.Params[key]
+	if !ok {
+		return def, nil
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("gen: parameter %s=%q: %w", key, v, err)
+	}
+	return i, nil
+}
+
+func (s Spec) floatParam(key string, def float64) (float64, error) {
+	v, ok := s.Params[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("gen: parameter %s=%q: %w", key, v, err)
+	}
+	return f, nil
+}
+
+func (s Spec) boolParam(key string, def bool) (bool, error) {
+	v, ok := s.Params[key]
+	if !ok {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("gen: parameter %s=%q: %w", key, v, err)
+	}
+	return b, nil
+}
+
+// Build instantiates the workload described by the spec. Randomized families
+// consume the given seed; deterministic families ignore it.
+func (s Spec) Build(seed int64) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n, err := s.intParam("n", 1024)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Family {
+	case "gnp":
+		p, err := s.floatParam("p", 0.01)
+		if err != nil {
+			return nil, err
+		}
+		return GNP(n, p, rng)
+	case "regular":
+		d, err := s.intParam("d", 8)
+		if err != nil {
+			return nil, err
+		}
+		return RandomRegular(n, d, rng)
+	case "powerlaw":
+		gamma, err := s.floatParam("gamma", 2.5)
+		if err != nil {
+			return nil, err
+		}
+		avg, err := s.floatParam("avg", 8)
+		if err != nil {
+			return nil, err
+		}
+		return ChungLu(n, gamma, avg, rng)
+	case "geometric":
+		r, err := s.floatParam("r", 0.05)
+		if err != nil {
+			return nil, err
+		}
+		return Geometric(n, r, rng)
+	case "grid":
+		rows, err := s.intParam("rows", 32)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := s.intParam("cols", 32)
+		if err != nil {
+			return nil, err
+		}
+		wrap, err := s.boolParam("wrap", false)
+		if err != nil {
+			return nil, err
+		}
+		return Grid(rows, cols, wrap)
+	case "path":
+		return Path(n)
+	case "cycle":
+		return Cycle(n)
+	case "star":
+		return Star(n)
+	case "complete":
+		return Complete(n)
+	case "bipartite":
+		a, err := s.intParam("a", 32)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.intParam("b", 32)
+		if err != nil {
+			return nil, err
+		}
+		return CompleteBipartite(a, b)
+	case "tree":
+		return RandomTree(n, rng)
+	case "prufer":
+		return PruferTree(n, rng)
+	case "caterpillar":
+		spine, err := s.intParam("spine", 64)
+		if err != nil {
+			return nil, err
+		}
+		legs, err := s.intParam("legs", 4)
+		if err != nil {
+			return nil, err
+		}
+		return Caterpillar(spine, legs)
+	case "barbell":
+		k, err := s.intParam("k", 32)
+		if err != nil {
+			return nil, err
+		}
+		path, err := s.intParam("path", 8)
+		if err != nil {
+			return nil, err
+		}
+		return Barbell(k, path)
+	case "rmat":
+		scale, err := s.intParam("scale", 10)
+		if err != nil {
+			return nil, err
+		}
+		ef, err := s.intParam("ef", 8)
+		if err != nil {
+			return nil, err
+		}
+		return RMAT(scale, ef, rng)
+	case "hypercube":
+		d, err := s.intParam("d", 10)
+		if err != nil {
+			return nil, err
+		}
+		return Hypercube(d)
+	default:
+		return nil, fmt.Errorf("gen: unknown workload family %q", s.Family)
+	}
+}
+
+// MustBuild is Build but panics on error; for tests and benchmarks whose
+// specs are literals.
+func MustBuild(spec string, seed int64) *graph.Graph {
+	s, err := ParseSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	g, err := s.Build(seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,100 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("gnp:n=100,p=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Family != "gnp" || s.Params["n"] != "100" || s.Params["p"] != "0.5" {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.String() != "gnp:n=100,p=0.5" {
+		t.Fatalf("String() = %q", s.String())
+	}
+	if _, err := ParseSpec(""); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := ParseSpec("gnp:novalue"); err == nil {
+		t.Error("malformed parameter accepted")
+	}
+	bare, err := ParseSpec("path")
+	if err != nil || bare.Family != "path" {
+		t.Errorf("bare family: %+v, %v", bare, err)
+	}
+}
+
+func TestSpecBuildAllFamilies(t *testing.T) {
+	specs := []string{
+		"gnp:n=200,p=0.05",
+		"regular:n=100,d=4",
+		"powerlaw:n=300,gamma=2.5,avg=5",
+		"grid:rows=8,cols=8",
+		"geometric:n=500,r=0.06",
+		"rmat:scale=8,ef=6",
+		"grid:rows=8,cols=8,wrap=true",
+		"path:n=50",
+		"cycle:n=50",
+		"star:n=50",
+		"complete:n=20",
+		"bipartite:a=5,b=9",
+		"tree:n=80",
+		"prufer:n=80",
+		"caterpillar:spine=10,legs=3",
+		"barbell:k=6,path=4",
+		"hypercube:d=5",
+	}
+	for _, spec := range specs {
+		t.Run(spec, func(t *testing.T) {
+			g := MustBuild(spec, 1)
+			if g.N() == 0 {
+				t.Fatalf("%s built empty graph", spec)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSpecBuildErrors(t *testing.T) {
+	tests := []string{
+		"nosuchfamily:n=10",
+		"gnp:n=abc",
+		"gnp:p=zzz",
+		"grid:wrap=maybe",
+	}
+	for _, spec := range tests {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			continue // parse-level rejection is fine too
+		}
+		if _, err := s.Build(1); err == nil {
+			t.Errorf("spec %q built successfully, want error", spec)
+		}
+	}
+}
+
+func TestSpecBuildReproducible(t *testing.T) {
+	for _, spec := range []string{"gnp:n=200,p=0.05", "tree:n=100", "powerlaw:n=200"} {
+		a := MustBuild(spec, 7)
+		b := MustBuild(spec, 7)
+		if a.M() != b.M() {
+			t.Errorf("%s: same seed produced %d and %d edges", spec, a.M(), b.M())
+		}
+	}
+}
+
+func TestSpecStringSorted(t *testing.T) {
+	s, err := ParseSpec("gnp:p=0.1,n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s.String(), "gnp:n=") {
+		t.Fatalf("String() not canonically sorted: %q", s.String())
+	}
+}

@@ -1,0 +1,269 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func path5(t *testing.T) *Graph {
+	t.Helper()
+	g, err := New(5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewBasics(t *testing.T) {
+	g := path5(t)
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("n=%d m=%d, want 5, 4", g.N(), g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(0), g.Degree(2))
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("max degree = %d", g.MaxDegree())
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) || g.HasEdge(0, 2) {
+		t.Fatalf("HasEdge wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestNewRejectsBadEdges(t *testing.T) {
+	if _, err := New(3, []Edge{{U: 0, V: 3}}); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("out-of-range edge: got %v", err)
+	}
+	if _, err := New(3, []Edge{{U: -1, V: 1}}); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("negative endpoint: got %v", err)
+	}
+	if _, err := New(3, []Edge{{U: 1, V: 1}}); err == nil {
+		t.Errorf("self-loop accepted")
+	}
+	if _, err := New(-1, nil); err == nil {
+		t.Errorf("negative n accepted")
+	}
+}
+
+func TestDuplicateEdgesMerged(t *testing.T) {
+	g, err := New(3, []Edge{{U: 0, V: 1}, {U: 1, V: 0}, {U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d, want 2 after dedupe", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 {
+		t.Fatalf("degrees after dedupe: %d %d", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := New(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 || g.M() != 0 || g.MaxDegree() != 0 || g.AvgDegree() != 0 {
+		t.Fatalf("empty graph stats wrong")
+	}
+	var zero Graph
+	if zero.N() != 0 {
+		t.Fatalf("zero value N = %d", zero.N())
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := path5(t)
+	edges := g.Edges()
+	if len(edges) != g.M() {
+		t.Fatalf("Edges returned %d, want %d", len(edges), g.M())
+	}
+	g2, err := New(g.N(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != g2.Degree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestBFSFrom(t *testing.T) {
+	g := path5(t)
+	dist := g.BFSFrom([]int32{0})
+	want := []int32{0, 1, 2, 3, 4}
+	for i, d := range dist {
+		if d != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, d, want[i])
+		}
+	}
+	dist = g.BFSFrom([]int32{0, 4})
+	want = []int32{0, 1, 2, 1, 0}
+	for i, d := range dist {
+		if d != want[i] {
+			t.Errorf("multi-source dist[%d] = %d, want %d", i, d, want[i])
+		}
+	}
+	dist = g.BFSFrom(nil)
+	for i, d := range dist {
+		if d != -1 {
+			t.Errorf("no-source dist[%d] = %d, want -1", i, d)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g, err := New(6, []Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 3, V: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[3] != comp[4] {
+		t.Errorf("components grouped wrong: %v", comp)
+	}
+	if comp[0] == comp[2] || comp[2] == comp[5] {
+		t.Errorf("distinct components merged: %v", comp)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := path5(t)
+	sub, toSub, toOrig := g.InducedSubgraph(func(v int) bool { return v != 2 })
+	if sub.N() != 4 {
+		t.Fatalf("sub n = %d, want 4", sub.N())
+	}
+	if sub.M() != 2 { // edges 0-1 and 3-4 survive
+		t.Fatalf("sub m = %d, want 2", sub.M())
+	}
+	if toSub[2] != -1 {
+		t.Fatalf("dropped vertex mapped to %d", toSub[2])
+	}
+	for v := 0; v < sub.N(); v++ {
+		if toSub[toOrig[v]] != int32(v) {
+			t.Fatalf("mapping not inverse at %d", v)
+		}
+	}
+}
+
+func TestPower(t *testing.T) {
+	g := path5(t)
+	p2, err := g.Power(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path 0-1-2-3-4 squared: edges at distance 1 or 2.
+	wantEdges := 4 + 3
+	if p2.M() != wantEdges {
+		t.Fatalf("P^2 m = %d, want %d", p2.M(), wantEdges)
+	}
+	if !p2.HasEdge(0, 2) || p2.HasEdge(0, 3) {
+		t.Fatalf("P^2 adjacency wrong")
+	}
+	p4, err := g.Power(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.M() != 9 { // all pairs except 0-4? no: dist(0,4)=4 <= 4, so complete: C(5,2)=10
+		if p4.M() != 10 {
+			t.Fatalf("P^4 m = %d", p4.M())
+		}
+	}
+	if _, err := g.Power(0, 0); err == nil {
+		t.Errorf("power 0 accepted")
+	}
+	if _, err := g.Power(2, 3); err == nil {
+		t.Errorf("edge budget not enforced")
+	}
+}
+
+func TestPowerDistanceSemantics(t *testing.T) {
+	// Property: u~v in G^k iff 1 <= dist_G(u,v) <= k, on random graphs.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(12)
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.15 {
+					edges = append(edges, Edge{U: int32(u), V: int32(v)})
+				}
+			}
+		}
+		g, err := New(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + rng.Intn(3)
+		p, err := g.Power(k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < n; u++ {
+			dist := g.BFSFrom([]int32{int32(u)})
+			for v := 0; v < n; v++ {
+				if v == u {
+					continue
+				}
+				want := dist[v] > 0 && int(dist[v]) <= k
+				if got := p.HasEdge(u, v); got != want {
+					t.Fatalf("trial %d: G^%d edge (%d,%d) = %v, want %v (dist %d)", trial, k, u, v, got, want, dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := path5(t)
+	h := g.DegreeHistogram()
+	if h[1] != 2 || h[2] != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := path5(t)
+	g.adj[0] = 99 // corrupt: out of range
+	if err := g.Validate(); err == nil {
+		t.Fatalf("validate accepted corrupted adjacency")
+	}
+}
+
+func TestRandomGraphInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		var edges []Edge
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, Edge{U: int32(u), V: int32(v)})
+			}
+		}
+		g, err := New(n, edges)
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		// Handshake lemma.
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

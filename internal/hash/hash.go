@@ -1,0 +1,572 @@
+// Package hash implements the pairwise-independent hash families that drive
+// the paper's derandomization, together with exact conditional distributions
+// of hash values given a partially fixed seed — the computation at the heart
+// of the distributed method of conditional expectations.
+//
+// # Construction
+//
+// A single "linear bit" is the GF(2)-affine function
+//
+//	X(v) = ⟨r, enc(v)⟩ ⊕ c
+//
+// where enc(v) is the k-bit binary encoding of v+1 and the seed is the k+1
+// bits (r, c). Over a uniformly random seed, X(v) is an unbiased coin, and
+// for u ≠ v the pair (X(u), X(v)) is uniform on {0,1}² — the coefficient
+// vectors a_u = (enc(u),1) and a_v = (enc(v),1) are distinct and nonzero,
+// hence linearly independent over GF(2).
+//
+// Stacking independent linear bits yields the two primitives the algorithms
+// need:
+//
+//   - BitsFamily with j bits: mark(v) = X₁(v) ∧ … ∧ X_j(v) is a Bernoulli
+//     2^{-j} mark, pairwise independent across vertices. Used by the
+//     sparsification phases, whose sampling probabilities are powers of two.
+//   - ValueFamily with ℓ bits: H(v) ∈ [0, 2^ℓ) is uniform and pairwise
+//     independent; a per-vertex threshold turns it into a Bernoulli mark with
+//     vertex-dependent probability (Luby's 1/(2d(v)) marks).
+//
+// # Conditional distributions
+//
+// The method of conditional expectations fixes seed bits left to right. For
+// any prefix of fixed bits, each linear bit X(v) is (exactly) one of:
+// determined, or uniform; and a pair (X(u), X(v)) additionally may be
+// "coupled" (X(u) ⊕ X(v) determined). All conditional probabilities exposed
+// here are exact dyadic rationals computed in O(1) per linear bit, or via an
+// O(ℓ) digit DP for thresholded values.
+package hash
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// EncodeBits returns the number of bits k needed to encode vertices of a
+// graph with n vertices (enc(v) = v+1 must fit in k bits).
+func EncodeBits(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return bits.Len(uint(n)) // v+1 <= n fits in Len(n) bits
+}
+
+// Seed is a packed vector of seed bits with a fixed prefix. Bits in
+// [0, Fixed) have committed values; the remaining bits are "free"
+// (conceptually uniform random). The zero value is an empty seed.
+type Seed struct {
+	words []uint64
+	total int
+	fixed int
+}
+
+// NewSeed returns an all-zero seed of the given bit length with an empty
+// fixed prefix.
+func NewSeed(total int) *Seed {
+	return &Seed{
+		words: make([]uint64, (total+63)/64),
+		total: total,
+	}
+}
+
+// Total returns the seed length in bits.
+func (s *Seed) Total() int { return s.total }
+
+// Fixed returns the length of the committed prefix.
+func (s *Seed) Fixed() int { return s.fixed }
+
+// Bit returns the current value of seed bit i (committed or provisional).
+func (s *Seed) Bit(i int) uint64 {
+	return (s.words[i/64] >> uint(i%64)) & 1
+}
+
+// SetChunk writes the z low bits of value into seed bits [at, at+z) without
+// changing the fixed prefix length. Used to try candidate extensions.
+func (s *Seed) SetChunk(at, z int, value uint64) {
+	for i := 0; i < z; i++ {
+		idx := at + i
+		w, b := idx/64, uint(idx%64)
+		if value>>uint(i)&1 == 1 {
+			s.words[w] |= 1 << b
+		} else {
+			s.words[w] &^= 1 << b
+		}
+	}
+}
+
+// Commit extends the fixed prefix by z bits (whose values must already have
+// been written with SetChunk).
+func (s *Seed) Commit(z int) {
+	s.SetFixed(s.fixed + z)
+}
+
+// SetFixed sets the fixed-prefix length directly (clamped to [0, Total]).
+// Seed selection uses it on clones to evaluate conditional expectations with
+// a provisional chunk counted as fixed.
+func (s *Seed) SetFixed(f int) {
+	if f < 0 {
+		f = 0
+	}
+	if f > s.total {
+		f = s.total
+	}
+	s.fixed = f
+}
+
+// Randomize fills all remaining free bits with random values and commits
+// them, producing a fully fixed random seed. Used by the randomized
+// algorithms and by tests comparing against the derandomized selection.
+func (s *Seed) Randomize(rng *rand.Rand) {
+	for i := s.fixed; i < s.total; i++ {
+		s.SetChunk(i, 1, uint64(rng.Intn(2)))
+	}
+	s.fixed = s.total
+}
+
+// Reset clears all bits and the fixed prefix.
+func (s *Seed) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.fixed = 0
+}
+
+// Clone returns an independent copy.
+func (s *Seed) Clone() *Seed {
+	c := &Seed{
+		words: make([]uint64, len(s.words)),
+		total: s.total,
+		fixed: s.fixed,
+	}
+	copy(c.words, s.words)
+	return c
+}
+
+// chunk extracts width bits starting at bit offset at (width <= 64).
+func (s *Seed) chunk(at, width int) uint64 {
+	w, b := at/64, uint(at%64)
+	v := s.words[w] >> b
+	if b != 0 && w+1 < len(s.words) {
+		v |= s.words[w+1] << (64 - b)
+	}
+	if width == 64 {
+		return v
+	}
+	return v & ((1 << uint(width)) - 1)
+}
+
+// BitProb is the conditional law of a single linear bit: either determined
+// with a known value, or uniform.
+type BitProb struct {
+	Determined bool
+	Value      uint64 // meaningful when Determined
+}
+
+// P1 returns P[X = 1] for this law.
+func (b BitProb) P1() float64 {
+	if b.Determined {
+		return float64(b.Value)
+	}
+	return 0.5
+}
+
+// PairProb is the exact conditional joint law of a pair of linear bits
+// (X(u), X(v)): P[X(u)=a ∧ X(v)=b] for a,b ∈ {0,1}.
+type PairProb [2][2]float64
+
+// P11 returns P[X(u)=1 ∧ X(v)=1].
+func (p PairProb) P11() float64 { return p[1][1] }
+
+// Family is a stack of nbits independent linear bits over k-bit vertex
+// encodings. Seed layout: linear bit t occupies seed bits
+// [t·(k+1), (t+1)·(k+1)): first the k coefficients r, then the constant c.
+type Family struct {
+	k     int // encoding bits
+	nbits int // number of stacked linear bits
+}
+
+// NewFamily returns a family of nbits linear bits for graphs with up to n
+// vertices.
+func NewFamily(n, nbits int) (*Family, error) {
+	if nbits < 1 {
+		return nil, fmt.Errorf("hash: nbits %d < 1", nbits)
+	}
+	k := EncodeBits(n)
+	if k+1 > 63 {
+		return nil, fmt.Errorf("hash: vertex encoding of %d bits too wide", k)
+	}
+	return &Family{k: k, nbits: nbits}, nil
+}
+
+// SeedBits returns the total seed length in bits.
+func (f *Family) SeedBits() int { return f.nbits * (f.k + 1) }
+
+// K returns the vertex-encoding width in bits.
+func (f *Family) K() int { return f.k }
+
+// NBits returns the number of stacked linear bits.
+func (f *Family) NBits() int { return f.nbits }
+
+// SegWidth returns the seed-segment width per linear bit (K()+1: the k
+// coefficients plus the constant term).
+func (f *Family) SegWidth() int { return f.k + 1 }
+
+// NewSeed allocates a zeroed seed of the right length for this family.
+func (f *Family) NewSeed() *Seed { return NewSeed(f.SeedBits()) }
+
+// coeff returns the coefficient vector a_v = (enc(v), 1): bit i < k is bit i
+// of v+1, bit k is the constant term.
+func (f *Family) coeff(v int) uint64 {
+	return uint64(v+1) | 1<<uint(f.k)
+}
+
+// bitLaw computes the conditional law of linear bit t applied to coefficient
+// vector a, given the seed's fixed prefix. O(1).
+func (f *Family) bitLaw(s *Seed, t int, a uint64) BitProb {
+	width := f.k + 1
+	at := t * width
+	// ft = number of this linear bit's seed coordinates that are fixed.
+	ft := s.fixed - at
+	if ft < 0 {
+		ft = 0
+	} else if ft > width {
+		ft = width
+	}
+	seg := s.chunk(at, width)
+	fixedMask := uint64(1)<<uint(ft) - 1
+	known := uint64(bits.OnesCount64(seg&a&fixedMask)) & 1
+	if a>>uint(ft) != 0 { // some participating coordinate is still free
+		return BitProb{}
+	}
+	return BitProb{Determined: true, Value: known}
+}
+
+// BitLaw returns the conditional law of linear bit t at vertex v.
+func (f *Family) BitLaw(s *Seed, t, v int) BitProb {
+	return f.bitLaw(s, t, f.coeff(v))
+}
+
+// PairLaw returns the exact conditional joint law of linear bit t at the
+// distinct vertices u and v. O(1).
+func (f *Family) PairLaw(s *Seed, t, u, v int) PairProb {
+	au, av := f.coeff(u), f.coeff(v)
+	lu := f.bitLaw(s, t, au)
+	lv := f.bitLaw(s, t, av)
+	var p PairProb
+	switch {
+	case lu.Determined && lv.Determined:
+		p[lu.Value][lv.Value] = 1
+	case lu.Determined:
+		p[lu.Value][0] = 0.5
+		p[lu.Value][1] = 0.5
+	case lv.Determined:
+		p[0][lv.Value] = 0.5
+		p[1][lv.Value] = 0.5
+	default:
+		// Both free: coupled iff the XOR vector has no free coordinate.
+		lx := f.bitLaw(s, t, au^av)
+		if lx.Determined {
+			// X(u) uniform, X(v) = X(u) ⊕ lx.Value.
+			p[0][lx.Value] = 0.5
+			p[1][1^lx.Value] = 0.5
+		} else {
+			p[0][0], p[0][1], p[1][0], p[1][1] = 0.25, 0.25, 0.25, 0.25
+		}
+	}
+	return p
+}
+
+// SegState is the precomputed conditional state of one linear bit's seed
+// segment: the segment's current bit values and the count of fixed
+// coordinates. Extracting it once per segment lets hot loops evaluate
+// per-vertex and per-pair conditional laws with two popcounts instead of
+// repeated seed-chunk extraction (see P1Seg / P11Seg).
+type SegState struct {
+	Seg       uint64 // the segment's k+1 seed bits
+	FixedMask uint64 // mask over the fixed coordinates
+	Ft        int    // number of fixed coordinates
+}
+
+// SegState extracts the conditional state of linear bit t under s.
+func (f *Family) SegState(s *Seed, t int) SegState {
+	width := f.k + 1
+	at := t * width
+	ft := s.fixed - at
+	if ft < 0 {
+		ft = 0
+	} else if ft > width {
+		ft = width
+	}
+	return SegState{
+		Seg:       s.chunk(at, width),
+		FixedMask: uint64(1)<<uint(ft) - 1,
+		Ft:        ft,
+	}
+}
+
+// P1Seg returns P[X_t(v) = 1] for the segment state, for vertex v.
+func (f *Family) P1Seg(st SegState, v int) float64 {
+	a := f.coeff(v)
+	if a>>uint(st.Ft) != 0 {
+		return 0.5
+	}
+	return float64(uint64(bits.OnesCount64(st.Seg&a&st.FixedMask)) & 1)
+}
+
+// P11Seg returns P[X_t(u) = 1 ∧ X_t(v) = 1] for the segment state, for
+// distinct vertices u and v.
+func (f *Family) P11Seg(st SegState, u, v int) float64 {
+	au, av := f.coeff(u), f.coeff(v)
+	freeU := au>>uint(st.Ft) != 0
+	freeV := av>>uint(st.Ft) != 0
+	switch {
+	case !freeU && !freeV:
+		both := st.Seg & st.FixedMask
+		pu := uint64(bits.OnesCount64(both&au)) & 1
+		pv := uint64(bits.OnesCount64(both&av)) & 1
+		return float64(pu & pv)
+	case freeU && !freeV:
+		if uint64(bits.OnesCount64(st.Seg&av&st.FixedMask))&1 == 1 {
+			return 0.5
+		}
+		return 0
+	case !freeU:
+		if uint64(bits.OnesCount64(st.Seg&au&st.FixedMask))&1 == 1 {
+			return 0.5
+		}
+		return 0
+	default:
+		x := au ^ av
+		if x>>uint(st.Ft) != 0 {
+			return 0.25 // independent uniform bits
+		}
+		// Coupled: X_t(u) ⊕ X_t(v) is determined.
+		if uint64(bits.OnesCount64(st.Seg&x&st.FixedMask))&1 == 0 {
+			return 0.5
+		}
+		return 0
+	}
+}
+
+// Bits is the j-fold AND family: mark(v) has probability exactly 2^{-j} and
+// marks are pairwise independent.
+type Bits struct {
+	*Family
+}
+
+// NewBits returns the AND-of-j-bits marking family for up to n vertices.
+func NewBits(n, j int) (*Bits, error) {
+	f, err := NewFamily(n, j)
+	if err != nil {
+		return nil, err
+	}
+	return &Bits{Family: f}, nil
+}
+
+// J returns the number of AND-ed bits (marking probability is 2^-J).
+func (b *Bits) J() int { return b.nbits }
+
+// MarkProb returns P[mark(v) = 1 | fixed prefix of s], exactly.
+func (b *Bits) MarkProb(s *Seed, v int) float64 {
+	p := 1.0
+	for t := 0; t < b.nbits; t++ {
+		p *= b.BitLaw(s, t, v).P1()
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// PairMarkProb returns P[mark(u) ∧ mark(v) | fixed prefix of s] for distinct
+// u, v, exactly.
+func (b *Bits) PairMarkProb(s *Seed, u, v int) float64 {
+	p := 1.0
+	for t := 0; t < b.nbits; t++ {
+		p *= b.PairLaw(s, t, u, v).P11()
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// Marked evaluates the mark of v under a fully fixed seed.
+func (b *Bits) Marked(s *Seed, v int) bool {
+	for t := 0; t < b.nbits; t++ {
+		law := b.BitLaw(s, t, v)
+		if !law.Determined {
+			return false // free bits are treated as not-yet-lucky; callers fix all bits first
+		}
+		if law.Value == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Values is the ℓ-bit uniform value family: H(v) ∈ [0, 2^ℓ) pairwise
+// independent, with bit 0 the most significant.
+type Values struct {
+	*Family
+}
+
+// NewValues returns the ℓ-bit value family for up to n vertices.
+func NewValues(n, ell int) (*Values, error) {
+	f, err := NewFamily(n, ell)
+	if err != nil {
+		return nil, err
+	}
+	return &Values{Family: f}, nil
+}
+
+// Ell returns the number of value bits ℓ.
+func (va *Values) Ell() int { return va.nbits }
+
+// Value evaluates H(v) under a fully fixed seed.
+func (va *Values) Value(s *Seed, v int) uint64 {
+	var h uint64
+	for t := 0; t < va.nbits; t++ {
+		h <<= 1
+		law := va.BitLaw(s, t, v)
+		if law.Determined {
+			h |= law.Value
+		}
+	}
+	return h
+}
+
+// BelowProb returns P[H(v) < threshold | fixed prefix of s], exactly, via a
+// most-significant-bit-first digit DP. threshold may be up to 2^ℓ.
+func (va *Values) BelowProb(s *Seed, v int, threshold uint64) float64 {
+	if threshold == 0 {
+		return 0
+	}
+	if threshold >= 1<<uint(va.nbits) {
+		return 1
+	}
+	below := 0.0
+	tight := 1.0
+	for t := 0; t < va.nbits; t++ {
+		tb := threshold >> uint(va.nbits-1-t) & 1
+		p1 := va.BitLaw(s, t, v).P1()
+		if tb == 1 {
+			below += tight * (1 - p1) // H bit 0 while threshold bit 1: strictly below
+			tight *= p1
+		} else {
+			tight *= 1 - p1 // H bit must be 0 to stay tight; 1 would exceed
+		}
+		if tight == 0 {
+			break
+		}
+	}
+	return below
+}
+
+// PairBelowProb returns P[H(u) < tu ∧ H(v) < tv | fixed prefix of s] for
+// distinct u, v, exactly, via a joint digit DP over tightness states.
+func (va *Values) PairBelowProb(s *Seed, u, v int, tu, tv uint64) float64 {
+	if tu == 0 || tv == 0 {
+		return 0
+	}
+	full := uint64(1) << uint(va.nbits)
+	if tu >= full && tv >= full {
+		return 1
+	}
+	if tu >= full {
+		return va.BelowProb(s, v, tv)
+	}
+	if tv >= full {
+		return va.BelowProb(s, u, tu)
+	}
+	// States per value: 0 = tight (equal to threshold prefix so far),
+	// 1 = strictly below (free), 2 = strictly above (dead). Joint DP over
+	// (state_u, state_v); dead states absorb and contribute 0.
+	var dp [3][3]float64
+	dp[0][0] = 1
+	for t := 0; t < va.nbits; t++ {
+		ub := tu >> uint(va.nbits-1-t) & 1
+		vb := tv >> uint(va.nbits-1-t) & 1
+		joint := va.PairLaw(s, t, u, v)
+		var next [3][3]float64
+		for su := 0; su < 2; su++ { // dead rows stay dead; skip them
+			for sv := 0; sv < 2; sv++ {
+				mass := dp[su][sv]
+				if mass == 0 {
+					continue
+				}
+				for xu := uint64(0); xu < 2; xu++ {
+					for xv := uint64(0); xv < 2; xv++ {
+						var p float64
+						switch {
+						case su == 0 && sv == 0:
+							p = joint[xu][xv]
+						case su == 0: // v free: only u's bit matters
+							if xv == 1 {
+								continue
+							}
+							p = joint[xu][0] + joint[xu][1]
+						case sv == 0: // u free
+							if xu == 1 {
+								continue
+							}
+							p = joint[0][xv] + joint[1][xv]
+						default: // both free: nothing to track
+							if xu == 1 || xv == 1 {
+								continue
+							}
+							p = 1
+						}
+						if p == 0 {
+							continue
+						}
+						nu := transition(su, xu, ub)
+						nv := transition(sv, xv, vb)
+						if nu == 2 || nv == 2 {
+							continue
+						}
+						next[nu][nv] += mass * p
+					}
+				}
+			}
+		}
+		dp = next
+	}
+	// Only strictly-below outcomes count: a value equal to its threshold is
+	// not < threshold.
+	return dp[1][1]
+}
+
+// transition advances a single value's tightness state given its next bit x
+// and the threshold's bit tb.
+func transition(state int, x, tb uint64) int {
+	if state != 0 {
+		return state
+	}
+	switch {
+	case x == tb:
+		return 0
+	case x < tb:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// JFromProb returns the smallest j with 2^-j <= p, clamped to [1, maxJ].
+// Sampling probabilities in the algorithms are rounded down to powers of two
+// so the Bits family applies.
+func JFromProb(p float64, maxJ int) int {
+	j := 1
+	for float64EXP(j) > p && j < maxJ {
+		j++
+	}
+	return j
+}
+
+func float64EXP(j int) float64 {
+	v := 1.0
+	for i := 0; i < j; i++ {
+		v /= 2
+	}
+	return v
+}

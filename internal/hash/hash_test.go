@@ -1,0 +1,373 @@
+package hash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func TestEncodeBits(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{n: 0, want: 1},
+		{n: 1, want: 1},
+		{n: 2, want: 2},
+		{n: 3, want: 2},
+		{n: 4, want: 3},
+		{n: 7, want: 3},
+		{n: 8, want: 4},
+		{n: 1023, want: 10},
+		{n: 1024, want: 11},
+	}
+	for _, tt := range tests {
+		if got := EncodeBits(tt.n); got != tt.want {
+			t.Errorf("EncodeBits(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+	// enc(v) = v+1 must fit in EncodeBits(n) bits for all v in [0, n).
+	for _, n := range []int{1, 2, 3, 5, 16, 100} {
+		k := EncodeBits(n)
+		if n > (1<<uint(k))-1 {
+			t.Errorf("n=%d: enc(n-1)=%d does not fit in %d bits", n, n, k)
+		}
+	}
+}
+
+func TestSeedChunks(t *testing.T) {
+	s := NewSeed(130)
+	s.SetChunk(60, 10, 0x2AB)
+	if got := s.chunk(60, 10); got != 0x2AB {
+		t.Fatalf("chunk readback across word boundary = %#x, want 0x2AB", got)
+	}
+	if s.Bit(60) != 1 || s.Bit(61) != 1 || s.Bit(62) != 0 {
+		t.Fatalf("bit readback wrong: %d %d %d", s.Bit(60), s.Bit(61), s.Bit(62))
+	}
+	s.SetChunk(60, 10, 0)
+	if got := s.chunk(60, 10); got != 0 {
+		t.Fatalf("clearing chunk failed: %#x", got)
+	}
+	if s.Fixed() != 0 {
+		t.Fatalf("SetChunk must not move the fixed prefix")
+	}
+	s.Commit(100)
+	if s.Fixed() != 100 {
+		t.Fatalf("Commit: fixed = %d, want 100", s.Fixed())
+	}
+	s.Commit(100)
+	if s.Fixed() != 130 {
+		t.Fatalf("Commit must clamp to total, got %d", s.Fixed())
+	}
+	s.SetFixed(-5)
+	if s.Fixed() != 0 {
+		t.Fatalf("SetFixed must clamp at 0, got %d", s.Fixed())
+	}
+}
+
+func TestSeedCloneIndependence(t *testing.T) {
+	s := NewSeed(64)
+	s.SetChunk(0, 8, 0xFF)
+	s.Commit(8)
+	c := s.Clone()
+	c.SetChunk(8, 8, 0xAA)
+	c.Commit(8)
+	if s.Fixed() != 8 {
+		t.Fatalf("clone mutation leaked into original fixed prefix")
+	}
+	if s.chunk(8, 8) != 0 {
+		t.Fatalf("clone mutation leaked into original bits")
+	}
+}
+
+// enumerateSeeds calls f with every full assignment of the free suffix of s,
+// leaving s restored afterwards.
+func enumerateSeeds(s *Seed, f func(full *Seed)) {
+	free := s.Total() - s.Fixed()
+	if free > 24 {
+		panic("enumerateSeeds: too many free bits")
+	}
+	full := s.Clone()
+	full.SetFixed(full.Total())
+	for e := uint64(0); e < 1<<uint(free); e++ {
+		full.SetChunk(s.Fixed(), free, e)
+		f(full)
+	}
+}
+
+func TestBitsMarginalMatchesBruteForce(t *testing.T) {
+	const n, j = 13, 2
+	fam, err := NewBits(n, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		s := fam.NewSeed()
+		prefix := rng.Intn(s.Total() + 1)
+		for i := 0; i < prefix; i++ {
+			s.SetChunk(i, 1, uint64(rng.Intn(2)))
+		}
+		s.SetFixed(prefix)
+		for v := 0; v < n; v++ {
+			want := 0.0
+			count := 0
+			enumerateSeeds(s, func(full *Seed) {
+				count++
+				if fam.Marked(full, v) {
+					want++
+				}
+			})
+			want /= float64(count)
+			if got := fam.MarkProb(s, v); math.Abs(got-want) > tol {
+				t.Fatalf("trial %d v=%d prefix=%d: MarkProb=%v brute=%v", trial, v, prefix, got, want)
+			}
+		}
+	}
+}
+
+func TestBitsPairMatchesBruteForce(t *testing.T) {
+	const n, j = 11, 2
+	fam, err := NewBits(n, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		s := fam.NewSeed()
+		prefix := rng.Intn(s.Total() + 1)
+		for i := 0; i < prefix; i++ {
+			s.SetChunk(i, 1, uint64(rng.Intn(2)))
+		}
+		s.SetFixed(prefix)
+		u := rng.Intn(n)
+		v := rng.Intn(n - 1)
+		if v >= u {
+			v++
+		}
+		want := 0.0
+		count := 0
+		enumerateSeeds(s, func(full *Seed) {
+			count++
+			if fam.Marked(full, u) && fam.Marked(full, v) {
+				want++
+			}
+		})
+		want /= float64(count)
+		if got := fam.PairMarkProb(s, u, v); math.Abs(got-want) > tol {
+			t.Fatalf("trial %d (%d,%d) prefix=%d: PairMarkProb=%v brute=%v", trial, u, v, prefix, got, want)
+		}
+	}
+}
+
+func TestBitsPairwiseIndependence(t *testing.T) {
+	// Over the full seed space, marks must have mean exactly 2^-j and
+	// pairwise products mean exactly 2^-2j for every distinct pair.
+	const n, j = 6, 2
+	fam, err := NewBits(n, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fam.NewSeed() // nothing fixed: enumerate everything
+	counts := make([]int, n)
+	pairCounts := make([][]int, n)
+	for i := range pairCounts {
+		pairCounts[i] = make([]int, n)
+	}
+	total := 0
+	enumerateSeeds(s, func(full *Seed) {
+		total++
+		for u := 0; u < n; u++ {
+			if !fam.Marked(full, u) {
+				continue
+			}
+			counts[u]++
+			for v := u + 1; v < n; v++ {
+				if fam.Marked(full, v) {
+					pairCounts[u][v]++
+				}
+			}
+		}
+	})
+	p := math.Ldexp(1, -j)
+	for u := 0; u < n; u++ {
+		if got := float64(counts[u]) / float64(total); math.Abs(got-p) > tol {
+			t.Errorf("mean mark of %d = %v, want %v", u, got, p)
+		}
+		for v := u + 1; v < n; v++ {
+			if got := float64(pairCounts[u][v]) / float64(total); math.Abs(got-p*p) > tol {
+				t.Errorf("pair (%d,%d) = %v, want %v", u, v, got, p*p)
+			}
+		}
+	}
+}
+
+func TestConditionalExpectationConsistency(t *testing.T) {
+	// The law of total expectation bit by bit:
+	// E[X | prefix] = (E[X | prefix,0] + E[X | prefix,1]) / 2.
+	const n, j = 12, 3
+	fam, err := NewBits(n, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(seedBits uint32, u8, v8 uint8) bool {
+		s := fam.NewSeed()
+		prefix := int(seedBits) % s.Total()
+		for i := 0; i < prefix; i++ {
+			s.SetChunk(i, 1, uint64(seedBits>>uint(i%24))&1)
+		}
+		s.SetFixed(prefix)
+		u := int(u8) % n
+		v := int(v8) % (n - 1)
+		if v >= u {
+			v++
+		}
+		parent := fam.PairMarkProb(s, u, v)
+		child := s.Clone()
+		child.SetFixed(prefix + 1)
+		child.SetChunk(prefix, 1, 0)
+		c0 := fam.PairMarkProb(child, u, v)
+		child.SetChunk(prefix, 1, 1)
+		c1 := fam.PairMarkProb(child, u, v)
+		return math.Abs(parent-(c0+c1)/2) < tol
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesMatchesBruteForce(t *testing.T) {
+	const n, ell = 9, 2
+	fam, err := NewValues(n, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		s := fam.NewSeed()
+		prefix := rng.Intn(s.Total() + 1)
+		for i := 0; i < prefix; i++ {
+			s.SetChunk(i, 1, uint64(rng.Intn(2)))
+		}
+		s.SetFixed(prefix)
+		u := rng.Intn(n)
+		v := rng.Intn(n - 1)
+		if v >= u {
+			v++
+		}
+		tu := uint64(rng.Intn(1<<ell + 1))
+		tv := uint64(rng.Intn(1<<ell + 1))
+		wantU, wantPair := 0.0, 0.0
+		count := 0
+		enumerateSeeds(s, func(full *Seed) {
+			count++
+			hu, hv := fam.Value(full, u), fam.Value(full, v)
+			if hu < tu {
+				wantU++
+			}
+			if hu < tu && hv < tv {
+				wantPair++
+			}
+		})
+		wantU /= float64(count)
+		wantPair /= float64(count)
+		if got := fam.BelowProb(s, u, tu); math.Abs(got-wantU) > tol {
+			t.Fatalf("trial %d: BelowProb(%d,%d)=%v brute=%v (prefix %d)", trial, u, tu, got, wantU, prefix)
+		}
+		if got := fam.PairBelowProb(s, u, v, tu, tv); math.Abs(got-wantPair) > tol {
+			t.Fatalf("trial %d: PairBelowProb=(%d,%d,%d,%d)=%v brute=%v (prefix %d)", trial, u, v, tu, tv, got, wantPair, prefix)
+		}
+	}
+}
+
+func TestValuesUniformAndPairwiseIndependent(t *testing.T) {
+	const n, ell = 5, 2
+	fam, err := NewValues(n, ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fam.NewSeed()
+	const vals = 1 << ell
+	hist := make([][]int, n)
+	for i := range hist {
+		hist[i] = make([]int, vals)
+	}
+	joint := make(map[[4]int]int)
+	total := 0
+	enumerateSeeds(s, func(full *Seed) {
+		total++
+		for u := 0; u < n; u++ {
+			hu := int(fam.Value(full, u))
+			hist[u][hu]++
+			for v := u + 1; v < n; v++ {
+				joint[[4]int{u, v, hu, int(fam.Value(full, v))}]++
+			}
+		}
+	})
+	for u := 0; u < n; u++ {
+		for h, c := range hist[u] {
+			if got := float64(c) / float64(total); math.Abs(got-1.0/vals) > tol {
+				t.Errorf("P[H(%d)=%d] = %v, want %v", u, h, got, 1.0/vals)
+			}
+		}
+	}
+	for key, c := range joint {
+		if got := float64(c) / float64(total); math.Abs(got-1.0/(vals*vals)) > tol {
+			t.Errorf("joint %v = %v, want %v", key, got, 1.0/(vals*vals))
+		}
+	}
+}
+
+func TestJFromProb(t *testing.T) {
+	tests := []struct {
+		p    float64
+		maxJ int
+		want int
+	}{
+		{p: 0.5, maxJ: 30, want: 1},
+		{p: 0.51, maxJ: 30, want: 1},
+		{p: 0.25, maxJ: 30, want: 2},
+		{p: 0.3, maxJ: 30, want: 2},
+		{p: 0.1, maxJ: 30, want: 4},
+		{p: 1e-9, maxJ: 10, want: 10}, // clamped
+	}
+	for _, tt := range tests {
+		if got := JFromProb(tt.p, tt.maxJ); got != tt.want {
+			t.Errorf("JFromProb(%v,%d) = %d, want %d", tt.p, tt.maxJ, got, tt.want)
+		}
+	}
+}
+
+func TestNewFamilyErrors(t *testing.T) {
+	if _, err := NewBits(10, 0); err == nil {
+		t.Error("NewBits with 0 bits must fail")
+	}
+	if _, err := NewValues(10, -1); err == nil {
+		t.Error("NewValues with negative bits must fail")
+	}
+}
+
+func TestRandomizeFixesAllBits(t *testing.T) {
+	fam, err := NewBits(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fam.NewSeed()
+	s.Randomize(rand.New(rand.NewSource(9)))
+	if s.Fixed() != s.Total() {
+		t.Fatalf("Randomize left %d free bits", s.Total()-s.Fixed())
+	}
+	// Under a fully fixed seed, probabilities are realized 0/1 indicators.
+	for v := 0; v < 20; v++ {
+		p := fam.MarkProb(s, v)
+		if p != 0 && p != 1 {
+			t.Fatalf("fully fixed MarkProb(%d) = %v, want 0 or 1", v, p)
+		}
+		if (p == 1) != fam.Marked(s, v) {
+			t.Fatalf("MarkProb and Marked disagree at %d", v)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package hash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSegStateMatchesLaws: the SegState fast path (used by the estimator hot
+// loops) must agree exactly with the reference BitLaw / PairLaw computations
+// for every seed state, including partially fixed segments.
+func TestSegStateMatchesLaws(t *testing.T) {
+	const n, nbits = 19, 3
+	fam, err := NewFamily(n, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		s := fam.NewSeed()
+		prefix := rng.Intn(s.Total() + 1)
+		for i := 0; i < prefix; i++ {
+			s.SetChunk(i, 1, uint64(rng.Intn(2)))
+		}
+		s.SetFixed(prefix)
+		for tt := 0; tt < nbits; tt++ {
+			st := fam.SegState(s, tt)
+			for v := 0; v < n; v++ {
+				want := fam.BitLaw(s, tt, v).P1()
+				if got := fam.P1Seg(st, v); got != want {
+					t.Fatalf("trial %d t=%d v=%d prefix=%d: P1Seg=%v, BitLaw=%v",
+						trial, tt, v, prefix, got, want)
+				}
+			}
+			for p := 0; p < 20; p++ {
+				u := rng.Intn(n)
+				v := rng.Intn(n - 1)
+				if v >= u {
+					v++
+				}
+				want := fam.PairLaw(s, tt, u, v).P11()
+				if got := fam.P11Seg(st, u, v); got != want {
+					t.Fatalf("trial %d t=%d (%d,%d) prefix=%d: P11Seg=%v, PairLaw=%v",
+						trial, tt, u, v, prefix, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPairLawIsDistribution(t *testing.T) {
+	const n, nbits = 11, 2
+	fam, err := NewFamily(n, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 100; trial++ {
+		s := fam.NewSeed()
+		prefix := rng.Intn(s.Total() + 1)
+		for i := 0; i < prefix; i++ {
+			s.SetChunk(i, 1, uint64(rng.Intn(2)))
+		}
+		s.SetFixed(prefix)
+		tt := rng.Intn(nbits)
+		u := rng.Intn(n)
+		v := rng.Intn(n - 1)
+		if v >= u {
+			v++
+		}
+		law := fam.PairLaw(s, tt, u, v)
+		sum := 0.0
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				if law[a][b] < 0 || law[a][b] > 1 {
+					t.Fatalf("probability out of range: %v", law)
+				}
+				sum += law[a][b]
+			}
+		}
+		if math.Abs(sum-1) > 1e-15 {
+			t.Fatalf("pair law sums to %v: %v", sum, law)
+		}
+		// Marginals must match BitLaw.
+		mu := law[1][0] + law[1][1]
+		if want := fam.BitLaw(s, tt, u).P1(); math.Abs(mu-want) > 1e-15 {
+			t.Fatalf("marginal %v != BitLaw %v", mu, want)
+		}
+	}
+}
+
+func TestBitProbValues(t *testing.T) {
+	if (BitProb{Determined: true, Value: 1}).P1() != 1 {
+		t.Error("determined-1 law wrong")
+	}
+	if (BitProb{Determined: true, Value: 0}).P1() != 0 {
+		t.Error("determined-0 law wrong")
+	}
+	if (BitProb{}).P1() != 0.5 {
+		t.Error("free law wrong")
+	}
+}
+
+func TestFamilyAccessors(t *testing.T) {
+	fam, err := NewFamily(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.K() != EncodeBits(100) {
+		t.Errorf("K = %d", fam.K())
+	}
+	if fam.NBits() != 4 {
+		t.Errorf("NBits = %d", fam.NBits())
+	}
+	if fam.SegWidth() != fam.K()+1 {
+		t.Errorf("SegWidth = %d", fam.SegWidth())
+	}
+	if fam.SeedBits() != 4*fam.SegWidth() {
+		t.Errorf("SeedBits = %d", fam.SeedBits())
+	}
+	if _, err := NewFamily(1<<62, 1); err == nil {
+		t.Error("oversized encoding accepted")
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	s := NewSeed(70)
+	s.SetChunk(0, 60, ^uint64(0)>>4)
+	s.Commit(60)
+	s.Reset()
+	if s.Fixed() != 0 {
+		t.Fatalf("reset left fixed = %d", s.Fixed())
+	}
+	for i := 0; i < 70; i++ {
+		if s.Bit(i) != 0 {
+			t.Fatalf("reset left bit %d set", i)
+		}
+	}
+}

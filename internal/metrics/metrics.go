@@ -1,0 +1,201 @@
+// Package metrics renders the evaluation's tables and figures: fixed-width
+// text tables (the form the experiment harness prints and EXPERIMENTS.md
+// records), CSV for downstream tooling, and ASCII line plots for the
+// "figure" experiments.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are formatted with Cell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Cell formats a single value: floats get a compact representation, other
+// values use their default formatting.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case string:
+		return x
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func formatFloat(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return strconv.FormatFloat(f, 'f', 0, 64)
+	case math.Abs(f) >= 1000 || (math.Abs(f) < 0.001 && f != 0):
+		return strconv.FormatFloat(f, 'g', 4, 64)
+	default:
+		return strconv.FormatFloat(f, 'f', 3, 64)
+	}
+}
+
+// Render writes the table as aligned fixed-width text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = utf8.RuneCountInString(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if w := utf8.RuneCountInString(cell); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table in CSV form (header row first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(strconv.Quote(cell))
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is a named sequence of (x, y) points for figure rendering.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders one or more series as an ASCII line chart of the given size
+// (width×height characters for the plotting area). Each series is drawn with
+// its own glyph; a legend follows the chart.
+func Plot(w io.Writer, title string, width, height int, series ...Series) error {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			grid[height-1-row][col] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "y: [%s .. %s]\n", formatFloat(minY), formatFloat(maxY))
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+-")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "x: [%s .. %s]\n", formatFloat(minX), formatFloat(maxX))
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T1: rounds", "algo", "n", "rounds")
+	tb.AddRow("luby", 1024, 42)
+	tb.AddRow("det2", 1024, 9)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T1: rounds", "algo", "luby", "det2", "42", "9", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("plain", `with,comma`)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"with,comma\"\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestCellFormatting(t *testing.T) {
+	tests := []struct {
+		in   any
+		want string
+	}{
+		{in: 3, want: "3"},
+		{in: "s", want: "s"},
+		{in: 3.0, want: "3"},
+		{in: 0.5, want: "0.500"},
+		{in: 123456.7, want: "1.235e+05"},
+		{in: float32(2), want: "2"},
+		{in: true, want: "true"},
+	}
+	for _, tt := range tests {
+		if got := Cell(tt.in); got != tt.want {
+			t.Errorf("Cell(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPlot(t *testing.T) {
+	var b strings.Builder
+	err := Plot(&b, "F1", 20, 6,
+		Series{Name: "det", X: []float64{1, 2, 3}, Y: []float64{10, 5, 1}},
+		Series{Name: "rand", X: []float64{1, 2, 3}, Y: []float64{9, 4, 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"F1", "det", "rand", "*", "o", "x: [1 .. 3]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := Plot(&b, "empty", 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatalf("empty plot output: %q", b.String())
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	var b strings.Builder
+	err := Plot(&b, "const", 10, 4, Series{Name: "c", X: []float64{1, 1}, Y: []float64{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Fatal("constant series not drawn")
+	}
+}

@@ -1,0 +1,145 @@
+package mpc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Collectives: the standard O(1)-round coordination primitives of
+// near-linear-memory MPC / congested-clique algorithms ("every machine
+// reports a summary; the coordinator decides; the decision is broadcast").
+// Each collective is implemented with real messages through Step so rounds,
+// message counts, and bandwidth are all metered; the coordinator's local
+// computation is the simulated machine 0.
+
+// Gather runs one round in which every machine sends local(x) to machine 0,
+// and returns the payloads indexed by source machine.
+func (c *Cluster) Gather(name string, local func(x *Ctx) []uint64) ([][]uint64, error) {
+	err := c.Step(name, func(x *Ctx) {
+		payload := local(x)
+		if len(payload) > 0 || x.Machine != 0 {
+			x.SendOwned(0, payload)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]uint64, c.Machines())
+	for _, msg := range c.inboxes[0] {
+		out[msg.Src] = append(out[msg.Src], msg.Payload...)
+	}
+	c.inboxes[0] = nil
+	return out, nil
+}
+
+// Broadcast runs one round in which machine 0 sends payload to every other
+// machine. The payload is returned for convenience so coordinator code can
+// chain on it.
+func (c *Cluster) Broadcast(name string, payload []uint64) ([]uint64, error) {
+	err := c.Step(name, func(x *Ctx) {
+		if x.Machine != 0 {
+			return
+		}
+		for dst := 1; dst < c.Machines(); dst++ {
+			x.Send(dst, payload...)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for m := 1; m < c.Machines(); m++ {
+		c.inboxes[m] = nil
+	}
+	return payload, nil
+}
+
+// AllReduceSumUint gathers a uint64 vector from every machine, sums them
+// coordinate-wise at the coordinator and broadcasts the result. Costs two
+// rounds. All machines must return vectors of equal length.
+func (c *Cluster) AllReduceSumUint(name string, local func(x *Ctx) []uint64) ([]uint64, error) {
+	parts, err := c.Gather(name+"/gather", local)
+	if err != nil {
+		return nil, err
+	}
+	var sum []uint64
+	for m, part := range parts {
+		if part == nil {
+			continue
+		}
+		if sum == nil {
+			sum = make([]uint64, len(part))
+		}
+		if len(part) != len(sum) {
+			return nil, fmt.Errorf("mpc: allreduce %q: machine %d sent %d words, want %d", name, m, len(part), len(sum))
+		}
+		for i, w := range part {
+			sum[i] += w
+		}
+	}
+	if _, err := c.Broadcast(name+"/bcast", sum); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// AllReduceSumFloat is AllReduceSumUint for float64 vectors (transported as
+// IEEE-754 bit patterns).
+func (c *Cluster) AllReduceSumFloat(name string, local func(x *Ctx) []float64) ([]float64, error) {
+	parts, err := c.Gather(name+"/gather", func(x *Ctx) []uint64 {
+		fs := local(x)
+		words := make([]uint64, len(fs))
+		for i, f := range fs {
+			words[i] = math.Float64bits(f)
+		}
+		return words
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sum []float64
+	for m, part := range parts {
+		if part == nil {
+			continue
+		}
+		if sum == nil {
+			sum = make([]float64, len(part))
+		}
+		if len(part) != len(sum) {
+			return nil, fmt.Errorf("mpc: allreduce %q: machine %d sent %d words, want %d", name, m, len(part), len(sum))
+		}
+		for i, w := range part {
+			sum[i] += math.Float64frombits(w)
+		}
+	}
+	out := make([]uint64, len(sum))
+	for i, f := range sum {
+		out[i] = math.Float64bits(f)
+	}
+	if _, err := c.Broadcast(name+"/bcast", out); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// AllReduceMaxUint gathers a single uint64 from every machine and broadcasts
+// the maximum. Costs two rounds.
+func (c *Cluster) AllReduceMaxUint(name string, local func(x *Ctx) uint64) (uint64, error) {
+	parts, err := c.Gather(name+"/gather", func(x *Ctx) []uint64 {
+		return []uint64{local(x)}
+	})
+	if err != nil {
+		return 0, err
+	}
+	var best uint64
+	for _, part := range parts {
+		for _, w := range part {
+			if w > best {
+				best = w
+			}
+		}
+	}
+	if _, err := c.Broadcast(name+"/bcast", []uint64{best}); err != nil {
+		return 0, err
+	}
+	return best, nil
+}

@@ -1,0 +1,116 @@
+package mpc
+
+import (
+	"testing"
+)
+
+func newTestCluster(t *testing.T, machines, n int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{Machines: machines}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGather(t *testing.T) {
+	c := newTestCluster(t, 5, 50)
+	parts, err := c.Gather("g", func(x *Ctx) []uint64 {
+		return []uint64{uint64(x.Machine), uint64(x.Hi - x.Lo)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for m, part := range parts {
+		if len(part) != 2 || part[0] != uint64(m) {
+			t.Fatalf("machine %d part = %v", m, part)
+		}
+		total += int(part[1])
+	}
+	if total != 50 {
+		t.Fatalf("ranges gathered %d", total)
+	}
+	if c.Stats().Rounds != 1 {
+		t.Fatalf("gather cost %d rounds", c.Stats().Rounds)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	c := newTestCluster(t, 4, 16)
+	payload := []uint64{3, 1, 4}
+	got, err := c.Broadcast("b", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 4 {
+		t.Fatalf("broadcast returned %v", got)
+	}
+	st := c.Stats()
+	if st.Rounds != 1 {
+		t.Fatalf("broadcast cost %d rounds", st.Rounds)
+	}
+	if st.Words != int64(3*(c.Machines()-1)) {
+		t.Fatalf("broadcast words = %d", st.Words)
+	}
+}
+
+func TestAllReduceSumUint(t *testing.T) {
+	c := newTestCluster(t, 6, 60)
+	sum, err := c.AllReduceSumUint("s", func(x *Ctx) []uint64 {
+		return []uint64{uint64(x.Hi - x.Lo), 1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[0] != 60 || sum[1] != 6 {
+		t.Fatalf("sum = %v", sum)
+	}
+	if c.Stats().Rounds != 2 {
+		t.Fatalf("allreduce cost %d rounds, want 2", c.Stats().Rounds)
+	}
+}
+
+func TestAllReduceSumFloat(t *testing.T) {
+	c := newTestCluster(t, 3, 9)
+	sum, err := c.AllReduceSumFloat("f", func(x *Ctx) []float64 {
+		return []float64{0.5, float64(x.Machine)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[0] != 1.5 || sum[1] != 3 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestAllReduceMaxUint(t *testing.T) {
+	c := newTestCluster(t, 5, 25)
+	maxVal, err := c.AllReduceMaxUint("m", func(x *Ctx) uint64 {
+		return uint64(x.Machine * 7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxVal != 28 {
+		t.Fatalf("max = %d", maxVal)
+	}
+}
+
+func TestAllReduceLengthMismatch(t *testing.T) {
+	c := newTestCluster(t, 3, 9)
+	_, err := c.AllReduceSumUint("bad", func(x *Ctx) []uint64 {
+		return make([]uint64, x.Machine+1)
+	})
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSingleMachineCollectives(t *testing.T) {
+	c := newTestCluster(t, 1, 10)
+	sum, err := c.AllReduceSumUint("s", func(x *Ctx) []uint64 { return []uint64{42} })
+	if err != nil || sum[0] != 42 {
+		t.Fatalf("single machine: %v %v", sum, err)
+	}
+}

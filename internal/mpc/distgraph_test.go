@@ -1,0 +1,188 @@
+package mpc
+
+import (
+	"testing"
+
+	"github.com/rulingset/mprs/internal/bitset"
+	"github.com/rulingset/mprs/internal/graph"
+)
+
+// testGraph: 0-1, 1-2, 2-3, 3-4, 0-4 (5-cycle) plus chord 1-3.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.New(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 0, V: 4}, {U: 1, V: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func distTestGraph(t *testing.T, machines int) *DistGraph {
+	t.Helper()
+	g := testGraph(t)
+	c, err := NewCluster(Config{Machines: machines}, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Distribute(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDistributeChargesResidentMemory(t *testing.T) {
+	d := distTestGraph(t, 2)
+	c := d.Cluster()
+	// Total resident across machines: sum over v of (2 + deg(v)) = 2n + 2m.
+	total := 0
+	for m := 0; m < c.Machines(); m++ {
+		total += c.Resident(m)
+	}
+	if want := 2*5 + 2*6; total != want {
+		t.Fatalf("resident total = %d, want %d", total, want)
+	}
+}
+
+func TestDistributeOrderMismatch(t *testing.T) {
+	g := testGraph(t)
+	c, err := NewCluster(Config{Machines: 2}, g.N()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Distribute(c, g); err == nil {
+		t.Fatal("order mismatch accepted")
+	}
+}
+
+func TestNotifyNeighbors(t *testing.T) {
+	for _, machines := range []int{1, 2, 5} {
+		d := distTestGraph(t, machines)
+		marked := bitset.New(5)
+		marked.Add(1)
+		touched, err := d.NotifyNeighbors("n", marked, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int{0, 2, 3} // neighbors of 1
+		if touched.Count() != len(want) {
+			t.Fatalf("machines=%d: touched %v", machines, touched.Elements())
+		}
+		for _, v := range want {
+			if !touched.Contains(v) {
+				t.Fatalf("machines=%d: %d not touched", machines, v)
+			}
+		}
+	}
+}
+
+func TestNotifyNeighborsRestricted(t *testing.T) {
+	d := distTestGraph(t, 3)
+	marked := bitset.New(5)
+	marked.Add(1)
+	restrict := bitset.New(5)
+	restrict.Add(2) // only 2 may be notified
+	touched, err := d.NotifyNeighbors("n", marked, restrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched.Count() != 1 || !touched.Contains(2) {
+		t.Fatalf("restricted touched = %v", touched.Elements())
+	}
+}
+
+func TestExchangeActive(t *testing.T) {
+	for _, machines := range []int{1, 3, 5} {
+		d := distTestGraph(t, machines)
+		active := bitset.New(5)
+		for _, v := range []int{0, 1, 3} {
+			active.Add(v)
+		}
+		nbrs, _, err := d.ExchangeActive("x", active, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Active subgraph on {0,1,3}: edges 0-1, 1-3.
+		wantNbrs := map[int][]int32{0: {1}, 1: {0, 3}, 3: {1}}
+		for v, want := range wantNbrs {
+			got := nbrs[v]
+			if len(got) != len(want) {
+				t.Fatalf("machines=%d: nbrs[%d] = %v, want %v", machines, v, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("machines=%d: nbrs[%d] = %v, want %v (order matters)", machines, v, got, want)
+				}
+			}
+		}
+		// Inactive vertices have no view.
+		if len(nbrs[2]) != 0 || len(nbrs[4]) != 0 {
+			t.Fatalf("machines=%d: inactive vertices got views", machines)
+		}
+	}
+}
+
+func TestExchangeActiveWithValues(t *testing.T) {
+	d := distTestGraph(t, 2)
+	active := bitset.New(5)
+	active.Fill()
+	vals := []int32{10, 11, 12, 13, 14}
+	nbrs, nbrVals, err := d.ExchangeActive("x", active, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if len(nbrs[v]) != len(nbrVals[v]) {
+			t.Fatalf("misaligned values at %d", v)
+		}
+		for i, u := range nbrs[v] {
+			if nbrVals[v][i] != vals[u] {
+				t.Fatalf("value for neighbor %d of %d = %d, want %d", u, v, nbrVals[v][i], vals[u])
+			}
+		}
+	}
+}
+
+func TestGatherSubgraph(t *testing.T) {
+	for _, machines := range []int{1, 2, 4} {
+		d := distTestGraph(t, machines)
+		include := bitset.New(5)
+		for _, v := range []int{1, 2, 3} {
+			include.Add(v)
+		}
+		sub, toOrig, err := d.GatherSubgraph("g", include)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.N() != 3 {
+			t.Fatalf("machines=%d: sub n = %d", machines, sub.N())
+		}
+		// Induced edges on {1,2,3}: 1-2, 2-3, 1-3.
+		if sub.M() != 3 {
+			t.Fatalf("machines=%d: sub m = %d, want 3", machines, sub.M())
+		}
+		for i, orig := range toOrig {
+			if orig != int32(i+1) {
+				t.Fatalf("machines=%d: toOrig = %v", machines, toOrig)
+			}
+		}
+	}
+}
+
+func TestGatherSubgraphChargesCoordinator(t *testing.T) {
+	d := distTestGraph(t, 2)
+	c := d.Cluster()
+	before := c.Resident(0)
+	include := bitset.New(5)
+	include.Fill()
+	sub, _, err := d.GatherSubgraph("g", include)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := before + sub.N() + 2*sub.M()
+	if c.Resident(0) != want {
+		t.Fatalf("coordinator resident = %d, want %d", c.Resident(0), want)
+	}
+}

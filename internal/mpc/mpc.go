@@ -1,0 +1,398 @@
+// Package mpc simulates the Massively Parallel Computation (MPC) model: M
+// machines with S words of local memory each, communicating in synchronous
+// rounds in which every machine sends and receives at most S words.
+//
+// The simulator is the substrate the reproduced paper assumes but that has no
+// open-source implementation: it executes machine-local computation in
+// parallel goroutines, routes messages between rounds, and — crucially for a
+// theory reproduction — meters the quantities the theorems bound: rounds,
+// words sent/received per machine per round, and peak resident memory per
+// machine, checking them against the regime's budget S.
+//
+// Execution is bit-for-bit deterministic regardless of goroutine scheduling:
+// inboxes are ordered by sender, and senders emit messages sequentially.
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Regime selects how the per-machine memory budget S is derived from the
+// input size.
+type Regime int
+
+const (
+	// RegimeLinear models near-linear memory: S = Θ(n) words (strongest
+	// machines; equivalent in power to the congested clique). This is the
+	// regime of the paper's headline deterministic 2-ruling set result.
+	RegimeLinear Regime = iota + 1
+	// RegimeSublinear models strictly sublinear memory: S = ⌈n^ε⌉ words.
+	RegimeSublinear
+	// RegimeExplicit uses Config.MemoryWords verbatim.
+	RegimeExplicit
+)
+
+// String implements fmt.Stringer.
+func (r Regime) String() string {
+	switch r {
+	case RegimeLinear:
+		return "linear"
+	case RegimeSublinear:
+		return "sublinear"
+	case RegimeExplicit:
+		return "explicit"
+	default:
+		return fmt.Sprintf("regime(%d)", int(r))
+	}
+}
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Machines is the number of machines M (>= 1).
+	Machines int
+	// Regime selects the memory budget rule; default RegimeLinear.
+	Regime Regime
+	// Epsilon is the sublinear-memory exponent (0 < ε < 1); only used by
+	// RegimeSublinear. Default 0.5.
+	Epsilon float64
+	// MemoryWords is the explicit budget S for RegimeExplicit.
+	MemoryWords int
+	// LinearSlack multiplies the linear-regime budget (S = slack·n); default 4,
+	// standing in for the Θ̃(n) constants/log factors.
+	LinearSlack int
+	// Strict makes budget violations errors instead of recorded statistics.
+	Strict bool
+}
+
+// Violation records a budget breach observed during the simulation.
+type Violation struct {
+	Round   int
+	Machine int
+	Kind    string // "send", "recv", "resident"
+	Words   int
+	Budget  int
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("round %d machine %d: %s %d words > budget %d",
+		v.Round, v.Machine, v.Kind, v.Words, v.Budget)
+}
+
+// RoundInfo summarizes one communication round.
+type RoundInfo struct {
+	Name     string
+	MaxSent  int // max words sent by any machine this round
+	MaxRecv  int // max words received by any machine this round
+	Messages int
+	Words    int
+}
+
+// Stats aggregates the model-relevant measurements of a simulation.
+type Stats struct {
+	Rounds       int
+	Messages     int64
+	Words        int64
+	PeakSent     int // max words sent by one machine in one round
+	PeakRecv     int
+	PeakResident int
+	Violations   []Violation
+	Log          []RoundInfo
+}
+
+// ErrBudget is wrapped by errors returned in Strict mode when a budget is
+// breached.
+var ErrBudget = errors.New("mpc: memory/bandwidth budget exceeded")
+
+// Message is a payload of machine words received from Src.
+type Message struct {
+	Src     int
+	Payload []uint64
+}
+
+// Cluster is a simulated MPC cluster over a ground set of n items
+// (vertices), block-partitioned across machines.
+type Cluster struct {
+	cfg      Config
+	n        int
+	budget   int
+	resident []int
+	stats    Stats
+	inboxes  [][]Message
+	mu       sync.Mutex // guards outbox appends during a step
+	outboxes [][]Message
+}
+
+// NewCluster creates a cluster for a ground set of n items. The memory
+// budget S is derived from cfg.Regime and n.
+func NewCluster(cfg Config, n int) (*Cluster, error) {
+	if cfg.Machines < 1 {
+		return nil, fmt.Errorf("mpc: machines %d < 1", cfg.Machines)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mpc: negative ground set %d", n)
+	}
+	if cfg.Regime == 0 {
+		cfg.Regime = RegimeLinear
+	}
+	if cfg.LinearSlack <= 0 {
+		cfg.LinearSlack = 4
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 0.5
+	}
+	var budget int
+	switch cfg.Regime {
+	case RegimeLinear:
+		budget = cfg.LinearSlack * maxInt(n, 1)
+	case RegimeSublinear:
+		if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+			return nil, fmt.Errorf("mpc: sublinear exponent %v out of (0,1)", cfg.Epsilon)
+		}
+		budget = int(math.Ceil(math.Pow(float64(maxInt(n, 2)), cfg.Epsilon)))
+	case RegimeExplicit:
+		if cfg.MemoryWords < 1 {
+			return nil, fmt.Errorf("mpc: explicit budget %d < 1", cfg.MemoryWords)
+		}
+		budget = cfg.MemoryWords
+	default:
+		return nil, fmt.Errorf("mpc: unknown regime %v", cfg.Regime)
+	}
+	return &Cluster{
+		cfg:      cfg,
+		n:        n,
+		budget:   budget,
+		resident: make([]int, cfg.Machines),
+		inboxes:  make([][]Message, cfg.Machines),
+		outboxes: make([][]Message, cfg.Machines),
+	}, nil
+}
+
+// Machines returns the machine count M.
+func (c *Cluster) Machines() int { return c.cfg.Machines }
+
+// N returns the ground-set size the cluster was built for.
+func (c *Cluster) N() int { return c.n }
+
+// Budget returns the per-machine memory/bandwidth budget S in words.
+func (c *Cluster) Budget() int { return c.budget }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Owner returns the machine owning item v under the block partition.
+func (c *Cluster) Owner(v int) int {
+	if c.n == 0 {
+		return 0
+	}
+	per := (c.n + c.cfg.Machines - 1) / c.cfg.Machines
+	m := v / per
+	if m >= c.cfg.Machines {
+		m = c.cfg.Machines - 1
+	}
+	return m
+}
+
+// Range returns the half-open item range [lo, hi) owned by machine m.
+func (c *Cluster) Range(m int) (lo, hi int) {
+	per := (c.n + c.cfg.Machines - 1) / c.cfg.Machines
+	lo = m * per
+	hi = lo + per
+	if lo > c.n {
+		lo = c.n
+	}
+	if hi > c.n {
+		hi = c.n
+	}
+	return lo, hi
+}
+
+// SetResident records machine m's current resident memory in words; the
+// per-machine peak is tracked and checked against the budget.
+func (c *Cluster) SetResident(m, words int) error {
+	c.resident[m] = words
+	if words > c.stats.PeakResident {
+		c.stats.PeakResident = words
+	}
+	if words > c.budget {
+		return c.violate(Violation{
+			Round:   c.stats.Rounds,
+			Machine: m,
+			Kind:    "resident",
+			Words:   words,
+			Budget:  c.budget,
+		})
+	}
+	return nil
+}
+
+// AddResident adjusts machine m's resident memory by delta words.
+func (c *Cluster) AddResident(m, delta int) error {
+	return c.SetResident(m, c.resident[m]+delta)
+}
+
+// Resident returns machine m's currently recorded resident memory.
+func (c *Cluster) Resident(m int) int { return c.resident[m] }
+
+func (c *Cluster) violate(v Violation) error {
+	c.stats.Violations = append(c.stats.Violations, v)
+	if c.cfg.Strict {
+		return fmt.Errorf("%w: %s", ErrBudget, v)
+	}
+	return nil
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cluster) Stats() Stats {
+	out := c.stats
+	out.Violations = append([]Violation(nil), c.stats.Violations...)
+	out.Log = append([]RoundInfo(nil), c.stats.Log...)
+	return out
+}
+
+// ResetStats clears accumulated statistics (but not machine state).
+func (c *Cluster) ResetStats() {
+	c.stats = Stats{}
+}
+
+// ChargeRounds accounts for k rounds of a step that is modeled analytically
+// rather than simulated message-by-message (e.g. standard graph
+// exponentiation). It adds k rounds to the statistics under the given name
+// with no bandwidth attributed.
+func (c *Cluster) ChargeRounds(name string, k int) {
+	for i := 0; i < k; i++ {
+		c.stats.Rounds++
+		c.stats.Log = append(c.stats.Log, RoundInfo{Name: name})
+	}
+}
+
+// MergeStats accumulates b into a: rounds, traffic and violations add up,
+// peaks take the maximum. Used when an algorithm chains sub-instances on
+// fresh clusters (e.g. recursive β-ruling levels).
+func MergeStats(a, b Stats) Stats {
+	a.Rounds += b.Rounds
+	a.Messages += b.Messages
+	a.Words += b.Words
+	a.PeakSent = maxInt(a.PeakSent, b.PeakSent)
+	a.PeakRecv = maxInt(a.PeakRecv, b.PeakRecv)
+	a.PeakResident = maxInt(a.PeakResident, b.PeakResident)
+	a.Violations = append(a.Violations, b.Violations...)
+	a.Log = append(a.Log, b.Log...)
+	return a
+}
+
+// Ctx is the per-machine view inside one Step: the machine id, its item
+// range, the messages delivered at the end of the previous step, and a Send
+// primitive for the current step.
+type Ctx struct {
+	Machine int
+	Lo, Hi  int
+
+	c     *Cluster
+	inbox []Message
+	sent  int
+}
+
+// Inbox returns the messages delivered to this machine at the end of the
+// previous step, ordered by sender id (and send order within a sender).
+func (x *Ctx) Inbox() []Message { return x.inbox }
+
+// Send queues a message of machine words to machine dst, delivered at the
+// end of the step. The payload is copied.
+func (x *Ctx) Send(dst int, payload ...uint64) {
+	cp := make([]uint64, len(payload))
+	copy(cp, payload)
+	x.SendOwned(dst, cp)
+}
+
+// SendOwned queues payload without copying; the caller must not reuse it.
+func (x *Ctx) SendOwned(dst int, payload []uint64) {
+	x.sent += len(payload)
+	x.c.mu.Lock()
+	x.c.outboxes[dst] = append(x.c.outboxes[dst], Message{Src: x.Machine, Payload: payload})
+	x.c.mu.Unlock()
+}
+
+// Step executes one synchronous round: f runs concurrently on every machine
+// (reading its inbox from the previous step and sending messages), then all
+// messages are delivered. name labels the round in the trace log.
+func (c *Cluster) Step(name string, f func(x *Ctx)) error {
+	M := c.cfg.Machines
+	ctxs := make([]*Ctx, M)
+	var wg sync.WaitGroup
+	for m := 0; m < M; m++ {
+		lo, hi := c.Range(m)
+		ctxs[m] = &Ctx{Machine: m, Lo: lo, Hi: hi, c: c, inbox: c.inboxes[m]}
+		wg.Add(1)
+		go func(x *Ctx) {
+			defer wg.Done()
+			f(x)
+		}(ctxs[m])
+	}
+	wg.Wait()
+
+	c.stats.Rounds++
+	info := RoundInfo{Name: name}
+	var firstErr error
+	for m := 0; m < M; m++ {
+		sent := ctxs[m].sent
+		if sent > info.MaxSent {
+			info.MaxSent = sent
+		}
+		if sent > c.stats.PeakSent {
+			c.stats.PeakSent = sent
+		}
+		if sent > c.budget {
+			if err := c.violate(Violation{Round: c.stats.Rounds, Machine: m, Kind: "send", Words: sent, Budget: c.budget}); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	// Deliver: outboxes were appended under a mutex in nondeterministic
+	// order; restore determinism by stable-sorting on sender (messages from
+	// one sender were appended in its sequential send order, and sorting
+	// stability preserves that order).
+	for m := 0; m < M; m++ {
+		box := c.outboxes[m]
+		stableSortBySrc(box)
+		recv := 0
+		for _, msg := range box {
+			recv += len(msg.Payload)
+			info.Messages++
+			info.Words += len(msg.Payload)
+		}
+		if recv > info.MaxRecv {
+			info.MaxRecv = recv
+		}
+		if recv > c.stats.PeakRecv {
+			c.stats.PeakRecv = recv
+		}
+		if recv > c.budget {
+			if err := c.violate(Violation{Round: c.stats.Rounds, Machine: m, Kind: "recv", Words: recv, Budget: c.budget}); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		c.inboxes[m] = box
+		c.outboxes[m] = nil
+	}
+	c.stats.Messages += int64(info.Messages)
+	c.stats.Words += int64(info.Words)
+	c.stats.Log = append(c.stats.Log, info)
+	return firstErr
+}
+
+// stableSortBySrc sorts messages by sender id, preserving per-sender order.
+func stableSortBySrc(box []Message) {
+	sort.SliceStable(box, func(i, j int) bool { return box[i].Src < box[j].Src })
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package mpc
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rulingset/mprs/internal/graph"
+)
+
+func randomTestGraph(t *testing.T, seed int64, n int, p float64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, graph.Edge{U: int32(u), V: int32(v)})
+			}
+		}
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestDistributedPowerMatchesCentralized: the message-exchange power
+// computation must produce exactly the BFS-defined distance closure, for
+// every exponent and machine count.
+func TestDistributedPowerMatchesCentralized(t *testing.T) {
+	for trial := int64(0); trial < 5; trial++ {
+		g := randomTestGraph(t, trial, 25, 0.12)
+		for _, k := range []int{1, 2, 3, 5} {
+			want, err := g.Power(k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, machines := range []int{1, 3, 7} {
+				c, err := NewCluster(Config{Machines: machines}, g.N())
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, err := Distribute(c, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := d.Power(k, 0)
+				if err != nil {
+					t.Fatalf("trial %d k=%d machines=%d: %v", trial, k, machines, err)
+				}
+				if got.N() != want.N() || got.M() != want.M() {
+					t.Fatalf("trial %d k=%d machines=%d: got n=%d m=%d, want n=%d m=%d",
+						trial, k, machines, got.N(), got.M(), want.N(), want.M())
+				}
+				for v := 0; v < g.N(); v++ {
+					gw, ww := got.Neighbors(v), want.Neighbors(v)
+					if len(gw) != len(ww) {
+						t.Fatalf("trial %d k=%d machines=%d: adjacency of %d differs", trial, k, machines, v)
+					}
+					for i := range gw {
+						if gw[i] != ww[i] {
+							t.Fatalf("trial %d k=%d machines=%d: adjacency of %d differs", trial, k, machines, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedPowerCostsRounds(t *testing.T) {
+	g := randomTestGraph(t, 9, 30, 0.1)
+	c, err := NewCluster(Config{Machines: 4}, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Distribute(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Power(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Rounds == 0 || st.Words == 0 {
+		t.Fatalf("exponentiation cost nothing: %+v", st)
+	}
+	// k=3 → bits 11: composes for bit0 (acc∘base), base², bit1 (acc∘base²):
+	// three composes of two rounds each, but the first is the identity
+	// shortcut (free). So at most 6, at least 4 rounds.
+	if st.Rounds < 4 || st.Rounds > 6 {
+		t.Fatalf("k=3 used %d rounds, want 4..6", st.Rounds)
+	}
+}
+
+func TestDistributedPowerEdgeBudget(t *testing.T) {
+	// A star's square is a clique on the leaves: n²/2 edges blow a small
+	// budget.
+	var edges []graph.Edge
+	for v := 1; v < 40; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: int32(v)})
+	}
+	g, err := graph.New(40, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(Config{Machines: 2}, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Distribute(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Power(2, 50); err == nil {
+		t.Fatal("edge budget not enforced")
+	}
+}
+
+func TestDistributedPowerRejectsBadExponent(t *testing.T) {
+	g := randomTestGraph(t, 1, 5, 0.5)
+	c, err := NewCluster(Config{Machines: 2}, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Distribute(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Power(0, 0); err == nil {
+		t.Fatal("exponent 0 accepted")
+	}
+}

@@ -1,0 +1,447 @@
+package rulingset
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/rulingset/mprs/internal/gen"
+	"github.com/rulingset/mprs/internal/graph"
+	"github.com/rulingset/mprs/internal/mpc"
+)
+
+// testWorkloads are the graph families every algorithm is validated on.
+func testWorkloads(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	return map[string]*graph.Graph{
+		"gnp-sparse":  gen.MustBuild("gnp:n=400,p=0.01", 1),
+		"gnp-dense":   gen.MustBuild("gnp:n=150,p=0.15", 2),
+		"powerlaw":    gen.MustBuild("powerlaw:n=400,gamma=2.5,avg=6", 3),
+		"rmat":        gen.MustBuild("rmat:scale=9,ef=6", 6),
+		"regular":     gen.MustBuild("regular:n=300,d=6", 4),
+		"grid":        gen.MustBuild("grid:rows=18,cols=18", 0),
+		"torus":       gen.MustBuild("grid:rows=12,cols=12,wrap=true", 0),
+		"tree":        gen.MustBuild("tree:n=400", 5),
+		"star":        gen.MustBuild("star:n=200", 0),
+		"complete":    gen.MustBuild("complete:n=60", 0),
+		"caterpillar": gen.MustBuild("caterpillar:spine=40,legs=6", 0),
+		"barbell":     gen.MustBuild("barbell:k=25,path=10", 0),
+		"path":        gen.MustBuild("path:n=300", 0),
+		"singleton":   gen.MustBuild("path:n=1", 0),
+		"edgeless":    graph.MustNew(50, nil),
+		"disconnected": func() *graph.Graph {
+			a := gen.MustBuild("complete:n=20", 0)
+			b := gen.MustBuild("path:n=30", 0)
+			u, err := gen.DisjointUnion(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return u
+		}(),
+	}
+}
+
+type algo struct {
+	name string
+	beta int
+	run  func(*graph.Graph, Options) (Result, error)
+}
+
+func allAlgorithms() []algo {
+	return []algo{
+		{name: "LubyMIS", beta: 1, run: LubyMIS},
+		{name: "DetLubyMIS", beta: 1, run: DetLubyMIS},
+		{name: "RandRuling2", beta: 2, run: RandRuling2},
+		{name: "DetRuling2", beta: 2, run: DetRuling2},
+		{name: "RandRulingBeta3", beta: 3, run: func(g *graph.Graph, o Options) (Result, error) { return RandRulingBeta(g, 3, o) }},
+		{name: "DetRulingBeta3", beta: 3, run: func(g *graph.Graph, o Options) (Result, error) { return DetRulingBeta(g, 3, o) }},
+		{name: "DetRulingBeta4", beta: 4, run: func(g *graph.Graph, o Options) (Result, error) { return DetRulingBeta(g, 4, o) }},
+	}
+}
+
+// TestAlgorithmsProduceValidRulingSets is the central correctness matrix:
+// every algorithm on every workload family must emit an independent set with
+// at most the advertised domination radius.
+func TestAlgorithmsProduceValidRulingSets(t *testing.T) {
+	for wname, g := range testWorkloads(t) {
+		for _, a := range allAlgorithms() {
+			t.Run(wname+"/"+a.name, func(t *testing.T) {
+				res, err := a.run(g, Options{Seed: 42})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Beta != a.beta {
+					t.Fatalf("advertised beta %d, want %d", res.Beta, a.beta)
+				}
+				if err := Check(g, res); err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats.Rounds == 0 && g.N() > 0 {
+					t.Fatal("no rounds recorded")
+				}
+			})
+		}
+	}
+}
+
+func TestEmptyGraphAllAlgorithms(t *testing.T) {
+	g := graph.MustNew(0, nil)
+	for _, a := range allAlgorithms() {
+		res, err := a.run(g, Options{})
+		if err != nil {
+			t.Fatalf("%s on empty graph: %v", a.name, err)
+		}
+		if len(res.Members) != 0 {
+			t.Fatalf("%s on empty graph returned members", a.name)
+		}
+	}
+}
+
+// TestDeterministicAlgorithmsAreDeterministic: repeated runs, different
+// Seed values, and different machine counts must all give identical outputs.
+func TestDeterministicAlgorithmsAreDeterministic(t *testing.T) {
+	g := gen.MustBuild("gnp:n=300,p=0.02", 9)
+	algos := []algo{
+		{name: "DetRuling2", run: DetRuling2},
+		{name: "DetLubyMIS", run: DetLubyMIS},
+		{name: "DetRulingBeta3", run: func(g *graph.Graph, o Options) (Result, error) { return DetRulingBeta(g, 3, o) }},
+	}
+	for _, a := range algos {
+		t.Run(a.name, func(t *testing.T) {
+			base, err := a.run(g, Options{Machines: 4, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			variants := []Options{
+				{Machines: 4, Seed: 999}, // seed must be irrelevant
+				{Machines: 1, Seed: 1},   // machine count must be irrelevant
+				{Machines: 13, Seed: 77}, // both
+				{Machines: 4, Seed: 1},   // plain repetition
+			}
+			for i, o := range variants {
+				res, err := a.run(g, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res.Members, base.Members) {
+					t.Fatalf("variant %d (%+v) changed the output: %d vs %d members",
+						i, o, len(res.Members), len(base.Members))
+				}
+			}
+		})
+	}
+}
+
+func TestRandomizedAlgorithmsReproducibleBySeed(t *testing.T) {
+	g := gen.MustBuild("gnp:n=300,p=0.02", 9)
+	for _, a := range []algo{{name: "LubyMIS", run: LubyMIS}, {name: "RandRuling2", run: RandRuling2}} {
+		t.Run(a.name, func(t *testing.T) {
+			r1, err := a.run(g, Options{Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := a.run(g, Options{Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1.Members, r2.Members) {
+				t.Fatal("same seed produced different outputs")
+			}
+		})
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	tests := []struct {
+		delta int
+		want  []int
+	}{
+		{delta: 0, want: []int{1}},
+		{delta: 1, want: []int{1}},
+		{delta: 2, want: []int{1}},
+		{delta: 4, want: []int{2, 1}},
+		{delta: 20, want: []int{4, 2, 1}},
+		{delta: 1000, want: []int{9, 5, 3, 2, 1}},
+	}
+	for _, tt := range tests {
+		got := schedule(tt.delta)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("schedule(%d) = %v, want %v", tt.delta, got, tt.want)
+		}
+	}
+	// Shape: schedule length is Θ(log log Δ).
+	for _, delta := range []int{10, 100, 10000, 1 << 20} {
+		got := len(schedule(delta))
+		loglog := math.Log2(math.Log2(float64(delta)))
+		if float64(got) > 2*loglog+3 {
+			t.Errorf("schedule(%d) has %d phases, too many for log log Δ = %v", delta, got, loglog)
+		}
+	}
+}
+
+func TestSplitSchedule(t *testing.T) {
+	tests := []struct {
+		js    []int
+		parts int
+		want  [][]int
+	}{
+		{js: []int{5, 3, 2, 1}, parts: 2, want: [][]int{{5, 3}, {2, 1}}},
+		{js: []int{5, 3, 2}, parts: 2, want: [][]int{{5, 3}, {2}}},
+		{js: []int{1}, parts: 3, want: [][]int{{1}, {}, {}}},
+		{js: []int{4, 3, 2, 1}, parts: 1, want: [][]int{{4, 3, 2, 1}}},
+	}
+	for _, tt := range tests {
+		got := splitSchedule(tt.js, tt.parts)
+		if len(got) != len(tt.want) {
+			t.Fatalf("splitSchedule(%v,%d) = %v", tt.js, tt.parts, got)
+		}
+		for i := range got {
+			if len(got[i]) != len(tt.want[i]) {
+				t.Fatalf("splitSchedule(%v,%d) = %v, want %v", tt.js, tt.parts, got, tt.want)
+			}
+			for k := range got[i] {
+				if got[i][k] != tt.want[i][k] {
+					t.Fatalf("splitSchedule(%v,%d) = %v, want %v", tt.js, tt.parts, got, tt.want)
+				}
+			}
+		}
+	}
+}
+
+// TestDerandomizationGuarantee: every deterministic phase's realized
+// estimator value must be on the good side of its initial expectation —
+// the method of conditional expectations' defining property (experiment T6).
+func TestDerandomizationGuarantee(t *testing.T) {
+	g := gen.MustBuild("gnp:n=500,p=0.02", 3)
+	const tol = 1e-6
+
+	res, err := DetRuling2(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range res.Phases {
+		if ps.EstimatorFinal > ps.EstimatorInitial+tol {
+			t.Errorf("sparsify phase %d: realized %v > expectation %v",
+				ps.Phase, ps.EstimatorFinal, ps.EstimatorInitial)
+		}
+	}
+
+	res, err = DetLubyMIS(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range res.Phases {
+		if ps.SeedSteps == 0 {
+			continue // iteration without marking (only isolated joiners)
+		}
+		if ps.EstimatorFinal < ps.EstimatorInitial-tol {
+			t.Errorf("luby iteration %d: realized %v < expectation %v",
+				ps.Phase, ps.EstimatorFinal, ps.EstimatorInitial)
+		}
+	}
+}
+
+// TestPhaseCountsFollowTheory: the sparsify loop runs |schedule(Δ)| phases
+// (log log Δ shape), while Luby needs Ω(that) more iterations on the same
+// graph; and active counts decrease monotonically.
+func TestPhaseCountsFollowTheory(t *testing.T) {
+	g := gen.MustBuild("gnp:n=800,p=0.02", 4)
+	wantPhases := len(schedule(g.MaxDegree()))
+
+	det, err := DetRuling2(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Phases) > wantPhases {
+		t.Errorf("DetRuling2 used %d phases, schedule allows %d", len(det.Phases), wantPhases)
+	}
+	prev := g.N() + 1
+	for _, ps := range det.Phases {
+		if ps.ActiveAfter > ps.ActiveBefore {
+			t.Errorf("phase %d: active grew %d -> %d", ps.Phase, ps.ActiveBefore, ps.ActiveAfter)
+		}
+		if ps.ActiveBefore > prev {
+			t.Errorf("phase %d: ActiveBefore inconsistent", ps.Phase)
+		}
+		prev = ps.ActiveAfter
+	}
+
+	luby, err := LubyMIS(g, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(luby.Phases) <= len(det.Phases) {
+		t.Errorf("Luby (%d iterations) should need more phases than sample-and-sparsify (%d) on this graph",
+			len(luby.Phases), len(det.Phases))
+	}
+}
+
+// TestResidualInstanceSmall: the residual graph shipped to one machine must
+// be far smaller than the input (the sparsification contract).
+func TestResidualInstanceSmall(t *testing.T) {
+	g := gen.MustBuild("gnp:n=1000,p=0.02", 5)
+	for _, a := range []algo{{name: "RandRuling2", run: RandRuling2}, {name: "DetRuling2", run: DetRuling2}} {
+		res, err := a.run(g, Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ResidualM > 4*g.N() {
+			t.Errorf("%s: residual has %d edges on n=%d input (m=%d) — sparsification failed",
+				a.name, res.ResidualM, g.N(), g.M())
+		}
+	}
+}
+
+func TestBetaParameterValidation(t *testing.T) {
+	g := gen.MustBuild("path:n=10", 0)
+	if _, err := DetRulingBeta(g, 0, Options{}); err == nil {
+		t.Error("beta 0 accepted")
+	}
+	if _, err := RandRulingBeta(g, -1, Options{}); err == nil {
+		t.Error("negative beta accepted")
+	}
+}
+
+func TestBetaOneIsMIS(t *testing.T) {
+	g := gen.MustBuild("gnp:n=200,p=0.03", 6)
+	res, err := DetRulingBeta(g, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsRulingSet(g, res.Members, 1) {
+		t.Fatal("beta=1 did not produce an MIS")
+	}
+}
+
+func TestAlphaBeta(t *testing.T) {
+	g := gen.MustBuild("grid:rows=14,cols=14", 0)
+	for _, a := range []struct {
+		name string
+		run  func(*graph.Graph, int, int, Options) (Result, error)
+	}{
+		{name: "det", run: DetRulingAlphaBeta},
+		{name: "rand", run: RandRulingAlphaBeta},
+	} {
+		t.Run(a.name, func(t *testing.T) {
+			res, err := a.run(g, 3, 2, Options{Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Beta != 4 { // (alpha-1)*beta = 2*2
+				t.Fatalf("advertised radius %d, want 4", res.Beta)
+			}
+			if err := Check(g, res); err != nil {
+				t.Fatal(err)
+			}
+			// Pairwise distance >= alpha = 3 in g.
+			for i, u := range res.Members {
+				dist := g.BFSFrom([]int32{u})
+				for _, w := range res.Members[i+1:] {
+					if dist[w] >= 0 && dist[w] < 3 {
+						t.Fatalf("members %d and %d at distance %d < alpha", u, w, dist[w])
+					}
+				}
+			}
+		})
+	}
+	if _, err := DetRulingAlphaBeta(g, 1, 2, Options{}); err == nil {
+		t.Error("alpha 1 accepted")
+	}
+	if _, err := DetRulingAlphaBeta(g, 3, 0, Options{}); err == nil {
+		t.Error("beta 0 accepted")
+	}
+}
+
+// TestLinearRegimeNoViolations: on an appropriately sized instance, the
+// near-linear-memory regime must run every algorithm without any budget
+// violations (experiment T5's pass criterion).
+func TestLinearRegimeNoViolations(t *testing.T) {
+	g := gen.MustBuild("gnp:n=1200,p=0.005", 7)
+	for _, a := range allAlgorithms() {
+		t.Run(a.name, func(t *testing.T) {
+			res, err := a.run(g, Options{Machines: 4, Seed: 1, ChunkBits: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Stats.Violations) != 0 {
+				t.Fatalf("budget violations in linear regime: %v", res.Stats.Violations[0])
+			}
+		})
+	}
+}
+
+// TestSublinearRegimeFlagsResidualGather: with S = n^0.5, shipping the
+// residual instance to one machine must trip the memory accounting — the
+// model correctly distinguishes the regimes.
+func TestSublinearRegimeFlagsResidualGather(t *testing.T) {
+	g := gen.MustBuild("gnp:n=2000,p=0.004", 8)
+	res, err := RandRuling2(g, Options{Regime: mpc.RegimeSublinear, Epsilon: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Violations) == 0 {
+		t.Fatal("sublinear regime accepted a linear-memory algorithm without violations")
+	}
+}
+
+func TestStrictModeSurfacesError(t *testing.T) {
+	g := gen.MustBuild("gnp:n=2000,p=0.004", 8)
+	_, err := RandRuling2(g, Options{Regime: mpc.RegimeSublinear, Epsilon: 0.5, Strict: true, Seed: 1})
+	if err == nil {
+		t.Fatal("strict sublinear run must fail")
+	}
+}
+
+// TestQualityComparableToGreedy: ruling-set sizes should be within a small
+// factor of the greedy MIS size (they solve a relaxation, not a harder
+// problem).
+func TestQualityComparableToGreedy(t *testing.T) {
+	g := gen.MustBuild("gnp:n=600,p=0.02", 10)
+	oracle := len(GreedyMIS(g))
+	for _, a := range allAlgorithms() {
+		res, err := a.run(g, Options{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Members) > 2*oracle {
+			t.Errorf("%s produced %d members vs greedy MIS %d", a.name, len(res.Members), oracle)
+		}
+		if len(res.Members) == 0 {
+			t.Errorf("%s produced empty output", a.name)
+		}
+	}
+}
+
+// TestChunkBitsAffectRoundsNotOutput: for deterministic algorithms the chunk
+// width is a rounds/bandwidth tradeoff only — outputs may differ between
+// chunk widths (different seeds can be chosen), but each must be valid, and
+// seed-search steps must shrink as z grows (experiment T3's shape).
+func TestChunkBitsAffectRounds(t *testing.T) {
+	g := gen.MustBuild("gnp:n=400,p=0.02", 11)
+	var prevSteps int
+	for i, z := range []int{1, 4, 12} {
+		res, err := DetRuling2(g, Options{ChunkBits: z})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(g, res); err != nil {
+			t.Fatalf("z=%d: %v", z, err)
+		}
+		steps := 0
+		for _, ps := range res.Phases {
+			steps += ps.SeedSteps
+		}
+		if i > 0 && steps >= prevSteps {
+			t.Errorf("z=%d: %d seed steps, not fewer than %d at smaller z", z, steps, prevSteps)
+		}
+		prevSteps = steps
+	}
+}
+
+func TestMaxPhasesCap(t *testing.T) {
+	g := gen.MustBuild("gnp:n=300,p=0.05", 12)
+	if _, err := DetRuling2(g, Options{MaxPhases: 1}); err == nil {
+		// Schedule for this graph has >1 phase; the cap must trigger.
+		t.Skip("graph needed fewer phases than expected; not an error")
+	}
+}

@@ -1,0 +1,83 @@
+package rulingset
+
+import (
+	"testing"
+
+	"github.com/rulingset/mprs/internal/gen"
+	"github.com/rulingset/mprs/internal/graph"
+	"github.com/rulingset/mprs/internal/mpc"
+)
+
+func distFor(t *testing.T, g *graph.Graph, machines int) *mpc.DistGraph {
+	t.Helper()
+	c, err := mpc.NewCluster(mpc.Config{Machines: machines}, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mpc.Distribute(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestVerifyDistributedAcceptsValidSets(t *testing.T) {
+	g := gen.MustBuild("gnp:n=500,p=0.02", 19)
+	res, err := DetRuling2(g, Options{ChunkBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, machines := range []int{1, 4, 9} {
+		d := distFor(t, g, machines)
+		rounds, err := VerifyDistributed(d, res.Members, 2)
+		if err != nil {
+			t.Fatalf("machines=%d: %v", machines, err)
+		}
+		// 1 independence + ≤2 hops + 2 aggregation.
+		if rounds > 1+2+2 {
+			t.Fatalf("machines=%d: verification used %d rounds", machines, rounds)
+		}
+	}
+}
+
+func TestVerifyDistributedRejectsAdjacentMembers(t *testing.T) {
+	g := gen.MustBuild("path:n=6", 0)
+	d := distFor(t, g, 2)
+	if _, err := VerifyDistributed(d, []int32{2, 3}, 5); err == nil {
+		t.Fatal("adjacent members accepted")
+	}
+}
+
+func TestVerifyDistributedRejectsPoorCoverage(t *testing.T) {
+	g := gen.MustBuild("path:n=9", 0)
+	d := distFor(t, g, 3)
+	if _, err := VerifyDistributed(d, []int32{0}, 2); err == nil {
+		t.Fatal("radius violation accepted")
+	}
+	d = distFor(t, g, 3)
+	if _, err := VerifyDistributed(d, []int32{0}, 8); err != nil {
+		t.Fatalf("radius-8 domination by vertex 0 of P9 rejected: %v", err)
+	}
+}
+
+func TestVerifyDistributedRejectsOutOfRange(t *testing.T) {
+	g := gen.MustBuild("path:n=5", 0)
+	d := distFor(t, g, 2)
+	if _, err := VerifyDistributed(d, []int32{7}, 2); err == nil {
+		t.Fatal("out-of-range member accepted")
+	}
+}
+
+func TestVerifyDistributedMatchesCentralizedVerifier(t *testing.T) {
+	g := gen.MustBuild("powerlaw:n=600,gamma=2.5,avg=6", 20)
+	res, err := RandRulingBeta(g, 3, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := distFor(t, g, 5)
+	_, distErr := VerifyDistributed(d, res.Members, 3)
+	central := IsRulingSet(g, res.Members, 3)
+	if (distErr == nil) != central {
+		t.Fatalf("distributed (%v) and centralized (%v) verifiers disagree", distErr, central)
+	}
+}

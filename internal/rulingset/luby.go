@@ -1,0 +1,327 @@
+package rulingset
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"github.com/rulingset/mprs/internal/bitset"
+	"github.com/rulingset/mprs/internal/derand"
+	"github.com/rulingset/mprs/internal/graph"
+	"github.com/rulingset/mprs/internal/hash"
+	"github.com/rulingset/mprs/internal/mpc"
+)
+
+// LubyMIS computes a maximal independent set of g with Luby's randomized
+// algorithm executed on the MPC simulator: every active vertex marks itself
+// with probability 1/(2·deg), conflicts resolve toward the higher
+// (degree, id) endpoint, winners join the MIS and knock out their neighbors.
+// Θ(log n) iterations — the classical baseline the ruling-set relaxation is
+// measured against.
+func LubyMIS(g *graph.Graph, o Options) (Result, error) {
+	return lubyMIS(g, o, false)
+}
+
+// DetLubyMIS is the derandomized Luby baseline: marks come from a
+// pairwise-independent AND-family with per-vertex exponents, and each
+// iteration's seed is fixed by the method of conditional expectations
+// maximizing Luby's pairwise progress bound
+//
+//	Ψ(seed) = Σ_{active v} deg_A(v)·( P[mark v] − Σ_{u ∈ N_A(v)} P[mark u ∧ mark v] ).
+//
+// The fixed seed removes at least the expected share of active edges, so the
+// iteration count stays O(log m) deterministically.
+func DetLubyMIS(g *graph.Graph, o Options) (Result, error) {
+	return lubyMIS(g, o, true)
+}
+
+func lubyMIS(g *graph.Graph, o Options, deterministic bool) (Result, error) {
+	d, o, err := distribute(g, o)
+	if err != nil {
+		return Result{}, err
+	}
+	c := d.Cluster()
+	n := g.N()
+
+	active := bitset.New(n)
+	active.Fill()
+	inSet := bitset.New(n)
+	rng := rand.New(rand.NewSource(o.Seed))
+	var phases []PhaseStat
+
+	remaining := n
+	for iter := 1; remaining > 0; iter++ {
+		if iter > o.MaxIterations {
+			return Result{}, fmt.Errorf("rulingset: luby iteration cap %d exceeded with %d active vertices", o.MaxIterations, remaining)
+		}
+		view, _, err := d.ExchangeActive("luby/view", active, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		deg := make([]int32, n)
+		joiners := bitset.New(n) // MIS joiners this iteration
+		activeEdges := 0
+		active.ForEach(func(v int) bool {
+			deg[v] = int32(len(view[v]))
+			if deg[v] == 0 {
+				joiners.Add(v) // isolated in the active graph: joins unconditionally
+			}
+			for _, u := range view[v] {
+				if int(u) > v {
+					activeEdges++
+				}
+			}
+			return true
+		})
+		ps := PhaseStat{
+			Phase:        iter,
+			ActiveBefore: remaining,
+			ActiveEdges:  activeEdges,
+		}
+
+		// Share active degrees with neighbors (needed for conflict priority
+		// and, in the deterministic variant, for neighbor thresholds).
+		_, nbrDeg, err := d.ExchangeActive("luby/degrees", active, deg)
+		if err != nil {
+			return Result{}, err
+		}
+
+		maxDeg, err := c.AllReduceMaxUint("luby/maxdeg", func(x *mpc.Ctx) uint64 {
+			var local uint64
+			for v := x.Lo; v < x.Hi; v++ {
+				if active.Contains(v) && uint64(deg[v]) > local {
+					local = uint64(deg[v])
+				}
+			}
+			return local
+		})
+		if err != nil {
+			return Result{}, err
+		}
+
+		marks := bitset.New(n)
+		if maxDeg > 0 {
+			switch {
+			case deterministic && o.LubyExactThresholds:
+				if err := detLubyValuesMarks(c, o, active, view, nbrDeg, deg, int(maxDeg), marks, &ps); err != nil {
+					return Result{}, err
+				}
+			case deterministic:
+				if err := detLubyMarks(c, o, active, view, nbrDeg, deg, int(maxDeg), marks, &ps, rng); err != nil {
+					return Result{}, err
+				}
+			default:
+				active.ForEach(func(v int) bool {
+					if deg[v] == 0 {
+						return true
+					}
+					if rng.Float64() < math.Ldexp(1, -lubyJ(int(deg[v]))) {
+						marks.Add(v)
+					}
+					return true
+				})
+			}
+		}
+		ps.Marked = marks.Count()
+
+		// Conflict resolution: marked vertices exchange (id, degree); the
+		// lexicographically larger (degree, id) endpoint of each marked edge
+		// survives.
+		mNbrs, mDegs, err := d.ExchangeActive("luby/resolve", marks, deg)
+		if err != nil {
+			return Result{}, err
+		}
+		marks.ForEach(func(v int) bool {
+			wins := true
+			for i, w := range mNbrs[v] {
+				dw := mDegs[v][i]
+				if dw > deg[v] || (dw == deg[v] && w > int32(v)) {
+					wins = false
+					break
+				}
+			}
+			if wins {
+				joiners.Add(v)
+			}
+			return true
+		})
+
+		inSet.Union(joiners)
+		touched, err := d.NotifyNeighbors("luby/knockout", joiners, active)
+		if err != nil {
+			return Result{}, err
+		}
+		active.Subtract(joiners)
+		active.Subtract(touched)
+
+		counts, err := c.AllReduceSumUint("luby/active", func(x *mpc.Ctx) []uint64 {
+			var local uint64
+			for v := x.Lo; v < x.Hi; v++ {
+				if active.Contains(v) {
+					local++
+				}
+			}
+			return []uint64{local}
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		remaining = int(counts[0])
+		ps.ActiveAfter = remaining
+		phases = append(phases, ps)
+	}
+
+	members := make([]int32, 0, inSet.Count())
+	inSet.ForEach(func(v int) bool {
+		members = append(members, int32(v))
+		return true
+	})
+	return Result{
+		Members: members,
+		Beta:    1,
+		Stats:   c.Stats(),
+		Phases:  phases,
+	}, nil
+}
+
+// lubyJ returns the marking exponent for active degree d >= 1: the smallest
+// j with 2^-j <= 1/(2d).
+func lubyJ(d int) int {
+	return bits.Len(uint(2*d - 1))
+}
+
+// detLubyMarks runs one derandomized Luby marking step with the AND-family
+// (per-vertex power-of-two probabilities), honoring Options.SeedPolicy.
+func detLubyMarks(c *mpc.Cluster, o Options, active *bitset.Set, view, nbrDeg [][]int32, deg []int32, maxDeg int, marks *bitset.Set, ps *PhaseStat, rng *rand.Rand) error {
+	n := active.Len()
+	maxJ := lubyJ(maxDeg)
+	fam, err := hash.NewBits(n, maxJ)
+	if err != nil {
+		return err
+	}
+	seed := fam.NewSeed()
+	ms := newMarkState(fam, n)
+
+	evalRange := func(lo, hi int, s *hash.Seed) float64 {
+		ec := ms.ctx(s)
+		var psi float64
+		for v := lo; v < hi; v++ {
+			if !active.Contains(v) || deg[v] == 0 {
+				continue
+			}
+			jv := lubyJ(int(deg[v]))
+			pv := ec.markProb(v, jv)
+			term := pv
+			if pv != 0 {
+				for i, u := range view[v] {
+					term -= ec.pairProb(v, int(u), jv, lubyJ(int(nbrDeg[v][i])))
+				}
+			}
+			psi += float64(deg[v]) * term
+		}
+		return psi
+	}
+
+	switch o.SeedPolicy {
+	case SeedConditionalExpectations:
+		trace, err := derand.SelectSeed(c, seed, derand.Config{
+			ChunkBits: o.ChunkBits,
+			Objective: derand.Maximize,
+			AlignTo:   fam.SegWidth(),
+			OnChunk:   func(s *hash.Seed, _, _ int) { ms.sync(s) },
+		}, func(x *mpc.Ctx, s *hash.Seed) float64 { return evalRange(x.Lo, x.Hi, s) })
+		if err != nil {
+			return err
+		}
+		ps.SeedSteps = trace.Steps
+		ps.EstimatorInitial = trace.Initial
+		ps.EstimatorFinal = trace.Final()
+	case SeedRandomFamily, SeedZero:
+		ps.EstimatorInitial = evalRange(0, n, seed)
+		if o.SeedPolicy == SeedRandomFamily {
+			seed.Randomize(rng)
+		} else {
+			seed.SetFixed(seed.Total())
+		}
+		if _, err := c.Broadcast("luby/seed", []uint64{0}); err != nil {
+			return err
+		}
+		ms.sync(seed)
+		ps.EstimatorFinal = evalRange(0, n, seed)
+	default:
+		return fmt.Errorf("rulingset: unknown seed policy %v", o.SeedPolicy)
+	}
+
+	ms.sync(seed)
+	active.ForEach(func(v int) bool {
+		if deg[v] > 0 && ms.marked(v, lubyJ(int(deg[v]))) {
+			marks.Add(v)
+		}
+		return true
+	})
+	return nil
+}
+
+// detLubyValuesMarks is the exact-threshold ablation of the marking step: it
+// draws ℓ-bit pairwise-independent uniform values H(v) and marks v iff
+// H(v) < ⌊2^ℓ/(2·deg v)⌋ — marking probabilities within one part in 2^ℓ/(2d)
+// of Luby's exact 1/(2d), instead of rounding down to a power of two. The
+// estimator is the same Ψ, with conditional probabilities from the value
+// family's digit DP (exact, but O(ℓ) per term instead of O(1): the ablation
+// quantifies what the AND-family's speed costs in marking fidelity).
+func detLubyValuesMarks(c *mpc.Cluster, o Options, active *bitset.Set, view, nbrDeg [][]int32, deg []int32, maxDeg int, marks *bitset.Set, ps *PhaseStat) error {
+	n := active.Len()
+	ell := lubyJ(maxDeg) + 2 // enough resolution for the smallest threshold
+	fam, err := hash.NewValues(n, ell)
+	if err != nil {
+		return err
+	}
+	seed := fam.NewSeed()
+	full := uint64(1) << uint(ell)
+	threshold := func(d int32) uint64 {
+		t := full / uint64(2*d)
+		if t == 0 {
+			t = 1
+		}
+		return t
+	}
+
+	eval := func(x *mpc.Ctx, s *hash.Seed) float64 {
+		var psi float64
+		for v := x.Lo; v < x.Hi; v++ {
+			if !active.Contains(v) || deg[v] == 0 {
+				continue
+			}
+			tv := threshold(deg[v])
+			pv := fam.BelowProb(s, v, tv)
+			term := pv
+			if pv != 0 {
+				for i, u := range view[v] {
+					term -= fam.PairBelowProb(s, v, int(u), tv, threshold(nbrDeg[v][i]))
+				}
+			}
+			psi += float64(deg[v]) * term
+		}
+		return psi
+	}
+
+	trace, err := derand.SelectSeed(c, seed, derand.Config{
+		ChunkBits: o.ChunkBits,
+		Objective: derand.Maximize,
+		AlignTo:   fam.SegWidth(),
+	}, eval)
+	if err != nil {
+		return err
+	}
+	active.ForEach(func(v int) bool {
+		if deg[v] > 0 && fam.Value(seed, v) < threshold(deg[v]) {
+			marks.Add(v)
+		}
+		return true
+	})
+	ps.SeedSteps = trace.Steps
+	ps.EstimatorInitial = trace.Initial
+	ps.EstimatorFinal = trace.Final()
+	return nil
+}

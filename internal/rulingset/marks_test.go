@@ -1,0 +1,179 @@
+package rulingset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/rulingset/mprs/internal/hash"
+)
+
+// bruteMarkProb enumerates all completions of the seed's free suffix and
+// returns the fraction under which v's first j linear bits are all 1.
+func bruteMarkProb(fam *hash.Bits, s *hash.Seed, v, j int) float64 {
+	free := s.Total() - s.Fixed()
+	full := s.Clone()
+	full.SetFixed(full.Total())
+	hit, count := 0, 0
+	for e := uint64(0); e < 1<<uint(free); e++ {
+		full.SetChunk(s.Fixed(), free, e)
+		count++
+		ok := true
+		for t := 0; t < j; t++ {
+			if law := fam.BitLaw(full, t, v); law.Value == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(count)
+}
+
+func brutePairProb(fam *hash.Bits, s *hash.Seed, u, w, ju, jw int) float64 {
+	free := s.Total() - s.Fixed()
+	full := s.Clone()
+	full.SetFixed(full.Total())
+	hit, count := 0, 0
+	allOne := func(v, j int) bool {
+		for t := 0; t < j; t++ {
+			if law := fam.BitLaw(full, t, v); law.Value == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for e := uint64(0); e < 1<<uint(free); e++ {
+		full.SetChunk(s.Fixed(), free, e)
+		count++
+		if allOne(u, ju) && allOne(w, jw) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(count)
+}
+
+// TestMarkStateMatchesBruteForce drives markState exactly the way the
+// derandomizer does — commit segment-aligned chunks, sync, then evaluate
+// with a provisional chunk — and compares every probability against
+// enumeration of the free seed suffix.
+func TestMarkStateMatchesBruteForce(t *testing.T) {
+	const n, nbits = 7, 3
+	fam, err := hash.NewBits(n, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segW := fam.SegWidth()
+	rng := rand.New(rand.NewSource(21))
+	const tol = 1e-12
+
+	for trial := 0; trial < 40; trial++ {
+		seed := fam.NewSeed()
+		ms := newMarkState(fam, n)
+
+		// Commit a random number of whole chunks of random width, aligned.
+		committed := 0
+		for committed < seed.Total() && rng.Intn(3) > 0 {
+			width := 1 + rng.Intn(segW)
+			if b := segW - committed%segW; width > b {
+				width = b
+			}
+			if committed+width > seed.Total() {
+				width = seed.Total() - committed
+			}
+			seed.SetChunk(committed, width, uint64(rng.Intn(1<<uint(width))))
+			seed.Commit(width)
+			committed += width
+		}
+		ms.sync(seed)
+
+		// Provisional chunk within the current segment (as SelectSeed does).
+		prov := seed.Clone()
+		if rem := seed.Total() - committed; rem > 0 {
+			width := 1 + rng.Intn(segW)
+			if b := segW - committed%segW; width > b {
+				width = b
+			}
+			if width > rem {
+				width = rem
+			}
+			prov.SetChunk(committed, width, uint64(rng.Intn(1<<uint(width))))
+			prov.SetFixed(committed + width)
+		}
+		if prov.Total()-prov.Fixed() > 20 {
+			continue // keep enumeration tractable
+		}
+
+		for v := 0; v < n; v++ {
+			for j := 1; j <= nbits; j++ {
+				want := bruteMarkProb(fam, prov, v, j)
+				if got := ms.markProb(prov, v, j); math.Abs(got-want) > tol {
+					t.Fatalf("trial %d: markProb(v=%d,j=%d) = %v, brute = %v (committed=%d prov=%d)",
+						trial, v, j, got, want, committed, prov.Fixed())
+				}
+			}
+		}
+		for p := 0; p < 8; p++ {
+			u := rng.Intn(n)
+			w := rng.Intn(n - 1)
+			if w >= u {
+				w++
+			}
+			ju := 1 + rng.Intn(nbits)
+			jw := 1 + rng.Intn(nbits)
+			want := brutePairProb(fam, prov, u, w, ju, jw)
+			if got := ms.pairProb(prov, u, w, ju, jw); math.Abs(got-want) > tol {
+				t.Fatalf("trial %d: pairProb(u=%d,w=%d,ju=%d,jw=%d) = %v, brute = %v (committed=%d prov=%d)",
+					trial, u, w, ju, jw, got, want, committed, prov.Fixed())
+			}
+		}
+	}
+}
+
+func TestMarkStateFullyFixed(t *testing.T) {
+	const n, nbits = 9, 2
+	fam, err := hash.NewBits(n, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	seed := fam.NewSeed()
+	seed.Randomize(rng)
+	ms := newMarkState(fam, n)
+	ms.sync(seed)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= nbits; j++ {
+			p := ms.markProb(seed, v, j)
+			if p != 0 && p != 1 {
+				t.Fatalf("fully fixed markProb = %v", p)
+			}
+			if (p == 1) != ms.marked(v, j) {
+				t.Fatalf("marked() disagrees with markProb at v=%d j=%d", v, j)
+			}
+		}
+	}
+}
+
+func TestLubyJ(t *testing.T) {
+	tests := []struct{ d, want int }{
+		{d: 1, want: 1}, // p = 1/2
+		{d: 2, want: 2}, // p = 1/4
+		{d: 3, want: 3}, // p = 1/8 <= 1/6
+		{d: 4, want: 3}, // p = 1/8
+		{d: 5, want: 4},
+		{d: 8, want: 4}, // p = 1/16
+	}
+	for _, tt := range tests {
+		if got := lubyJ(tt.d); got != tt.want {
+			t.Errorf("lubyJ(%d) = %d, want %d", tt.d, got, tt.want)
+		}
+		// Contract: 2^-j <= 1/(2d) < 2^-(j-1).
+		j := lubyJ(tt.d)
+		p := math.Ldexp(1, -j)
+		if p > 1/(2*float64(tt.d)) || 2*p <= 1/(2*float64(tt.d)) {
+			t.Errorf("lubyJ(%d) = %d violates tightness", tt.d, j)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package rulingset
+
+import (
+	"math/rand"
+	"slices"
+
+	"github.com/rulingset/mprs/internal/graph"
+	"github.com/rulingset/mprs/internal/mpc"
+)
+
+// RandRuling2 computes a 2-ruling set of g with the randomized
+// sample-and-sparsify algorithm (geometrically escalating sampling
+// probabilities, Θ(log log Δ) phases, residual instance solved greedily on
+// one machine). The run is reproducible from o.Seed.
+func RandRuling2(g *graph.Graph, o Options) (Result, error) {
+	return ruling2(g, o, false)
+}
+
+// DetRuling2 computes a 2-ruling set of g with the paper's deterministic
+// algorithm: each sampling phase of the sample-and-sparsify loop is replaced
+// by a pairwise-independent hash whose seed is fixed by the distributed
+// method of conditional expectations. Identical inputs and options always
+// produce identical outputs, regardless of machine count.
+func DetRuling2(g *graph.Graph, o Options) (Result, error) {
+	return ruling2(g, o, true)
+}
+
+func ruling2(g *graph.Graph, o Options, deterministic bool) (Result, error) {
+	d, o, err := distribute(g, o)
+	if err != nil {
+		return Result{}, err
+	}
+	c := d.Cluster()
+
+	delta, err := maxDegree(d)
+	if err != nil {
+		return Result{}, err
+	}
+	st := newSparsifyState(g.N())
+	// The rng drives randomized sampling, and — for the SeedRandomFamily
+	// ablation — random family draws inside deterministic runs.
+	rng := rand.New(rand.NewSource(o.Seed))
+	if err := runPhases(d, o, st, schedule(int(delta)), deterministic, rng); err != nil {
+		return Result{}, err
+	}
+	st.absorbActive()
+
+	members, residual, err := solveResidual(d, st, o)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Members:   members,
+		Beta:      2,
+		Stats:     c.Stats(),
+		Phases:    st.phases,
+		ResidualN: residual.N(),
+		ResidualM: residual.M(),
+	}, nil
+}
+
+// maxDegree computes the graph's maximum degree through the cluster's
+// collectives (two rounds).
+func maxDegree(d *mpc.DistGraph) (uint64, error) {
+	g := d.Graph()
+	return d.Cluster().AllReduceMaxUint("maxdeg", func(x *mpc.Ctx) uint64 {
+		var local uint64
+		for v := x.Lo; v < x.Hi; v++ {
+			if dv := uint64(g.Degree(v)); dv > local {
+				local = dv
+			}
+		}
+		return local
+	})
+}
+
+// solveResidual ships the candidate-induced subgraph to one machine,
+// computes its MIS greedily there, and broadcasts the membership. The MIS of
+// G[C] is independent in G and dominates C within one hop, so together with
+// the sparsifier's invariant (every vertex in C or adjacent to it) the
+// result is a 2-ruling set.
+func solveResidual(d *mpc.DistGraph, st *sparsifyState, o Options) ([]int32, *graph.Graph, error) {
+	sub, toOrig, err := d.GatherSubgraph("residual", st.candidates)
+	if err != nil {
+		return nil, nil, err
+	}
+	mis := GreedyMIS(sub)
+	members := make([]int32, len(mis))
+	payload := make([]uint64, len(mis))
+	for i, v := range mis {
+		members[i] = toOrig[v]
+		payload[i] = uint64(uint32(toOrig[v]))
+	}
+	if _, err := d.Cluster().Broadcast("residual/members", payload); err != nil {
+		return nil, nil, err
+	}
+	slices.Sort(members)
+	return members, sub, nil
+}

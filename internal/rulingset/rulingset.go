@@ -1,0 +1,207 @@
+// Package rulingset implements the paper's primary contribution:
+// deterministic massively parallel (MPC) algorithms for ruling sets,
+// alongside the randomized algorithms they derandomize and the classical
+// baselines they are measured against.
+//
+// A β-ruling set of G is an independent set R such that every vertex of G is
+// within β hops of R; an MIS is exactly a 1-ruling set. The algorithms:
+//
+//   - GreedyMIS: sequential maximal independent set (local residual solver
+//     and quality oracle).
+//   - LubyMIS / DetLubyMIS: Luby's randomized MIS in MPC, and its
+//     derandomization via pairwise-independent marks chosen by the method of
+//     conditional expectations. Θ(log n) phases — the baseline whose phase
+//     count the 2-ruling relaxation beats exponentially.
+//   - RandRuling2 / DetRuling2: the sample-and-sparsify 2-ruling set
+//     (geometrically growing sampling probabilities, O(log log Δ) phases,
+//     residual instance solved on one machine) and the paper's deterministic
+//     counterpart, which replaces each random sampling step by a
+//     pairwise-independent hash whose seed is fixed deterministically.
+//   - RandRulingBeta / DetRulingBeta: β-ruling sets by recursive
+//     sparsification — each extra unit of domination radius shrinks the
+//     problem before the next level runs.
+//   - RulingAlphaBeta: (α,β)-ruling sets via power graphs.
+//
+// All algorithms execute on the internal/mpc simulator, so every result
+// carries the model measurements (rounds, bandwidth, memory residency) that
+// the paper's theorems are about.
+package rulingset
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/rulingset/mprs/internal/graph"
+	"github.com/rulingset/mprs/internal/mpc"
+)
+
+// Options configures an algorithm run. The zero value selects sensible
+// defaults (8 machines, near-linear memory, chunk width 8).
+type Options struct {
+	// Machines is the simulated machine count M; default 8.
+	Machines int
+	// Regime is the MPC memory regime; default mpc.RegimeLinear.
+	Regime mpc.Regime
+	// Epsilon is the sublinear-memory exponent for mpc.RegimeSublinear.
+	Epsilon float64
+	// MemoryWords is the explicit budget for mpc.RegimeExplicit.
+	MemoryWords int
+	// LinearSlack scales the linear-regime budget; see mpc.Config.
+	LinearSlack int
+	// Strict aborts on budget violations instead of recording them.
+	Strict bool
+	// ChunkBits is the derandomizer's z: seed bits fixed per collective step.
+	// Default 8.
+	ChunkBits int
+	// Seed drives the randomized algorithms (and is ignored by the
+	// deterministic ones). Runs with equal seeds are reproducible.
+	Seed int64
+	// MaxPhases caps sparsification phases as a safety net; default 64.
+	MaxPhases int
+	// MaxIterations caps Luby iterations; default 16·log₂(n)+32.
+	MaxIterations int
+
+	// The remaining fields are ablation knobs for the deterministic
+	// algorithms' design choices (experiments A1–A4); the zero values select
+	// the paper's construction.
+
+	// SeedPolicy selects how each phase's hash seed is chosen; default
+	// SeedConditionalExpectations (the paper's method).
+	SeedPolicy SeedPolicy
+	// EstimatorAlpha weighs the candidate-edge cost term of the
+	// sparsification potential Φ = α·cost − benefit; default 2.
+	EstimatorAlpha float64
+	// BenefitCap, when positive, caps the Bonferroni neighborhood N'(v) at
+	// this size instead of the analysis-dictated ⌊1/p⌋.
+	BenefitCap int
+	// LubyExactThresholds switches DetLubyMIS from power-of-two AND-family
+	// marks to the ℓ-bit uniform-value family with exact 1/(2d) thresholds.
+	LubyExactThresholds bool
+	// ResidualBudget is the adaptive algorithms' target size (in words) for
+	// the instance shipped to one machine; 0 means the cluster's budget S.
+	ResidualBudget int
+}
+
+// SeedPolicy selects how a deterministic phase fixes its hash seed.
+type SeedPolicy int
+
+const (
+	// SeedConditionalExpectations runs the distributed method of conditional
+	// expectations (the paper's method; carries the per-phase guarantee).
+	SeedConditionalExpectations SeedPolicy = iota + 1
+	// SeedRandomFamily draws the seed uniformly at random from the family:
+	// pairwise independence alone, no seed search. Good in expectation, no
+	// per-phase certainty — the ablation isolating what the seed search buys.
+	SeedRandomFamily
+	// SeedZero uses the all-zero seed (every linear bit evaluates to the
+	// parity of a fixed coefficient pattern) — a degenerate fixed choice
+	// showing that *some* seed selection is necessary.
+	SeedZero
+)
+
+// String implements fmt.Stringer.
+func (p SeedPolicy) String() string {
+	switch p {
+	case SeedConditionalExpectations:
+		return "cond-exp"
+	case SeedRandomFamily:
+		return "random-family"
+	case SeedZero:
+		return "zero"
+	default:
+		return fmt.Sprintf("seedpolicy(%d)", int(p))
+	}
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Machines == 0 {
+		o.Machines = 8
+	}
+	if o.Regime == 0 {
+		o.Regime = mpc.RegimeLinear
+	}
+	if o.ChunkBits == 0 {
+		o.ChunkBits = 8
+	}
+	if o.MaxPhases == 0 {
+		o.MaxPhases = 64
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 16*bits.Len(uint(n)) + 32
+	}
+	if o.SeedPolicy == 0 {
+		o.SeedPolicy = SeedConditionalExpectations
+	}
+	if o.EstimatorAlpha == 0 {
+		o.EstimatorAlpha = 2
+	}
+	return o
+}
+
+// cluster builds the simulated cluster for a graph of order n.
+func (o Options) cluster(n int) (*mpc.Cluster, error) {
+	return mpc.NewCluster(mpc.Config{
+		Machines:    o.Machines,
+		Regime:      o.Regime,
+		Epsilon:     o.Epsilon,
+		MemoryWords: o.MemoryWords,
+		LinearSlack: o.LinearSlack,
+		Strict:      o.Strict,
+	}, n)
+}
+
+// PhaseStat records one sparsification phase (or Luby iteration) for the
+// trace experiments: what probability was used, how the active set and the
+// candidate set evolved, and what the derandomizer did.
+type PhaseStat struct {
+	// Phase is the 1-based phase index.
+	Phase int
+	// J is the sampling exponent: marking probability 2^-J.
+	J int
+	// ActiveBefore and ActiveAfter count active vertices around the phase.
+	ActiveBefore, ActiveAfter int
+	// ActiveEdges counts edges of the active subgraph before the phase.
+	ActiveEdges int
+	// HighDegBefore counts active vertices with active degree >= 2^J before
+	// the phase (the vertices the phase is meant to deactivate).
+	HighDegBefore int
+	// Marked counts vertices sampled/marked this phase.
+	Marked int
+	// CandidateEdges counts edges added to the candidate graph this phase
+	// (edges with both endpoints marked).
+	CandidateEdges int
+	// SeedSteps is the number of conditional-expectation chunks fixed
+	// (deterministic algorithms only).
+	SeedSteps int
+	// EstimatorInitial and EstimatorFinal bracket the derandomizer's
+	// conditional-expectation trajectory (deterministic algorithms only).
+	EstimatorInitial, EstimatorFinal float64
+}
+
+// Result is the outcome of an algorithm run.
+type Result struct {
+	// Members are the ruling-set vertices in ascending order.
+	Members []int32
+	// Beta is the guaranteed domination radius of the output (1 for MIS).
+	Beta int
+	// Stats are the MPC model measurements of the run.
+	Stats mpc.Stats
+	// Phases traces per-phase progress where the algorithm is phase-based.
+	Phases []PhaseStat
+	// ResidualN and ResidualM describe the instance shipped to one machine
+	// for the final local solve (sample-and-sparsify algorithms only).
+	ResidualN, ResidualM int
+}
+
+func distribute(g *graph.Graph, o Options) (*mpc.DistGraph, Options, error) {
+	o = o.withDefaults(g.N())
+	c, err := o.cluster(g.N())
+	if err != nil {
+		return nil, o, err
+	}
+	d, err := mpc.Distribute(c, g)
+	if err != nil {
+		return nil, o, err
+	}
+	return d, o, nil
+}

@@ -1,0 +1,73 @@
+package rulingset
+
+import (
+	"fmt"
+
+	"github.com/rulingset/mprs/internal/graph"
+)
+
+// IsIndependent reports whether members form an independent set in g.
+func IsIndependent(g *graph.Graph, members []int32) bool {
+	in := make([]bool, g.N())
+	for _, v := range members {
+		if v < 0 || int(v) >= g.N() {
+			return false
+		}
+		in[v] = true
+	}
+	for _, v := range members {
+		for _, u := range g.Neighbors(int(v)) {
+			if in[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RulingRadius returns the smallest β such that every vertex of g is within
+// β hops of members, or -1 if some vertex is unreachable (including the case
+// of an empty member list on a non-empty graph).
+func RulingRadius(g *graph.Graph, members []int32) int {
+	if g.N() == 0 {
+		return 0
+	}
+	dist := g.BFSFrom(members)
+	radius := 0
+	for _, d := range dist {
+		if d < 0 {
+			return -1
+		}
+		if int(d) > radius {
+			radius = int(d)
+		}
+	}
+	return radius
+}
+
+// IsRulingSet reports whether members form a β-ruling set of g: independent
+// and dominating within β hops.
+func IsRulingSet(g *graph.Graph, members []int32, beta int) bool {
+	if !IsIndependent(g, members) {
+		return false
+	}
+	r := RulingRadius(g, members)
+	return r >= 0 && r <= beta
+}
+
+// Check validates a Result against its graph, confirming independence and
+// the advertised domination radius. It returns a descriptive error on the
+// first violated property.
+func Check(g *graph.Graph, r Result) error {
+	if !IsIndependent(g, r.Members) {
+		return fmt.Errorf("rulingset: output of %d members is not independent", len(r.Members))
+	}
+	radius := RulingRadius(g, r.Members)
+	if radius < 0 {
+		return fmt.Errorf("rulingset: output does not dominate the graph")
+	}
+	if radius > r.Beta {
+		return fmt.Errorf("rulingset: domination radius %d exceeds advertised beta %d", radius, r.Beta)
+	}
+	return nil
+}

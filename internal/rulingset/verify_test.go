@@ -1,0 +1,99 @@
+package rulingset
+
+import (
+	"testing"
+
+	"github.com/rulingset/mprs/internal/gen"
+	"github.com/rulingset/mprs/internal/graph"
+)
+
+func mustPath(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := gen.Path(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIsIndependent(t *testing.T) {
+	g := mustPath(t, 5)
+	tests := []struct {
+		name    string
+		members []int32
+		want    bool
+	}{
+		{name: "empty", members: nil, want: true},
+		{name: "alternating", members: []int32{0, 2, 4}, want: true},
+		{name: "adjacent pair", members: []int32{1, 2}, want: false},
+		{name: "out of range", members: []int32{9}, want: false},
+		{name: "negative", members: []int32{-1}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsIndependent(g, tt.members); got != tt.want {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRulingRadius(t *testing.T) {
+	g := mustPath(t, 7)
+	tests := []struct {
+		name    string
+		members []int32
+		want    int
+	}{
+		{name: "center", members: []int32{3}, want: 3},
+		{name: "ends", members: []int32{0, 6}, want: 3},
+		{name: "all", members: []int32{0, 1, 2, 3, 4, 5, 6}, want: 0},
+		{name: "empty", members: nil, want: -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := RulingRadius(g, tt.members); got != tt.want {
+				t.Fatalf("got %d, want %d", got, tt.want)
+			}
+		})
+	}
+	empty, err := graph.New(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RulingRadius(empty, nil) != 0 {
+		t.Error("empty graph radius should be 0")
+	}
+}
+
+func TestIsRulingSet(t *testing.T) {
+	g := mustPath(t, 7)
+	if !IsRulingSet(g, []int32{1, 4}, 2) {
+		t.Error("{1,4} is a 2-ruling set of P7")
+	}
+	if IsRulingSet(g, []int32{1, 4}, 1) {
+		t.Error("{1,4} is not a 1-ruling set of P7 (vertex 6 is 2 away)")
+	}
+	if IsRulingSet(g, []int32{1, 2}, 5) {
+		t.Error("dependent set accepted")
+	}
+	if IsRulingSet(g, nil, 5) {
+		t.Error("empty set dominates nothing")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	g := mustPath(t, 5)
+	if err := Check(g, Result{Members: []int32{0, 2, 4}, Beta: 1}); err != nil {
+		t.Errorf("valid MIS rejected: %v", err)
+	}
+	if err := Check(g, Result{Members: []int32{0, 1}, Beta: 2}); err == nil {
+		t.Error("dependent members accepted")
+	}
+	if err := Check(g, Result{Members: []int32{0}, Beta: 2}); err == nil {
+		t.Error("radius violation accepted")
+	}
+	if err := Check(g, Result{Members: nil, Beta: 5}); err == nil {
+		t.Error("non-dominating set accepted")
+	}
+}

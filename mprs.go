@@ -1,0 +1,208 @@
+// Package mprs is the public API of the library: deterministic massively
+// parallel (MPC) algorithms for ruling sets — a from-scratch reproduction of
+// "Brief Announcement: Deterministic Massively Parallel Algorithms for
+// Ruling Sets" (Pai & Pemmaraju, PODC 2022) — together with the randomized
+// algorithms they derandomize, the MPC simulation substrate they run on, and
+// graph generators for experimentation.
+//
+// # Quick start
+//
+//	g, err := mprs.BuildGraph("gnp:n=4096,p=0.004", 1)
+//	if err != nil { ... }
+//	res, err := mprs.DetRulingSet2(g, mprs.Options{Machines: 8})
+//	if err != nil { ... }
+//	fmt.Println(len(res.Members), res.Stats.Rounds)
+//	err = mprs.Check(g, res) // independence + domination radius
+//
+// A β-ruling set is an independent set R such that every vertex is within β
+// hops of R; an MIS is a 1-ruling set. The deterministic algorithms replace
+// each random sampling step with a pairwise-independent hash family whose
+// seed is selected by a distributed method of conditional expectations, so
+// they always produce the same output for the same input — while matching
+// the randomized algorithms' round complexity shape (Θ(log log Δ)
+// sparsification phases for 2-ruling sets versus Θ(log n) Luby iterations
+// for MIS).
+//
+// Every Result carries mpc-model measurements (rounds, message words, peak
+// per-machine memory, budget violations) taken by the simulator in
+// internal/mpc, so the quantities the paper's theorems bound are observable
+// for every run.
+package mprs
+
+import (
+	"github.com/rulingset/mprs/internal/gen"
+	"github.com/rulingset/mprs/internal/graph"
+	"github.com/rulingset/mprs/internal/mpc"
+	"github.com/rulingset/mprs/internal/rulingset"
+)
+
+// Graph is a simple undirected graph in CSR form; see NewGraph and
+// BuildGraph for construction.
+type Graph = graph.Graph
+
+// Edge is an undirected edge between two vertex ids.
+type Edge = graph.Edge
+
+// Options configures algorithm runs: simulated machine count, MPC memory
+// regime, derandomization chunk width, and the seed for randomized variants.
+type Options = rulingset.Options
+
+// Result is an algorithm outcome: the ruling set, its guaranteed domination
+// radius, per-phase traces, and the MPC model measurements of the run.
+type Result = rulingset.Result
+
+// PhaseStat traces one sparsification phase or Luby iteration.
+type PhaseStat = rulingset.PhaseStat
+
+// Stats aggregates MPC model measurements (rounds, words, peaks,
+// violations).
+type Stats = mpc.Stats
+
+// Regime selects how the per-machine memory budget is derived.
+type Regime = mpc.Regime
+
+// Memory regimes for Options.Regime.
+const (
+	// RegimeLinear is near-linear memory per machine (S = Θ(n)); the regime
+	// of the paper's headline result. Default.
+	RegimeLinear = mpc.RegimeLinear
+	// RegimeSublinear is strictly sublinear memory (S = n^ε).
+	RegimeSublinear = mpc.RegimeSublinear
+	// RegimeExplicit uses Options.MemoryWords verbatim.
+	RegimeExplicit = mpc.RegimeExplicit
+)
+
+// NewGraph builds a graph on n vertices from an edge list, rejecting
+// self-loops and merging duplicate edges.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	return graph.New(n, edges)
+}
+
+// BuildGraph instantiates a workload from a textual spec such as
+// "gnp:n=4096,p=0.004", "powerlaw:n=10000,gamma=2.5,avg=8",
+// "grid:rows=64,cols=64,wrap=true", "regular:n=1000,d=8", "tree:n=5000",
+// "star:n=100", "complete:n=50", etc. Randomized families consume the seed.
+func BuildGraph(spec string, seed int64) (*Graph, error) {
+	s, err := gen.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build(seed)
+}
+
+// MIS computes a maximal independent set with Luby's randomized algorithm on
+// the MPC simulator (Θ(log n) iterations).
+func MIS(g *Graph, o Options) (Result, error) { return rulingset.LubyMIS(g, o) }
+
+// DetMIS computes a maximal independent set with derandomized Luby
+// (pairwise-independent marks, seeds fixed by conditional expectations).
+func DetMIS(g *Graph, o Options) (Result, error) { return rulingset.DetLubyMIS(g, o) }
+
+// RulingSet2 computes a 2-ruling set with the randomized sample-and-sparsify
+// algorithm (Θ(log log Δ) phases).
+func RulingSet2(g *Graph, o Options) (Result, error) { return rulingset.RandRuling2(g, o) }
+
+// DetRulingSet2 computes a 2-ruling set with the paper's deterministic
+// algorithm — the library's headline entry point.
+func DetRulingSet2(g *Graph, o Options) (Result, error) { return rulingset.DetRuling2(g, o) }
+
+// RulingSet computes a β-ruling set (β >= 1) with randomized recursive
+// sparsification.
+func RulingSet(g *Graph, beta int, o Options) (Result, error) {
+	return rulingset.RandRulingBeta(g, beta, o)
+}
+
+// DetRulingSet computes a β-ruling set (β >= 1) deterministically by
+// recursive derandomized sparsification.
+func DetRulingSet(g *Graph, beta int, o Options) (Result, error) {
+	return rulingset.DetRulingBeta(g, beta, o)
+}
+
+// RulingSetAlphaBeta computes an (α,β)-ruling set — members pairwise at
+// distance >= α, every vertex within (α−1)·β hops — via power graphs,
+// randomized.
+func RulingSetAlphaBeta(g *Graph, alpha, beta int, o Options) (Result, error) {
+	return rulingset.RandRulingAlphaBeta(g, alpha, beta, o)
+}
+
+// DetRulingSetAlphaBeta is the deterministic (α,β)-ruling set.
+func DetRulingSetAlphaBeta(g *Graph, alpha, beta int, o Options) (Result, error) {
+	return rulingset.DetRulingAlphaBeta(g, alpha, beta, o)
+}
+
+// RulingSetAdaptive computes a ruling set whose radius is chosen at runtime:
+// the smallest β such that the final residual instance fits the per-machine
+// memory budget (Options.ResidualBudget; the cluster's S by default).
+// Randomized variant.
+func RulingSetAdaptive(g *Graph, o Options) (Result, error) {
+	return rulingset.RandRulingAdaptive(g, o)
+}
+
+// DetRulingSetAdaptive is the deterministic adaptive-radius ruling set: it
+// answers "what domination radius do my machines force?" — β = 1 (an exact
+// MIS) when the budget admits the whole input, growing one sparsification
+// level at a time as the budget shrinks.
+func DetRulingSetAdaptive(g *Graph, o Options) (Result, error) {
+	return rulingset.DetRulingAdaptive(g, o)
+}
+
+// CliqueResult is the outcome of a congested-clique algorithm run.
+type CliqueResult = rulingset.CliqueResult
+
+// CliqueRulingSet2 computes a 2-ruling set in the congested clique model
+// (one node per vertex, one O(log n)-bit message per ordered node pair per
+// round) — the model this algorithm family was first developed in.
+func CliqueRulingSet2(g *Graph, o Options) (CliqueResult, error) {
+	return rulingset.CliqueRandRuling2(g, o)
+}
+
+// CliqueDetRulingSet2 is the deterministic congested-clique 2-ruling set;
+// its conditional-expectation chunks cost O(1) rounds regardless of width
+// via the clique's scatter-aggregate collective.
+func CliqueDetRulingSet2(g *Graph, o Options) (CliqueResult, error) {
+	return rulingset.CliqueDetRuling2(g, o)
+}
+
+// GreedyMIS computes a sequential greedy MIS — the single-machine baseline
+// and quality oracle.
+func GreedyMIS(g *Graph) []int32 { return rulingset.GreedyMIS(g) }
+
+// IsRulingSet reports whether members form a β-ruling set of g.
+func IsRulingSet(g *Graph, members []int32, beta int) bool {
+	return rulingset.IsRulingSet(g, members, beta)
+}
+
+// IsIndependent reports whether members form an independent set in g.
+func IsIndependent(g *Graph, members []int32) bool {
+	return rulingset.IsIndependent(g, members)
+}
+
+// RulingRadius returns the smallest β such that members β-dominate g, or -1
+// if they do not dominate it at all.
+func RulingRadius(g *Graph, members []int32) int {
+	return rulingset.RulingRadius(g, members)
+}
+
+// Check validates a Result against its graph: independence and the
+// advertised domination radius.
+func Check(g *Graph, r Result) error { return rulingset.Check(g, r) }
+
+// CheckDistributed verifies a β-ruling set through the MPC simulator's
+// communication primitives rather than centrally — the way a deployment
+// would check an output in place. It costs Θ(β) rounds (returned) and uses
+// o only for the cluster shape.
+func CheckDistributed(g *Graph, members []int32, beta int, o Options) (rounds int, err error) {
+	c, err := mpc.NewCluster(mpc.Config{
+		Machines: max(o.Machines, 1),
+		Regime:   o.Regime,
+		Epsilon:  o.Epsilon,
+	}, g.N())
+	if err != nil {
+		return 0, err
+	}
+	d, err := mpc.Distribute(c, g)
+	if err != nil {
+		return 0, err
+	}
+	return rulingset.VerifyDistributed(d, members, beta)
+}

@@ -1,0 +1,170 @@
+package mprs_test
+
+import (
+	"reflect"
+	"testing"
+
+	mprs "github.com/rulingset/mprs"
+)
+
+func buildTestGraph(t *testing.T) *mprs.Graph {
+	t.Helper()
+	g, err := mprs.BuildGraph("gnp:n=400,p=0.015", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := buildTestGraph(t)
+	tests := []struct {
+		name string
+		beta int
+		run  func() (mprs.Result, error)
+	}{
+		{name: "MIS", beta: 1, run: func() (mprs.Result, error) { return mprs.MIS(g, mprs.Options{Seed: 1}) }},
+		{name: "DetMIS", beta: 1, run: func() (mprs.Result, error) { return mprs.DetMIS(g, mprs.Options{}) }},
+		{name: "RulingSet2", beta: 2, run: func() (mprs.Result, error) { return mprs.RulingSet2(g, mprs.Options{Seed: 1}) }},
+		{name: "DetRulingSet2", beta: 2, run: func() (mprs.Result, error) { return mprs.DetRulingSet2(g, mprs.Options{}) }},
+		{name: "RulingSet3", beta: 3, run: func() (mprs.Result, error) { return mprs.RulingSet(g, 3, mprs.Options{Seed: 1}) }},
+		{name: "DetRulingSet3", beta: 3, run: func() (mprs.Result, error) { return mprs.DetRulingSet(g, 3, mprs.Options{}) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := tt.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Beta != tt.beta {
+				t.Fatalf("beta = %d, want %d", res.Beta, tt.beta)
+			}
+			if err := mprs.Check(g, res); err != nil {
+				t.Fatal(err)
+			}
+			if !mprs.IsRulingSet(g, res.Members, tt.beta) {
+				t.Fatal("IsRulingSet disagrees with Check")
+			}
+			if r := mprs.RulingRadius(g, res.Members); r > tt.beta || r < 0 {
+				t.Fatalf("radius %d outside [0,%d]", r, tt.beta)
+			}
+		})
+	}
+}
+
+func TestPublicAPINewGraphAndGreedy(t *testing.T) {
+	g, err := mprs.NewGraph(4, []mprs.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis := mprs.GreedyMIS(g)
+	if !mprs.IsIndependent(g, mis) || !mprs.IsRulingSet(g, mis, 1) {
+		t.Fatalf("greedy output %v invalid", mis)
+	}
+}
+
+func TestPublicAPIAlphaBeta(t *testing.T) {
+	g, err := mprs.BuildGraph("grid:rows=10,cols=10", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mprs.DetRulingSetAlphaBeta(g, 3, 2, mprs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mprs.Check(g, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIDeterminism(t *testing.T) {
+	g := buildTestGraph(t)
+	a, err := mprs.DetRulingSet2(g, mprs.Options{Machines: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mprs.DetRulingSet2(g, mprs.Options{Machines: 11, Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Members, b.Members) {
+		t.Fatal("deterministic algorithm output varied")
+	}
+}
+
+func TestPublicAPIBadSpec(t *testing.T) {
+	if _, err := mprs.BuildGraph("martian:n=10", 0); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestPublicAPISublinearRegime(t *testing.T) {
+	g := buildTestGraph(t)
+	res, err := mprs.RulingSet2(g, mprs.Options{Regime: mprs.RegimeSublinear, Epsilon: 0.6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mprs.Check(g, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIAdaptive(t *testing.T) {
+	g := buildTestGraph(t)
+	res, err := mprs.DetRulingSetAdaptive(g, mprs.Options{ResidualBudget: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Beta != 1 {
+		t.Fatalf("huge budget beta = %d", res.Beta)
+	}
+	if err := mprs.Check(g, res); err != nil {
+		t.Fatal(err)
+	}
+	tight, err := mprs.RulingSetAdaptive(g, mprs.Options{ResidualBudget: 64, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mprs.Check(g, tight); err != nil {
+		t.Fatal(err)
+	}
+	if tight.Beta < res.Beta {
+		t.Fatalf("tight budget chose smaller beta (%d < %d)", tight.Beta, res.Beta)
+	}
+}
+
+func TestPublicAPIClique(t *testing.T) {
+	g := buildTestGraph(t)
+	det, err := mprs.CliqueDetRulingSet2(g, mprs.Options{ChunkBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mprs.IsRulingSet(g, det.Members, 2) {
+		t.Fatal("clique det output invalid")
+	}
+	rnd, err := mprs.CliqueRulingSet2(g, mprs.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mprs.IsRulingSet(g, rnd.Members, 2) {
+		t.Fatal("clique rand output invalid")
+	}
+}
+
+func TestPublicAPICheckDistributed(t *testing.T) {
+	g := buildTestGraph(t)
+	res, err := mprs.DetRulingSet2(g, mprs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, err := mprs.CheckDistributed(g, res.Members, 2, mprs.Options{Machines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 1 || rounds > 5 {
+		t.Fatalf("distributed verification used %d rounds", rounds)
+	}
+	if _, err := mprs.CheckDistributed(g, []int32{0, 1, 2, 3, 4, 5}, 1, mprs.Options{}); err == nil {
+		t.Fatal("bogus set accepted")
+	}
+}
