@@ -91,6 +91,33 @@ func BenchmarkA3AlphaWeight(b *testing.B) { benchExperiment(b, "A3") }
 // BenchmarkA4LubyThresholds regenerates ablation A4 (Luby marking family).
 func BenchmarkA4LubyThresholds(b *testing.B) { benchExperiment(b, "A4") }
 
+// BenchmarkR1FaultRecovery regenerates experiment R1 (output invariance and
+// recovery overhead under the deterministic fault schedule).
+func BenchmarkR1FaultRecovery(b *testing.B) { benchExperiment(b, "R1") }
+
+// BenchmarkFaultedDetRuling2 measures the simulator overhead of running
+// DetRuling2 under an active fault plan with checkpointing, versus
+// BenchmarkDetRuling2's fault-free baseline.
+func BenchmarkFaultedDetRuling2(b *testing.B) {
+	g := benchGraph(b, 4096)
+	plan := &mprs.FaultPlan{
+		Seed:      1,
+		CrashRate: 0.001,
+		DropRate:  0.01,
+		Crashes:   []mprs.FaultEvent{{Round: 1, Machine: 0}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mprs.DetRulingSet2(g, mprs.Options{Faults: plan, CheckpointEvery: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Stats.RecoveryRounds), "recovery-rounds")
+		}
+	}
+}
+
 // ---- substrate micro-benchmarks ----
 
 func benchGraph(b *testing.B, n int) *mprs.Graph {

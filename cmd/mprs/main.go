@@ -7,6 +7,7 @@
 //	mprs info -spec ... | -in graph.txt
 //	mprs run  -algo det2 -spec gnp:n=4096,p=0.004 [-machines 8] [-regime linear]
 //	          [-epsilon 0.5] [-chunk 8] [-beta 3] [-alpha 3] [-trace] [-verify]
+//	          [-faults crash=0.02,drop=0.01,crash@3:1] [-fault-seed 1] [-checkpoint-every 4]
 //
 // Algorithms: luby, detluby, rand2, det2, randbeta, detbeta, randab, detab,
 // clique2, cliquedet2 (congested clique), greedy.
@@ -136,6 +137,10 @@ func cmdRun(args []string) error {
 		trace    = fs.Bool("trace", false, "print the per-phase trace")
 		rounds   = fs.Bool("rounds", false, "print the per-round communication log")
 		verify   = fs.Bool("verify", true, "verify independence and radius")
+
+		faults = fs.String("faults", "", "fault spec, e.g. crash=0.02,drop=0.01,dup=0.005,stall=0.05,crash@3:1 (empty = off)")
+		fseed  = fs.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+		ckpt   = fs.Int("checkpoint-every", 0, "snapshot driver state every k supersteps for crash recovery (0 = barrier recovery)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,13 +149,19 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	plan, err := mpc.ParseFaultPlan(*faults, *fseed)
+	if err != nil {
+		return err
+	}
 	opts := rulingset.Options{
-		Machines:    *machines,
-		Epsilon:     *epsilon,
-		MemoryWords: *memory,
-		ChunkBits:   *chunk,
-		Seed:        *algoSeed,
-		Strict:      *strict,
+		Machines:        *machines,
+		Epsilon:         *epsilon,
+		MemoryWords:     *memory,
+		ChunkBits:       *chunk,
+		Seed:            *algoSeed,
+		Strict:          *strict,
+		Faults:          plan,
+		CheckpointEvery: *ckpt,
 	}
 	switch *regime {
 	case "linear":
@@ -236,6 +247,16 @@ func cmdRun(args []string) error {
 		}
 		fmt.Printf("verified: independent, radius <= %d\n", res.Beta)
 	}
+	if opts.Faults.Enabled() {
+		ft := metrics.NewTable(fmt.Sprintf("recovery under %s", opts.Faults),
+			"recovered crashes", "recovery rounds", "replayed words", "checkpoint words", "dropped", "duplicated", "stall rounds")
+		ft.AddRow(res.Stats.RecoveredCrashes, res.Stats.RecoveryRounds, res.Stats.ReplayedWords,
+			res.Stats.CheckpointWords, res.Stats.DroppedMessages, res.Stats.DupMessages, res.Stats.StallRounds)
+		fmt.Println()
+		if err := ft.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
 	for _, v := range res.Stats.Violations {
 		fmt.Printf("budget violation: %s\n", v)
 	}
@@ -271,6 +292,16 @@ func runClique(g *graph.Graph, algo string, opts rulingset.Options, verify bool)
 			return fmt.Errorf("verification failed")
 		}
 		fmt.Printf("verified: independent, radius <= %d\n", res.Beta)
+	}
+	if opts.Faults.Enabled() {
+		ft := metrics.NewTable(fmt.Sprintf("recovery under %s", opts.Faults),
+			"recovered crashes", "recovery rounds", "replayed words", "dropped", "duplicated", "stall rounds")
+		ft.AddRow(res.Stats.RecoveredCrashes, res.Stats.RecoveryRounds, res.Stats.ReplayedWords,
+			res.Stats.DroppedMessages, res.Stats.DupMessages, res.Stats.StallRounds)
+		fmt.Println()
+		if err := ft.Render(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

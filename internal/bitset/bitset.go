@@ -153,6 +153,51 @@ func (s *Set) Elements() []int {
 	return out
 }
 
+// PackRange serializes membership of the indices in [lo, hi) into
+// ⌈(hi−lo)/64⌉ words: bit j of the result holds membership of index lo+j.
+// The range is clamped to [0, n). Used by checkpointing to snapshot one
+// machine's slice of a vertex set.
+func (s *Set) PackRange(lo, hi int) []uint64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	out := make([]uint64, (hi-lo+wordBits-1)/wordBits)
+	for i := lo; i < hi; i++ {
+		if s.Contains(i) {
+			j := i - lo
+			out[j/wordBits] |= 1 << uint(j%wordBits)
+		}
+	}
+	return out
+}
+
+// UnpackRange overwrites membership of the indices in [lo, hi) from a
+// PackRange payload (bit j of data holds membership of index lo+j; missing
+// words clear). Indices outside the range are untouched.
+func (s *Set) UnpackRange(lo, hi int, data []uint64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	for i := lo; i < hi; i++ {
+		j := i - lo
+		w := j / wordBits
+		if w < len(data) && data[w]&(1<<uint(j%wordBits)) != 0 {
+			s.Add(i)
+		} else {
+			s.Remove(i)
+		}
+	}
+}
+
 // trimTail clears bits at positions >= n in the final word so Count and
 // iteration never observe out-of-range indices.
 func (s *Set) trimTail() {

@@ -187,3 +187,34 @@ func TestZeroValue(t *testing.T) {
 		t.Fatalf("zero value must stay empty")
 	}
 }
+
+func TestPackUnpackRange(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 100, 131, 199} {
+		s.Add(i)
+	}
+	for _, r := range [][2]int{{0, 200}, {0, 64}, {60, 70}, {64, 128}, {131, 132}, {199, 200}, {50, 50}} {
+		lo, hi := r[0], r[1]
+		packed := s.PackRange(lo, hi)
+		dst := New(200)
+		dst.Fill() // unpack must overwrite, not merge
+		dst.UnpackRange(lo, hi, packed)
+		for i := 0; i < 200; i++ {
+			want := s.Contains(i)
+			if i < lo || i >= hi {
+				want = true // outside the range: untouched (still filled)
+			}
+			if dst.Contains(i) != want {
+				t.Fatalf("range [%d,%d): index %d = %v, want %v", lo, hi, i, dst.Contains(i), want)
+			}
+		}
+	}
+	// Clamping: out-of-range bounds never panic.
+	if got := s.PackRange(-5, 500); len(got) != (200+63)/64 {
+		t.Fatalf("clamped pack length = %d", len(got))
+	}
+	s.UnpackRange(-5, 500, nil) // clears everything
+	if s.Count() != 0 {
+		t.Fatalf("unpack with empty payload left %d bits", s.Count())
+	}
+}

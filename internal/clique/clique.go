@@ -26,8 +26,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+
+	"github.com/rulingset/mprs/internal/mpc"
 )
 
 // LenzenRounds is the constant number of rounds charged for one Lenzen
@@ -42,6 +45,14 @@ type Config struct {
 	PairWords int
 	// Strict makes violations errors instead of recorded statistics.
 	Strict bool
+	// Faults, when non-nil and enabled, injects the same deterministic
+	// fault schedule as the MPC simulator (see mpc.FaultPlan): node crashes
+	// abort and re-execute the round from the barrier-committed state,
+	// message drops are retransmitted, duplicates deduplicated, stragglers
+	// stall the barrier — all recovered, so delivered inboxes (and the
+	// algorithm's output) stay bit-identical to the fault-free run, with the
+	// robustness cost metered in the fault fields of Stats.
+	Faults *mpc.FaultPlan
 }
 
 // Violation records a bandwidth breach.
@@ -62,13 +73,30 @@ func (v Violation) String() string {
 	return fmt.Sprintf("round %d: node %d %s %d words > %d", v.Round, v.Src, v.Kind, v.Words, v.Limit)
 }
 
-// Stats aggregates model measurements of a simulation.
+// Stats aggregates model measurements of a simulation. As in the mpc
+// package, Rounds/Messages/Words count only committed rounds and delivered
+// traffic (bit-identical to the fault-free run); recovery overhead is
+// metered separately in the fault fields.
 type Stats struct {
 	Rounds     int
 	Messages   int64
 	Words      int64
 	PeakRecv   int // max words received by one node in one round
 	Violations []Violation
+
+	// RecoveredCrashes counts injected node crashes recovered at the barrier.
+	RecoveredCrashes int
+	// RecoveryRounds counts extra rounds spent on crash re-execution and
+	// drop retransmission.
+	RecoveryRounds int
+	// ReplayedWords counts words re-sent during recovery.
+	ReplayedWords int64
+	// DroppedMessages counts transit losses repaired by retransmission.
+	DroppedMessages int
+	// DupMessages counts transit duplicates removed by receiver dedup.
+	DupMessages int
+	// StallRounds counts barrier rounds lost to straggler stalls.
+	StallRounds int
 }
 
 // ErrBandwidth is wrapped by errors returned in Strict mode.
@@ -88,6 +116,10 @@ type Cluster struct {
 	inboxes [][]Message
 	mu      sync.Mutex
 	outbox  [][]Message // indexed by destination
+
+	// fired records crash events already injected, so the re-executed round
+	// does not crash again (a fault fires once per (round, node)).
+	fired map[[2]int]struct{}
 }
 
 // NewCluster creates an n-node congested clique.
@@ -131,6 +163,10 @@ type Ctx struct {
 
 	c     *Cluster
 	inbox []Message
+
+	crashed  bool
+	panicked any
+	stack    []byte
 }
 
 // Inbox returns the messages delivered at the end of the previous step,
@@ -158,11 +194,58 @@ func (c *Cluster) RouteStep(name string, f func(x *Ctx)) error {
 	return c.step(name, f, true)
 }
 
-func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
-	_ = name
+// crashNow consumes one injected crash for (round, v); a fault fires only
+// once, so the round's re-execution after recovery does not crash again.
+func (c *Cluster) crashNow(round, v int) bool {
+	if !c.cfg.Faults.CrashesAt(round, v) {
+		return false
+	}
+	key := [2]int{round, v}
+	if _, ok := c.fired[key]; ok {
+		return false
+	}
+	if c.fired == nil {
+		c.fired = make(map[[2]int]struct{})
+	}
+	c.fired[key] = struct{}{}
+	return true
+}
+
+// discardOutbox throws away everything queued during an aborted round
+// attempt, optionally charging the discarded words to ReplayedWords (re-sent
+// on the re-execution).
+func (c *Cluster) discardOutbox(charge bool) {
+	for dst := range c.outbox {
+		if charge {
+			for _, msg := range c.outbox[dst] {
+				c.stats.ReplayedWords += int64(len(msg.Payload))
+			}
+		}
+		c.outbox[dst] = nil
+	}
+}
+
+// runAttempt executes one attempt of a round: f runs on every non-crashed
+// node via a bounded worker pool, panics recovered per node. Returns the
+// nodes crashed by the fault plan and the lowest-node MachineError if any
+// node's f panicked.
+func (c *Cluster) runAttempt(round int, f func(x *Ctx)) (crashed []int, merr *mpc.MachineError) {
 	ctxs := make([]*Ctx, c.n)
 	for v := 0; v < c.n; v++ {
 		ctxs[v] = &Ctx{Node: v, c: c, inbox: c.inboxes[v]}
+		if c.crashNow(round, v) {
+			ctxs[v].crashed = true
+			crashed = append(crashed, v)
+		}
+	}
+	run := func(x *Ctx) {
+		defer func() {
+			if r := recover(); r != nil {
+				x.panicked = r
+				x.stack = debug.Stack()
+			}
+		}()
+		f(x)
 	}
 	// Bounded worker pool: n can be thousands of nodes.
 	workers := runtime.GOMAXPROCS(0)
@@ -183,11 +266,49 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for v := lo; v < hi; v++ {
-				f(ctxs[v])
+				if !ctxs[v].crashed {
+					run(ctxs[v])
+				}
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	for v := 0; v < c.n; v++ {
+		if ctxs[v].panicked != nil {
+			merr = &mpc.MachineError{Machine: v, Round: round, Panic: ctxs[v].panicked, Stack: ctxs[v].stack}
+			break
+		}
+	}
+	return crashed, merr
+}
+
+func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
+	_ = name
+	round := c.stats.Rounds + 1
+	for {
+		crashed, merr := c.runAttempt(round, f)
+		if merr != nil {
+			c.discardOutbox(false)
+			return merr
+		}
+		if len(crashed) == 0 {
+			break
+		}
+		// Crashed nodes restart from the barrier-committed state of the
+		// previous round and the round re-executes (node computation is
+		// deterministic, so the re-execution reproduces the fault-free
+		// messages exactly).
+		c.stats.RecoveredCrashes += len(crashed)
+		c.stats.RecoveryRounds++
+		c.discardOutbox(true)
+	}
+	if p := c.cfg.Faults; p != nil {
+		for v := 0; v < c.n; v++ {
+			if p.StallsAt(round, v) {
+				c.stats.StallRounds++
+			}
+		}
+	}
 
 	if routed {
 		c.stats.Rounds += LenzenRounds
@@ -196,6 +317,7 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 	}
 
 	var firstErr error
+	droppedThisRound := false
 	sentByNode := make([]int, c.n)
 	for dst := 0; dst < c.n; dst++ {
 		box := c.outbox[dst]
@@ -203,11 +325,27 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 		recv := 0
 		pairWords := 0
 		prevSrc := -1
+		seq := 0
 		for _, msg := range box {
 			if msg.Src != prevSrc {
 				pairWords = 0
+				seq = 0
 				prevSrc = msg.Src
 			}
+			// Transport faults, decided on the sorted (schedule-independent)
+			// order: drops are retransmitted, duplicates deduplicated, so
+			// the delivered box is always exactly the sent messages.
+			if pf := c.cfg.Faults; pf != nil {
+				if pf.DropsMessage(round, msg.Src, dst, seq) {
+					c.stats.DroppedMessages++
+					c.stats.ReplayedWords += int64(len(msg.Payload))
+					droppedThisRound = true
+				}
+				if pf.DupsMessage(round, msg.Src, dst, seq) {
+					c.stats.DupMessages++
+				}
+			}
+			seq++
 			pairWords += len(msg.Payload)
 			recv += len(msg.Payload)
 			sentByNode[msg.Src] += len(msg.Payload)
@@ -250,6 +388,9 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 				}
 			}
 		}
+	}
+	if droppedThisRound {
+		c.stats.RecoveryRounds++
 	}
 	return firstErr
 }

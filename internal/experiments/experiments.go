@@ -98,6 +98,7 @@ var _registry = []struct {
 	{id: "A2", fn: A2BenefitCap, doc: "ablation: estimator neighborhood cap"},
 	{id: "A3", fn: A3AlphaWeight, doc: "ablation: estimator cost weight"},
 	{id: "A4", fn: A4LubyThresholds, doc: "ablation: Luby marking family"},
+	{id: "R1", fn: R1FaultRecovery, doc: "fault injection: output invariance + recovery overhead"},
 }
 
 // IDs returns all experiment ids in canonical order.

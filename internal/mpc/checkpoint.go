@@ -1,0 +1,101 @@
+package mpc
+
+// Checkpointer exposes a driver's per-machine mutable state to the cluster's
+// Pregel-style superstep recovery. Snapshot(m) serializes machine m's state
+// into machine words; Restore(m, data) overwrites it from a snapshot. The
+// cluster snapshots every Config.CheckpointEvery supersteps (charging the
+// written words to Stats.CheckpointWords) and, when an injected crash aborts
+// a superstep, restores the crashed machine and charges the replay distance
+// back to the last checkpoint.
+//
+// Because machine-local computation is deterministic, replaying the
+// superstep log from the last checkpoint reconstructs exactly the state the
+// simulator still holds; recovery therefore drives the machine's state
+// through a Snapshot/Restore round-trip (exercising both hooks — a lossy
+// Snapshot or a buggy Restore corrupts the run and fails the bit-identity
+// tests) while the replay's rounds and words are charged to
+// Stats.RecoveryRounds and Stats.ReplayedWords.
+type Checkpointer interface {
+	// Snapshot returns machine m's state as machine words. The returned
+	// slice must not alias live driver state.
+	Snapshot(m int) []uint64
+	// Restore overwrites machine m's state from a Snapshot payload.
+	Restore(m int, data []uint64)
+}
+
+// FuncCheckpointer adapts two closures to the Checkpointer interface.
+type FuncCheckpointer struct {
+	SnapshotFn func(m int) []uint64
+	RestoreFn  func(m int, data []uint64)
+}
+
+// Snapshot implements Checkpointer.
+func (f FuncCheckpointer) Snapshot(m int) []uint64 { return f.SnapshotFn(m) }
+
+// Restore implements Checkpointer.
+func (f FuncCheckpointer) Restore(m int, data []uint64) { f.RestoreFn(m, data) }
+
+// SetCheckpointer registers the driver state hooks used by superstep
+// recovery. Checkpoints are taken only when Config.CheckpointEvery > 0; with
+// no checkpointer (or CheckpointEvery == 0) crashes are still recovered, but
+// from the barrier-committed state of the previous superstep (replay
+// distance 1), with no state words to restore.
+func (c *Cluster) SetCheckpointer(cp Checkpointer) { c.ckpt = cp }
+
+// maybeCheckpoint snapshots every machine's state at the superstep barrier
+// before round executes: at round 1 (the baseline) and then every
+// CheckpointEvery rounds. Written words are charged to CheckpointWords.
+func (c *Cluster) maybeCheckpoint(round int) {
+	if c.ckpt == nil || c.cfg.CheckpointEvery <= 0 {
+		return
+	}
+	if c.snapshots != nil && (round-1)%c.cfg.CheckpointEvery != 0 {
+		return
+	}
+	if c.snapshots == nil {
+		c.snapshots = make([][]uint64, c.cfg.Machines)
+	}
+	for m := range c.snapshots {
+		snap := c.ckpt.Snapshot(m)
+		c.snapshots[m] = snap
+		c.stats.CheckpointWords += int64(len(snap))
+	}
+	c.ckptRound = round - 1
+}
+
+// recoverCrashes restarts the machines that crashed during an aborted
+// attempt of the given round: their state is restored through the
+// Snapshot/Restore hooks (see Checkpointer), the replay distance back to the
+// last checkpoint is charged to RecoveryRounds, and the restored state plus
+// the aborted attempt's discarded traffic are charged to ReplayedWords.
+func (c *Cluster) recoverCrashes(round int, crashed []int) {
+	c.stats.RecoveredCrashes += len(crashed)
+	replay := 1
+	if c.ckpt != nil && c.cfg.CheckpointEvery > 0 {
+		if d := round - c.ckptRound; d > replay {
+			replay = d
+		}
+		for _, m := range crashed {
+			if c.snapshots != nil && c.snapshots[m] != nil {
+				c.stats.ReplayedWords += int64(len(c.snapshots[m]))
+			}
+			c.ckpt.Restore(m, c.ckpt.Snapshot(m))
+		}
+	}
+	c.stats.RecoveryRounds += replay
+	c.discardOutboxes(true)
+}
+
+// discardOutboxes throws away everything queued during an aborted superstep
+// attempt, optionally charging the discarded words to ReplayedWords (re-sent
+// on the retry).
+func (c *Cluster) discardOutboxes(charge bool) {
+	for m := range c.outboxes {
+		if charge {
+			for _, msg := range c.outboxes[m] {
+				c.stats.ReplayedWords += int64(len(msg.Payload))
+			}
+		}
+		c.outboxes[m] = nil
+	}
+}

@@ -1,0 +1,315 @@
+package mpc
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// echoStep has every machine send its id to machine 0.
+func echoStep(x *Ctx) {
+	x.Send(0, uint64(x.Machine))
+}
+
+func inboxWords(msgs []Message) []uint64 {
+	var out []uint64
+	for _, m := range msgs {
+		out = append(out, m.Payload...)
+	}
+	return out
+}
+
+func TestPanicBecomesMachineError(t *testing.T) {
+	c, err := NewCluster(Config{Machines: 4}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Step("boom", func(x *Ctx) {
+		if x.Machine == 2 {
+			panic("injected bug")
+		}
+		x.Send(0, uint64(x.Machine))
+	})
+	var me *MachineError
+	if !errors.As(err, &me) {
+		t.Fatalf("err = %v, want *MachineError", err)
+	}
+	if me.Machine != 2 || me.Round != 1 || me.Panic != "injected bug" {
+		t.Fatalf("MachineError = %+v", me)
+	}
+	if !strings.Contains(me.Error(), "machine 2 panicked in round 1") {
+		t.Fatalf("Error() = %q", me.Error())
+	}
+	if len(me.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+	// The failed superstep delivers nothing and the cluster survives: the
+	// next step runs normally with empty inboxes.
+	err = c.Step("after", func(x *Ctx) {
+		if len(x.Inbox()) != 0 {
+			t.Errorf("machine %d inbox = %v after failed step", x.Machine, x.Inbox())
+		}
+		echoStep(x)
+	})
+	if err != nil {
+		t.Fatalf("step after panic: %v", err)
+	}
+	if got := inboxWords(c.inboxes[0]); len(got) != 4 {
+		t.Fatalf("delivery after recovery = %v", got)
+	}
+}
+
+func TestCrashRecoveryIdenticalDelivery(t *testing.T) {
+	run := func(plan *FaultPlan) ([]uint64, Stats) {
+		c, err := NewCluster(Config{Machines: 4, Faults: plan}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 3; r++ {
+			if err := c.Step("echo", echoStep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return inboxWords(c.inboxes[0]), c.Stats()
+	}
+
+	base, baseStats := run(nil)
+	plan := &FaultPlan{Seed: 7, Crashes: []FaultEvent{{Round: 1, Machine: 0}, {Round: 2, Machine: 3}}}
+	faulty, st := run(plan)
+
+	if len(base) != 4 {
+		t.Fatalf("baseline delivery = %v", base)
+	}
+	for i := range base {
+		if base[i] != faulty[i] {
+			t.Fatalf("delivery differs under crashes: %v vs %v", base, faulty)
+		}
+	}
+	if st.RecoveredCrashes != 2 || st.RecoveryRounds < 2 {
+		t.Fatalf("recovery stats = %+v", st)
+	}
+	if st.ReplayedWords == 0 {
+		t.Fatal("discarded superstep traffic not charged to ReplayedWords")
+	}
+	// Core accounting is bit-identical to the fault-free run.
+	if st.Rounds != baseStats.Rounds || st.Words != baseStats.Words || st.Messages != baseStats.Messages {
+		t.Fatalf("core stats diverged: faulty %+v vs base %+v", st, baseStats)
+	}
+}
+
+func TestDropAndDupRecovered(t *testing.T) {
+	plan := &FaultPlan{Seed: 1, DropRate: 1, DupRate: 1}
+	c, err := NewCluster(Config{Machines: 3, Faults: plan}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step("echo", echoStep); err != nil {
+		t.Fatal(err)
+	}
+	if got := inboxWords(c.inboxes[0]); len(got) != 3 {
+		t.Fatalf("reliable transport delivered %v", got)
+	}
+	st := c.Stats()
+	if st.DroppedMessages != 3 || st.DupMessages != 3 {
+		t.Fatalf("transport stats = %+v", st)
+	}
+	if st.RecoveryRounds != 1 {
+		t.Fatalf("RecoveryRounds = %d, want 1 (one retransmission round)", st.RecoveryRounds)
+	}
+	if st.ReplayedWords != 3 {
+		t.Fatalf("ReplayedWords = %d", st.ReplayedWords)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	plan := &FaultPlan{Seed: 3, Crashes: []FaultEvent{{Round: 4, Machine: 1}}}
+	c, err := NewCluster(Config{Machines: 2, Faults: plan, CheckpointEvery: 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Driver state: one counter per machine, bumped after each step (the
+	// repo's driver discipline: mutate only after Step returns).
+	state := []uint64{100, 200}
+	var restores int
+	c.SetCheckpointer(FuncCheckpointer{
+		SnapshotFn: func(m int) []uint64 { return []uint64{state[m]} },
+		RestoreFn: func(m int, data []uint64) {
+			restores++
+			if len(data) != 1 {
+				t.Errorf("restore payload = %v", data)
+			}
+			state[m] = data[0]
+		},
+	})
+	for r := 1; r <= 5; r++ {
+		if err := c.Step("tick", echoStep); err != nil {
+			t.Fatal(err)
+		}
+		for m := range state {
+			state[m]++
+		}
+	}
+	if state[0] != 105 || state[1] != 205 {
+		t.Fatalf("state corrupted by recovery: %v", state)
+	}
+	st := c.Stats()
+	if restores != 1 || st.RecoveredCrashes != 1 {
+		t.Fatalf("restores = %d, stats = %+v", restores, st)
+	}
+	// Checkpoints at rounds 1, 3 and 5 write 2 machines × 1 word each.
+	if st.CheckpointWords != 6 {
+		t.Fatalf("CheckpointWords = %d", st.CheckpointWords)
+	}
+	// Crash at round 4, last checkpoint before round 3 → replay distance ≥ 1
+	// plus restored state charged.
+	if st.RecoveryRounds < 1 || st.ReplayedWords == 0 {
+		t.Fatalf("recovery accounting = %+v", st)
+	}
+}
+
+func TestLateSendErrors(t *testing.T) {
+	c, err := NewCluster(Config{Machines: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaked *Ctx
+	if err := c.Step("leak", func(x *Ctx) {
+		if x.Machine == 1 {
+			leaked = x
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	leaked.Send(0, 42) // stale: dropped, recorded
+	err = c.Step("next", func(x *Ctx) {
+		if x.Machine == 0 && len(x.Inbox()) != 0 {
+			t.Errorf("stale send leaked into inbox: %v", x.Inbox())
+		}
+	})
+	if !errors.Is(err, ErrStaleCtx) {
+		t.Fatalf("late send err = %v, want ErrStaleCtx", err)
+	}
+	// The error is one-shot: subsequent steps are clean.
+	if err := c.Step("clean", func(x *Ctx) {}); err != nil {
+		t.Fatalf("step after stale-send report: %v", err)
+	}
+}
+
+func TestStrictAbortDeliversNothing(t *testing.T) {
+	c, err := NewCluster(Config{Machines: 2, Regime: RegimeExplicit, MemoryWords: 2, Strict: true}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Step("burst", func(x *Ctx) {
+		if x.Machine == 0 {
+			x.Send(1, 1, 2, 3)
+		}
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("strict violation err = %v, want ErrBudget", err)
+	}
+	if got := c.inboxes[1]; len(got) != 0 {
+		t.Fatalf("aborted step delivered %v", got)
+	}
+}
+
+func TestFaultPlanDeterminism(t *testing.T) {
+	p := &FaultPlan{Seed: 42, CrashRate: 0.3, DropRate: 0.2, DupRate: 0.1, StallRate: 0.25}
+	q := &FaultPlan{Seed: 42, CrashRate: 0.3, DropRate: 0.2, DupRate: 0.1, StallRate: 0.25}
+	other := &FaultPlan{Seed: 43, CrashRate: 0.3, DropRate: 0.2, DupRate: 0.1, StallRate: 0.25}
+	same, diff := 0, 0
+	for r := 1; r <= 50; r++ {
+		for m := 0; m < 8; m++ {
+			if p.CrashesAt(r, m) != q.CrashesAt(r, m) ||
+				p.StallsAt(r, m) != q.StallsAt(r, m) ||
+				p.DropsMessage(r, m, 0, 0) != q.DropsMessage(r, m, 0, 0) ||
+				p.DupsMessage(r, m, 0, 0) != q.DupsMessage(r, m, 0, 0) {
+				t.Fatalf("equal plans disagree at round %d machine %d", r, m)
+			}
+			if p.CrashesAt(r, m) {
+				same++
+			}
+			if p.CrashesAt(r, m) != other.CrashesAt(r, m) {
+				diff++
+			}
+		}
+	}
+	if same == 0 || same == 400 {
+		t.Fatalf("crash rate 0.3 fired %d/400 times", same)
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	for _, spec := range []string{"", "off", "none"} {
+		p, err := ParseFaultPlan(spec, 1)
+		if err != nil || p != nil {
+			t.Fatalf("ParseFaultPlan(%q) = %v, %v", spec, p, err)
+		}
+	}
+	p, err := ParseFaultPlan("crash=0.02, drop=0.01, dup=0.005, stall=0.05, crash@3:1", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 || p.CrashRate != 0.02 || p.DropRate != 0.01 || p.DupRate != 0.005 || p.StallRate != 0.05 {
+		t.Fatalf("parsed plan = %+v", p)
+	}
+	if len(p.Crashes) != 1 || p.Crashes[0] != (FaultEvent{Round: 3, Machine: 1}) {
+		t.Fatalf("explicit crashes = %v", p.Crashes)
+	}
+	if !p.Enabled() || !strings.Contains(p.String(), "crash=0.02") {
+		t.Fatalf("plan stringer = %q", p.String())
+	}
+	for _, bad := range []string{"crash", "crash=2", "crash=x", "crash@3", "crash@x:1", "crash@0:0", "warp=0.1"} {
+		if _, err := ParseFaultPlan(bad, 0); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	plan := &FaultPlan{Seed: 5, StallRate: 1}
+	c, err := NewCluster(Config{Machines: 3, Faults: plan}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step("tick", echoStep); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.StallRounds != 3 {
+		t.Fatalf("StallRounds = %d, want 3", st.StallRounds)
+	}
+}
+
+// TestResidentAccountingRace is the -race regression for the satellite fix:
+// resident-memory accounting is reachable from concurrent machine code.
+func TestResidentAccountingRace(t *testing.T) {
+	c, err := NewCluster(Config{Machines: 8}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for m := 0; m < 8; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := c.AddResident(m, 1); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = c.Resident(m)
+			}
+		}(m)
+	}
+	wg.Wait()
+	if err := c.SetResident(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if c.Resident(0) != 7 {
+		t.Fatalf("resident = %d", c.Resident(0))
+	}
+}

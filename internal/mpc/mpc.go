@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"sync"
 )
@@ -65,7 +66,19 @@ type Config struct {
 	// standing in for the Θ̃(n) constants/log factors.
 	LinearSlack int
 	// Strict makes budget violations errors instead of recorded statistics.
+	// A strict violation aborts the offending step cleanly: nothing is
+	// delivered and the step's contexts are invalidated.
 	Strict bool
+	// Faults, when non-nil and enabled, injects the deterministic fault
+	// schedule described in fault.go (machine crashes, message drops and
+	// duplications, straggler stalls), all recovered at the superstep
+	// barrier so outputs stay bit-identical to the fault-free run.
+	Faults *FaultPlan
+	// CheckpointEvery, together with a registered Checkpointer, snapshots
+	// driver state every k supersteps; crash recovery then replays from the
+	// last checkpoint and is charged accordingly. 0 disables checkpointing
+	// (crashes recover from the barrier-committed state at replay cost 1).
+	CheckpointEvery int
 }
 
 // Violation records a budget breach observed during the simulation.
@@ -93,6 +106,12 @@ type RoundInfo struct {
 }
 
 // Stats aggregates the model-relevant measurements of a simulation.
+//
+// The fault/recovery fields meter robustness cost separately from the
+// algorithm's own complexity: Rounds and Words count only committed
+// supersteps and delivered traffic (bit-identical to the fault-free run),
+// while recovery overhead accumulates in RecoveryRounds, ReplayedWords and
+// CheckpointWords. Total cost under faults is the sum of the two groups.
 type Stats struct {
 	Rounds       int
 	Messages     int64
@@ -102,6 +121,26 @@ type Stats struct {
 	PeakResident int
 	Violations   []Violation
 	Log          []RoundInfo
+
+	// RecoveredCrashes counts injected machine crashes recovered at the
+	// superstep barrier.
+	RecoveredCrashes int
+	// RecoveryRounds counts extra rounds spent recovering: restart/replay
+	// rounds after crashes plus one retransmission round per superstep with
+	// dropped messages.
+	RecoveryRounds int
+	// ReplayedWords counts words re-sent or restored during recovery:
+	// discarded superstep traffic, restored checkpoint state and
+	// retransmitted messages.
+	ReplayedWords int64
+	// CheckpointWords counts words written by periodic state checkpoints.
+	CheckpointWords int64
+	// DroppedMessages counts transit losses repaired by retransmission.
+	DroppedMessages int
+	// DupMessages counts transit duplicates removed by receiver dedup.
+	DupMessages int
+	// StallRounds counts barrier rounds lost to straggler stalls.
+	StallRounds int
 }
 
 // ErrBudget is wrapped by errors returned in Strict mode when a budget is
@@ -117,14 +156,25 @@ type Message struct {
 // Cluster is a simulated MPC cluster over a ground set of n items
 // (vertices), block-partitioned across machines.
 type Cluster struct {
-	cfg      Config
-	n        int
-	budget   int
-	resident []int
-	stats    Stats
-	inboxes  [][]Message
-	mu       sync.Mutex // guards outbox appends during a step
+	cfg     Config
+	n       int
+	budget  int
+	stats   Stats
+	inboxes [][]Message
+
+	// mu guards outbox appends, resident-memory accounting and the
+	// late-send error during a step (all reachable from concurrent machine
+	// code).
+	mu       sync.Mutex
 	outboxes [][]Message
+	resident []int
+	lateErr  error
+
+	// Superstep recovery state (see fault.go and checkpoint.go).
+	ckpt      Checkpointer
+	snapshots [][]uint64
+	ckptRound int
+	fired     map[uint64]struct{}
 }
 
 // NewCluster creates a cluster for a ground set of n items. The memory
@@ -212,8 +262,15 @@ func (c *Cluster) Range(m int) (lo, hi int) {
 }
 
 // SetResident records machine m's current resident memory in words; the
-// per-machine peak is tracked and checked against the budget.
+// per-machine peak is tracked and checked against the budget. Safe to call
+// from concurrent machine code inside a step.
 func (c *Cluster) SetResident(m, words int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.setResidentLocked(m, words)
+}
+
+func (c *Cluster) setResidentLocked(m, words int) error {
 	c.resident[m] = words
 	if words > c.stats.PeakResident {
 		c.stats.PeakResident = words
@@ -230,13 +287,20 @@ func (c *Cluster) SetResident(m, words int) error {
 	return nil
 }
 
-// AddResident adjusts machine m's resident memory by delta words.
+// AddResident adjusts machine m's resident memory by delta words. Safe to
+// call from concurrent machine code inside a step.
 func (c *Cluster) AddResident(m, delta int) error {
-	return c.SetResident(m, c.resident[m]+delta)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.setResidentLocked(m, c.resident[m]+delta)
 }
 
 // Resident returns machine m's currently recorded resident memory.
-func (c *Cluster) Resident(m int) int { return c.resident[m] }
+func (c *Cluster) Resident(m int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident[m]
+}
 
 func (c *Cluster) violate(v Violation) error {
 	c.stats.Violations = append(c.stats.Violations, v)
@@ -263,11 +327,25 @@ func (c *Cluster) ResetStats() {
 // rather than simulated message-by-message (e.g. standard graph
 // exponentiation). It adds k rounds to the statistics under the given name
 // with no bandwidth attributed.
-func (c *Cluster) ChargeRounds(name string, k int) {
+//
+// A negative k is a caller bug (it would silently under-count the model's
+// central quantity): it is recorded as a "rounds" violation and, consistent
+// with budget handling, returned as an error in Strict mode.
+func (c *Cluster) ChargeRounds(name string, k int) error {
+	if k < 0 {
+		return c.violate(Violation{
+			Round:   c.stats.Rounds,
+			Machine: -1,
+			Kind:    "rounds",
+			Words:   k,
+			Budget:  0,
+		})
+	}
 	for i := 0; i < k; i++ {
 		c.stats.Rounds++
 		c.stats.Log = append(c.stats.Log, RoundInfo{Name: name})
 	}
+	return nil
 }
 
 // MergeStats accumulates b into a: rounds, traffic and violations add up,
@@ -282,19 +360,36 @@ func MergeStats(a, b Stats) Stats {
 	a.PeakResident = maxInt(a.PeakResident, b.PeakResident)
 	a.Violations = append(a.Violations, b.Violations...)
 	a.Log = append(a.Log, b.Log...)
+	a.RecoveredCrashes += b.RecoveredCrashes
+	a.RecoveryRounds += b.RecoveryRounds
+	a.ReplayedWords += b.ReplayedWords
+	a.CheckpointWords += b.CheckpointWords
+	a.DroppedMessages += b.DroppedMessages
+	a.DupMessages += b.DupMessages
+	a.StallRounds += b.StallRounds
 	return a
 }
 
 // Ctx is the per-machine view inside one Step: the machine id, its item
 // range, the messages delivered at the end of the previous step, and a Send
 // primitive for the current step.
+//
+// A Ctx is valid only for the duration of its step: once the step commits
+// (or aborts), the context is invalidated and late Send calls are dropped
+// and surfaced as an error from the next Step, instead of corrupting the
+// next round's traffic.
 type Ctx struct {
 	Machine int
 	Lo, Hi  int
 
 	c     *Cluster
+	round int
 	inbox []Message
 	sent  int
+
+	done     bool // guarded by c.mu
+	panicked any
+	stack    []byte
 }
 
 // Inbox returns the messages delivered to this machine at the end of the
@@ -310,30 +405,154 @@ func (x *Ctx) Send(dst int, payload ...uint64) {
 }
 
 // SendOwned queues payload without copying; the caller must not reuse it.
+// Sending on an invalidated context (after its step completed) drops the
+// payload and records ErrStaleCtx, returned by the cluster's next Step.
 func (x *Ctx) SendOwned(dst int, payload []uint64) {
-	x.sent += len(payload)
 	x.c.mu.Lock()
+	if x.done {
+		if x.c.lateErr == nil {
+			x.c.lateErr = fmt.Errorf("mpc: machine %d sent %d words after its step (round %d) completed: %w",
+				x.Machine, len(payload), x.round, ErrStaleCtx)
+		}
+		x.c.mu.Unlock()
+		return
+	}
+	x.sent += len(payload)
 	x.c.outboxes[dst] = append(x.c.outboxes[dst], Message{Src: x.Machine, Payload: payload})
 	x.c.mu.Unlock()
+}
+
+// ErrStaleCtx is wrapped by the error recorded when a machine sends on a Ctx
+// whose step has already completed (e.g. from a goroutine leaked past the
+// superstep barrier).
+var ErrStaleCtx = errors.New("mpc: send on invalidated step context")
+
+// takeLateErr returns and clears the sticky late-send error.
+func (c *Cluster) takeLateErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.lateErr
+	c.lateErr = nil
+	return err
+}
+
+// invalidate marks every context of a finished (or aborted) step attempt so
+// late sends error instead of leaking into the next round.
+func (c *Cluster) invalidate(ctxs []*Ctx) {
+	c.mu.Lock()
+	for _, x := range ctxs {
+		if x != nil {
+			x.done = true
+		}
+	}
+	c.mu.Unlock()
+}
+
+// crashNow consumes one injected crash for (round, m); a fault fires only
+// once, so the superstep retry after recovery does not crash again.
+func (c *Cluster) crashNow(round, m int) bool {
+	if !c.cfg.Faults.CrashesAt(round, m) {
+		return false
+	}
+	key := eventID(faultCrash, round, m, 0, 0)
+	if _, ok := c.fired[key]; ok {
+		return false
+	}
+	if c.fired == nil {
+		c.fired = make(map[uint64]struct{})
+	}
+	c.fired[key] = struct{}{}
+	return true
+}
+
+// runAttempt executes one attempt of a superstep: f runs concurrently on
+// every non-crashed machine with panics recovered per machine. It returns
+// the attempt's contexts, the machines crashed by the fault plan, and the
+// lowest-machine MachineError if any step function panicked.
+func (c *Cluster) runAttempt(round int, f func(x *Ctx)) (ctxs []*Ctx, crashed []int, merr *MachineError) {
+	M := c.cfg.Machines
+	ctxs = make([]*Ctx, M)
+	var wg sync.WaitGroup
+	for m := 0; m < M; m++ {
+		lo, hi := c.Range(m)
+		ctxs[m] = &Ctx{Machine: m, Lo: lo, Hi: hi, c: c, round: round, inbox: c.inboxes[m]}
+		if c.crashNow(round, m) {
+			crashed = append(crashed, m)
+			continue
+		}
+		wg.Add(1)
+		go func(x *Ctx) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					x.panicked = r
+					x.stack = debug.Stack()
+				}
+			}()
+			f(x)
+		}(ctxs[m])
+	}
+	wg.Wait()
+	for m := 0; m < M; m++ {
+		if ctxs[m].panicked != nil {
+			merr = &MachineError{Machine: m, Round: round, Panic: ctxs[m].panicked, Stack: ctxs[m].stack}
+			break
+		}
+	}
+	return ctxs, crashed, merr
 }
 
 // Step executes one synchronous round: f runs concurrently on every machine
 // (reading its inbox from the previous step and sending messages), then all
 // messages are delivered. name labels the round in the trace log.
+//
+// Robustness semantics:
+//   - A panic in one machine's f is recovered at the barrier and returned as
+//     a *MachineError; the step delivers nothing and the process survives.
+//   - Crashes injected by Config.Faults abort the attempt at the barrier;
+//     crashed machines are restored (see Checkpointer) and the superstep
+//     re-executes, with the recovery charged to the fault fields of Stats.
+//     f must therefore be effect-free on driver state (the established
+//     discipline: drivers mutate state only after Step returns).
+//   - Message drops are repaired by retransmission and duplicates removed by
+//     receiver dedup, so delivered inboxes are always exactly the sent
+//     messages; only the fault accounting records that anything happened.
+//   - In Strict mode a budget violation aborts the step cleanly: the error
+//     is returned, nothing is delivered, and the contexts are invalidated.
 func (c *Cluster) Step(name string, f func(x *Ctx)) error {
-	M := c.cfg.Machines
-	ctxs := make([]*Ctx, M)
-	var wg sync.WaitGroup
-	for m := 0; m < M; m++ {
-		lo, hi := c.Range(m)
-		ctxs[m] = &Ctx{Machine: m, Lo: lo, Hi: hi, c: c, inbox: c.inboxes[m]}
-		wg.Add(1)
-		go func(x *Ctx) {
-			defer wg.Done()
-			f(x)
-		}(ctxs[m])
+	if err := c.takeLateErr(); err != nil {
+		return err
 	}
-	wg.Wait()
+	M := c.cfg.Machines
+	round := c.stats.Rounds + 1
+	c.maybeCheckpoint(round)
+
+	var ctxs []*Ctx
+	for {
+		var (
+			crashed []int
+			merr    *MachineError
+		)
+		ctxs, crashed, merr = c.runAttempt(round, f)
+		if merr != nil {
+			c.discardOutboxes(false)
+			c.invalidate(ctxs)
+			return merr
+		}
+		if len(crashed) == 0 {
+			break
+		}
+		c.invalidate(ctxs)
+		c.recoverCrashes(round, crashed)
+	}
+	c.invalidate(ctxs)
+	if p := c.cfg.Faults; p != nil {
+		for m := 0; m < M; m++ {
+			if p.StallsAt(round, m) {
+				c.stats.StallRounds++
+			}
+		}
+	}
 
 	c.stats.Rounds++
 	info := RoundInfo{Name: name}
@@ -355,10 +574,14 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 	// Deliver: outboxes were appended under a mutex in nondeterministic
 	// order; restore determinism by stable-sorting on sender (messages from
 	// one sender were appended in its sequential send order, and sorting
-	// stability preserves that order).
+	// stability preserves that order). Transport faults are decided on the
+	// sorted order, so they too are schedule-independent.
+	delivered := make([][]Message, M)
+	droppedThisRound := false
 	for m := 0; m < M; m++ {
 		box := c.outboxes[m]
 		stableSortBySrc(box)
+		c.transportFaults(round, m, box, &droppedThisRound)
 		recv := 0
 		for _, msg := range box {
 			recv += len(msg.Payload)
@@ -376,13 +599,51 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 				firstErr = err
 			}
 		}
-		c.inboxes[m] = box
+		delivered[m] = box
 		c.outboxes[m] = nil
+	}
+	if droppedThisRound {
+		c.stats.RecoveryRounds++
 	}
 	c.stats.Messages += int64(info.Messages)
 	c.stats.Words += int64(info.Words)
 	c.stats.Log = append(c.stats.Log, info)
-	return firstErr
+	if firstErr != nil {
+		// Strict mode: abort cleanly — the violation is recorded and
+		// returned, nothing reaches the next round's inboxes.
+		return firstErr
+	}
+	for m := 0; m < M; m++ {
+		c.inboxes[m] = delivered[m]
+	}
+	return nil
+}
+
+// transportFaults applies the plan's message-level faults to one sorted
+// destination box. The transport is reliable: drops are retransmitted
+// (charged to DroppedMessages, ReplayedWords and one recovery round per
+// affected superstep) and duplicates deduplicated (charged to DupMessages),
+// so the delivered box is always exactly the sent messages.
+func (c *Cluster) transportFaults(round, dst int, box []Message, dropped *bool) {
+	p := c.cfg.Faults
+	if p == nil || (p.DropRate <= 0 && p.DupRate <= 0) {
+		return
+	}
+	seq, prevSrc := 0, -1
+	for _, msg := range box {
+		if msg.Src != prevSrc {
+			seq, prevSrc = 0, msg.Src
+		}
+		if p.DropsMessage(round, msg.Src, dst, seq) {
+			c.stats.DroppedMessages++
+			c.stats.ReplayedWords += int64(len(msg.Payload))
+			*dropped = true
+		}
+		if p.DupsMessage(round, msg.Src, dst, seq) {
+			c.stats.DupMessages++
+		}
+		seq++
+	}
 }
 
 // stableSortBySrc sorts messages by sender id, preserving per-sender order.

@@ -85,6 +85,7 @@ func rulingAdaptive(g *graph.Graph, o Options, deterministic bool) (Result, erro
 			return Result{}, err
 		}
 		st := newSparsifyState(cur.N())
+		registerCheckpoint(c, opts, st.active, st.candidates)
 		if err := runPhases(d, opts, st, schedule(int(delta)), deterministic, rng); err != nil {
 			return Result{}, err
 		}
@@ -96,7 +97,9 @@ func rulingAdaptive(g *graph.Graph, o Options, deterministic bool) (Result, erro
 			// force the solve next level rather than loop forever.
 			stalled = true
 		}
-		c.ChargeRounds("adaptive/relabel", 1)
+		if err := c.ChargeRounds("adaptive/relabel", 1); err != nil {
+			return Result{}, err
+		}
 		next := make([]int32, sub.N())
 		for i, v := range toOrig {
 			next[i] = origOf[v]

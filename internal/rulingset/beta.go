@@ -70,6 +70,7 @@ func rulingBeta(g *graph.Graph, beta int, o Options, deterministic bool) (Result
 			groups = splitSchedule(schedule(int(delta)), beta-1)
 		}
 		st := newSparsifyState(cur.N())
+		registerCheckpoint(c, opts, st.active, st.candidates)
 		if err := runPhases(d, opts, st, groups[level], deterministic, rng); err != nil {
 			return Result{}, err
 		}
@@ -89,7 +90,9 @@ func rulingBeta(g *graph.Graph, beta int, o Options, deterministic bool) (Result
 			// The relabeling is a bounded exchange in a real deployment;
 			// model it as one charged round.
 			sub, _, toOrig := cur.InducedSubgraph(st.candidates.Contains)
-			c.ChargeRounds("beta/relabel", 1)
+			if err := c.ChargeRounds("beta/relabel", 1); err != nil {
+				return Result{}, err
+			}
 			next := make([]int32, sub.N())
 			for i, v := range toOrig {
 				next[i] = origOf[v]

@@ -55,7 +55,7 @@ func cliqueRuling2(g *graph.Graph, o Options, deterministic bool) (CliqueResult,
 		return CliqueResult{Members: []int32{0}, Beta: 2, ResidualN: 1}, nil
 	}
 	o = o.withDefaults(n)
-	c, err := clique.NewCluster(clique.Config{Strict: o.Strict}, n)
+	c, err := clique.NewCluster(clique.Config{Strict: o.Strict, Faults: o.Faults}, n)
 	if err != nil {
 		return CliqueResult{}, err
 	}

@@ -47,6 +47,7 @@ func lubyMIS(g *graph.Graph, o Options, deterministic bool) (Result, error) {
 	active := bitset.New(n)
 	active.Fill()
 	inSet := bitset.New(n)
+	registerCheckpoint(c, o, active, inSet)
 	rng := rand.New(rand.NewSource(o.Seed))
 	var phases []PhaseStat
 

@@ -37,6 +37,7 @@ func ruling2(g *graph.Graph, o Options, deterministic bool) (Result, error) {
 		return Result{}, err
 	}
 	st := newSparsifyState(g.N())
+	registerCheckpoint(c, o, st.active, st.candidates)
 	// The rng drives randomized sampling, and — for the SeedRandomFamily
 	// ablation — random family draws inside deterministic runs.
 	rng := rand.New(rand.NewSource(o.Seed))

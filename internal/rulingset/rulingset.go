@@ -80,6 +80,17 @@ type Options struct {
 	// ResidualBudget is the adaptive algorithms' target size (in words) for
 	// the instance shipped to one machine; 0 means the cluster's budget S.
 	ResidualBudget int
+
+	// Faults, when non-nil and enabled, injects the deterministic fault
+	// schedule (crashes, drops, duplicates, stalls) into the simulated
+	// cluster; see mpc.FaultPlan. Every fault is recovered, so the returned
+	// members are bit-identical to the fault-free run's, with the recovery
+	// cost metered in the fault fields of Result.Stats.
+	Faults *mpc.FaultPlan
+	// CheckpointEvery snapshots driver state every k supersteps for crash
+	// recovery; 0 recovers from the barrier-committed state instead. See
+	// mpc.Config.CheckpointEvery.
+	CheckpointEvery int
 }
 
 // SeedPolicy selects how a deterministic phase fixes its hash seed.
@@ -141,12 +152,14 @@ func (o Options) withDefaults(n int) Options {
 // cluster builds the simulated cluster for a graph of order n.
 func (o Options) cluster(n int) (*mpc.Cluster, error) {
 	return mpc.NewCluster(mpc.Config{
-		Machines:    o.Machines,
-		Regime:      o.Regime,
-		Epsilon:     o.Epsilon,
-		MemoryWords: o.MemoryWords,
-		LinearSlack: o.LinearSlack,
-		Strict:      o.Strict,
+		Machines:        o.Machines,
+		Regime:          o.Regime,
+		Epsilon:         o.Epsilon,
+		MemoryWords:     o.MemoryWords,
+		LinearSlack:     o.LinearSlack,
+		Strict:          o.Strict,
+		Faults:          o.Faults,
+		CheckpointEvery: o.CheckpointEvery,
 	}, n)
 }
 

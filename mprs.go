@@ -61,6 +61,28 @@ type Stats = mpc.Stats
 // Regime selects how the per-machine memory budget is derived.
 type Regime = mpc.Regime
 
+// FaultPlan is a seeded deterministic fault schedule (machine crashes,
+// message drops/duplications, straggler stalls) for Options.Faults. Every
+// injected fault is recovered at the superstep barrier, so algorithm outputs
+// stay bit-identical to the fault-free run while the recovery cost is
+// metered in the fault fields of Stats.
+type FaultPlan = mpc.FaultPlan
+
+// FaultEvent pins one explicit crash to a (round, machine) pair in a
+// FaultPlan.
+type FaultEvent = mpc.FaultEvent
+
+// MachineError is a panic recovered from one machine's step function; runs
+// surface it as a structured error instead of crashing the process.
+type MachineError = mpc.MachineError
+
+// ParseFaultPlan builds a FaultPlan from a compact spec such as
+// "crash=0.02,drop=0.01,dup=0.005,stall=0.05,crash@3:1"; an empty spec
+// returns a disabled (nil) plan.
+func ParseFaultPlan(spec string, seed int64) (*FaultPlan, error) {
+	return mpc.ParseFaultPlan(spec, seed)
+}
+
 // Memory regimes for Options.Regime.
 const (
 	// RegimeLinear is near-linear memory per machine (S = Θ(n)); the regime
