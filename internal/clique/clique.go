@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"github.com/rulingset/mprs/internal/mpc"
+	"github.com/rulingset/mprs/internal/trace"
 )
 
 // LenzenRounds is the constant number of rounds charged for one Lenzen
@@ -53,6 +54,10 @@ type Config struct {
 	// algorithm's output) stay bit-identical to the fault-free run, with the
 	// robustness cost metered in the fault fields of Stats.
 	Faults *mpc.FaultPlan
+	// Tracer, when non-nil, receives one trace.Event per committed round
+	// (per-node words sent/received, recovery activity). Deterministic; costs
+	// nothing when nil.
+	Tracer trace.Tracer
 }
 
 // Violation records a bandwidth breach.
@@ -83,6 +88,19 @@ type Stats struct {
 	Words      int64
 	PeakRecv   int // max words received by one node in one round
 	Violations []Violation
+
+	// Spans aggregates rounds/traffic/skew per named trace span (algorithm
+	// phase), in order of first appearance (see Cluster.Span). The per-span
+	// schema is shared with the MPC simulator.
+	Spans []mpc.SpanStat
+	// SkewSent and SkewRecv are the worst per-round imbalance ratios across
+	// nodes: max words sent (received) by one node divided by the round mean.
+	SkewSent float64
+	SkewRecv float64
+	// GiniSent and GiniRecv are the worst per-round Gini imbalance
+	// coefficients across nodes (see trace.Gini).
+	GiniSent float64
+	GiniRecv float64
 
 	// RecoveredCrashes counts injected node crashes recovered at the barrier.
 	RecoveredCrashes int
@@ -120,6 +138,15 @@ type Cluster struct {
 	// fired records crash events already injected, so the re-executed round
 	// does not crash again (a fault fires once per (round, node)).
 	fired map[[2]int]struct{}
+
+	// Observability state: the registered tracer, the active span label, and
+	// reusable per-node scratch buffers so skew accounting allocates nothing
+	// per round.
+	tracer  trace.Tracer
+	span    string
+	sentW   []int
+	recvW   []int
+	sortBuf []int
 }
 
 // NewCluster creates an n-node congested clique.
@@ -138,8 +165,24 @@ func NewCluster(cfg Config, n int) (*Cluster, error) {
 		n:       n,
 		inboxes: make([][]Message, n),
 		outbox:  make([][]Message, n),
+		tracer:  cfg.Tracer,
+		span:    "setup",
+		sentW:   make([]int, n),
+		recvW:   make([]int, n),
+		sortBuf: make([]int, n),
 	}, nil
 }
+
+// SetTracer registers (or, with nil, removes) the round tracer.
+func (c *Cluster) SetTracer(t trace.Tracer) { c.tracer = t }
+
+// Span sets the active trace-span label; subsequent rounds are attributed to
+// it in Stats.Spans and emitted trace events (same labels as the MPC
+// simulator: "sparsify", "seed-search", "gather", "finish"; default "setup").
+func (c *Cluster) Span(name string) { c.span = name }
+
+// CurrentSpan returns the active trace-span label.
+func (c *Cluster) CurrentSpan() string { return c.span }
 
 // N returns the node count.
 func (c *Cluster) N() int { return c.n }
@@ -151,11 +194,61 @@ func (c *Cluster) Config() Config { return c.cfg }
 func (c *Cluster) Stats() Stats {
 	out := c.stats
 	out.Violations = append([]Violation(nil), c.stats.Violations...)
+	out.Spans = append([]mpc.SpanStat(nil), c.stats.Spans...)
 	return out
 }
 
 // ChargeRounds accounts for k analytically modeled rounds.
-func (c *Cluster) ChargeRounds(k int) { c.stats.Rounds += k }
+func (c *Cluster) ChargeRounds(k int) {
+	for i := 0; i < k; i++ {
+		c.stats.Rounds++
+		c.bumpSpan(1, 0, 0, 0, 0, 0, 0)
+		if c.tracer != nil {
+			c.tracer.Superstep(trace.Event{
+				Round:   c.stats.Rounds,
+				Step:    "charged",
+				Span:    c.span,
+				Charged: true,
+			})
+		}
+	}
+}
+
+// findSpan returns the (possibly new) aggregate for the active span; the
+// last entry is checked first so consecutive rounds in one phase are O(1).
+func (c *Cluster) findSpan() *mpc.SpanStat {
+	if n := len(c.stats.Spans); n > 0 && c.stats.Spans[n-1].Span == c.span {
+		return &c.stats.Spans[n-1]
+	}
+	for i := range c.stats.Spans {
+		if c.stats.Spans[i].Span == c.span {
+			return &c.stats.Spans[i]
+		}
+	}
+	c.stats.Spans = append(c.stats.Spans, mpc.SpanStat{Span: c.span})
+	return &c.stats.Spans[len(c.stats.Spans)-1]
+}
+
+// bumpSpan folds one committed round (or several, for Lenzen-routed and
+// charged steps) into the active span's aggregate.
+func (c *Cluster) bumpSpan(rounds int, messages, words int64, maxSent, maxRecv int, giniSent, giniRecv float64) {
+	sp := c.findSpan()
+	sp.Rounds += rounds
+	sp.Messages += messages
+	sp.Words += words
+	if maxSent > sp.MaxSent {
+		sp.MaxSent = maxSent
+	}
+	if maxRecv > sp.MaxRecv {
+		sp.MaxRecv = maxRecv
+	}
+	if giniSent > sp.GiniSent {
+		sp.GiniSent = giniSent
+	}
+	if giniRecv > sp.GiniRecv {
+		sp.GiniRecv = giniRecv
+	}
+}
 
 // Ctx is one node's view within a step.
 type Ctx struct {
@@ -283,8 +376,15 @@ func (c *Cluster) runAttempt(round int, f func(x *Ctx)) (crashed []int, merr *mp
 }
 
 func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
-	_ = name
 	round := c.stats.Rounds + 1
+	preCrashes := c.stats.RecoveredCrashes
+	preRecovery := c.stats.RecoveryRounds
+	preReplayed := c.stats.ReplayedWords
+	preDropped := c.stats.DroppedMessages
+	preDups := c.stats.DupMessages
+	preStalls := c.stats.StallRounds
+	preMsgs := c.stats.Messages
+	preWords := c.stats.Words
 	for {
 		crashed, merr := c.runAttempt(round, f)
 		if merr != nil {
@@ -318,7 +418,9 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 
 	var firstErr error
 	droppedThisRound := false
-	sentByNode := make([]int, c.n)
+	sentByNode := c.sentW
+	clear(sentByNode)
+	maxRecv := 0
 	for dst := 0; dst < c.n; dst++ {
 		box := c.outbox[dst]
 		sort.SliceStable(box, func(i, j int) bool { return box[i].Src < box[j].Src })
@@ -361,6 +463,10 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 				pairWords = -1 << 30 // flag once per pair per round
 			}
 		}
+		c.recvW[dst] = recv
+		if recv > maxRecv {
+			maxRecv = recv
+		}
 		if recv > c.stats.PeakRecv {
 			c.stats.PeakRecv = recv
 		}
@@ -391,6 +497,63 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 	}
 	if droppedThisRound {
 		c.stats.RecoveryRounds++
+	}
+	// Skew accounting across nodes: max/mean ratios and Gini coefficients
+	// (computed on the reusable scratch buffer — no allocation per round).
+	maxSent := 0
+	for _, s := range sentByNode {
+		if s > maxSent {
+			maxSent = s
+		}
+	}
+	roundMsgs := c.stats.Messages - preMsgs
+	roundWords := c.stats.Words - preWords
+	copy(c.sortBuf, sentByNode)
+	giniSent := trace.Gini(c.sortBuf)
+	copy(c.sortBuf, c.recvW)
+	giniRecv := trace.Gini(c.sortBuf)
+	if roundWords > 0 {
+		mean := float64(roundWords) / float64(c.n)
+		if s := float64(maxSent) / mean; s > c.stats.SkewSent {
+			c.stats.SkewSent = s
+		}
+		if s := float64(maxRecv) / mean; s > c.stats.SkewRecv {
+			c.stats.SkewRecv = s
+		}
+	}
+	if giniSent > c.stats.GiniSent {
+		c.stats.GiniSent = giniSent
+	}
+	if giniRecv > c.stats.GiniRecv {
+		c.stats.GiniRecv = giniRecv
+	}
+	charged := 1
+	if routed {
+		charged = LenzenRounds
+	}
+	c.bumpSpan(charged, roundMsgs, roundWords, maxSent, maxRecv, giniSent, giniRecv)
+	if c.tracer != nil {
+		// Event slices are freshly allocated: sinks may retain them. The
+		// clique model has no memory budget, so Resident stays nil.
+		c.tracer.Superstep(trace.Event{
+			Round:          c.stats.Rounds,
+			Step:           name,
+			Span:           c.span,
+			Sent:           append([]int(nil), sentByNode...),
+			Recv:           append([]int(nil), c.recvW...),
+			Messages:       int(roundMsgs),
+			Words:          int(roundWords),
+			MaxSent:        maxSent,
+			MaxRecv:        maxRecv,
+			GiniSent:       giniSent,
+			GiniRecv:       giniRecv,
+			Crashes:        c.stats.RecoveredCrashes - preCrashes,
+			RecoveryRounds: c.stats.RecoveryRounds - preRecovery,
+			ReplayedWords:  c.stats.ReplayedWords - preReplayed,
+			Dropped:        c.stats.DroppedMessages - preDropped,
+			Duplicated:     c.stats.DupMessages - preDups,
+			Stalls:         c.stats.StallRounds - preStalls,
+		})
 	}
 	return firstErr
 }

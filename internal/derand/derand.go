@@ -121,6 +121,11 @@ func SelectSeed(c *mpc.Cluster, s *hash.Seed, cfg Config, eval LocalEval) (Trace
 	if err != nil {
 		return Trace{}, err
 	}
+	// Seed selection is its own observable phase: attribute its collectives
+	// to the "seed-search" span, restoring the caller's span on return.
+	caller := c.CurrentSpan()
+	c.Span("seed-search")
+	defer c.Span(caller)
 	var trace Trace
 
 	// Initial expectation: one extra collective, kept for the guarantee

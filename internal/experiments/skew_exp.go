@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/rulingset/mprs/internal/graph"
+	"github.com/rulingset/mprs/internal/metrics"
+	"github.com/rulingset/mprs/internal/rulingset"
+)
+
+// O1CommunicationSkew measures per-phase communication skew through the trace
+// spans (EXPERIMENTS.md O1). Every superstep is annotated with its algorithm
+// phase (sparsify / seed-search / gather / finish), and the simulators
+// aggregate words, per-machine maxima and Gini imbalance per span. Predicted
+// shape, in three parts:
+//
+//  1. Concentration: the sample-and-sparsify phases carry the bulk of the
+//     total communication — the phase the theory bounds is the phase the
+//     meter shows dominating.
+//
+//  2. Gather skew: the residual gather routes the whole surviving instance
+//     to one machine, so its receive-side Gini sits at the M-machine
+//     concentration ceiling (M−1)/M.
+//
+//  3. Budget: for the paper's 2-ruling-set algorithms, per-machine per-round
+//     receive maxima stay within the regime budget S = 4n in every span —
+//     zero violations, the same bound the model charges. (The Luby baseline
+//     is metered alongside but genuinely brushes past S on its dense view
+//     exchange — visible in the table, and part of why the relaxation wins.)
+func O1CommunicationSkew(cfg Config) (Report, error) {
+	n := 8192
+	if cfg.Quick {
+		n = 1024
+	}
+	g := mustGNP(n, 16, cfg.Seed)
+	budget := 4 * n
+
+	algos := []struct {
+		name string
+		run  func(*graph.Graph, rulingset.Options) (rulingset.Result, error)
+	}{
+		{name: "LubyMIS", run: rulingset.LubyMIS},
+		{name: "DetLubyMIS", run: rulingset.DetLubyMIS},
+		{name: "RandRuling2", run: rulingset.RandRuling2},
+		{name: "DetRuling2", run: rulingset.DetRuling2},
+	}
+	table := metrics.NewTable(
+		fmt.Sprintf("O1: per-span communication skew — MPC, G(n=%d, 16/n), 8 machines, S=4n=%d", n, budget),
+		"algorithm", "span", "rounds", "words", "share", "max sent", "max recv", "gini sent", "gini recv")
+
+	const machines = 8
+	giniCeiling := float64(machines-1) / float64(machines)
+	gatherAtCeiling := true
+	withinBudget := true
+	concentrated := true
+	for _, a := range algos {
+		res, err := a.run(g, rulingset.Options{Seed: cfg.Seed, ChunkBits: 4})
+		if err != nil {
+			return Report{}, err
+		}
+		isRulingSet := a.name == "RandRuling2" || a.name == "DetRuling2"
+		if isRulingSet && len(res.Stats.Violations) > 0 {
+			withinBudget = false
+		}
+		var commWords, totalWords int64 // sparsify+seed-search vs everything
+		gatherGini := giniCeiling
+		for _, sp := range res.Stats.Spans {
+			totalWords += sp.Words
+			switch sp.Span {
+			case "sparsify", "seed-search":
+				commWords += sp.Words
+			case "gather":
+				gatherGini = sp.GiniRecv
+			}
+			if isRulingSet && sp.MaxRecv > budget {
+				withinBudget = false
+			}
+			share := 0.0
+			if res.Stats.Words > 0 {
+				share = float64(sp.Words) / float64(res.Stats.Words)
+			}
+			table.AddRow(a.name, sp.Span, sp.Rounds, sp.Words, share,
+				sp.MaxSent, sp.MaxRecv, sp.GiniSent, sp.GiniRecv)
+		}
+		if totalWords > 0 && float64(commWords)/float64(totalWords) < 0.5 {
+			concentrated = false
+		}
+		// Only the ruling-set algorithms have a gather span (Luby solves in
+		// place); the whole residual lands on machine 0, so the receive Gini
+		// must sit at the (M−1)/M single-receiver ceiling.
+		if gatherGini < giniCeiling-1e-9 {
+			gatherAtCeiling = false
+		}
+	}
+
+	// The congested-clique implementations share the span schema: one node
+	// per vertex, so the gather-side skew is even starker.
+	cliqueTable := metrics.NewTable(
+		fmt.Sprintf("O1: per-span communication skew — congested clique, G(n=%d, 16/n)", n),
+		"algorithm", "span", "rounds", "words", "max sent", "max recv", "gini sent", "gini recv")
+	cliqueAlgos := []struct {
+		name string
+		run  func(*graph.Graph, rulingset.Options) (rulingset.CliqueResult, error)
+	}{
+		{name: "CliqueRandRuling2", run: rulingset.CliqueRandRuling2},
+		{name: "CliqueDetRuling2", run: rulingset.CliqueDetRuling2},
+	}
+	cliqueGatherSkewed := true
+	for _, a := range cliqueAlgos {
+		res, err := a.run(g, rulingset.Options{Seed: cfg.Seed, ChunkBits: 4})
+		if err != nil {
+			return Report{}, err
+		}
+		var gatherGini float64
+		for _, sp := range res.Stats.Spans {
+			if sp.Span == "gather" {
+				gatherGini = sp.GiniRecv
+			}
+			cliqueTable.AddRow(a.name, sp.Span, sp.Rounds, sp.Words,
+				sp.MaxSent, sp.MaxRecv, sp.GiniSent, sp.GiniRecv)
+		}
+		if gatherGini < 0.9 {
+			cliqueGatherSkewed = false
+		}
+	}
+
+	return Report{
+		ID:     "O1",
+		Title:  "per-phase communication skew",
+		Tables: []*metrics.Table{table, cliqueTable},
+		Notes: []string{
+			fmt.Sprintf("shape: sparsify+seed-search phases carry >= 50%% of each algorithm's words: %v", concentrated),
+			fmt.Sprintf("shape: gather receive Gini at the single-receiver ceiling (M-1)/M = %.3f: %v", giniCeiling, gatherAtCeiling),
+			fmt.Sprintf("shape: 2-ruling-set receive maxima within budget S in every span, zero violations: %v", withinBudget),
+			fmt.Sprintf("shape: clique gather Gini >= 0.9 (whole residual routed to node 0 of n): %v", cliqueGatherSkewed),
+		},
+	}, nil
+}

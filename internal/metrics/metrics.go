@@ -41,7 +41,15 @@ func Cell(v any) string {
 	case float64:
 		return formatFloat(x)
 	case float32:
-		return formatFloat(float64(x))
+		// Widening a float32 directly exposes the binary representation's
+		// excess decimals (0.3 → 0.30000001192092896). Round-trip through the
+		// shortest decimal that still parses back to x at 32-bit precision.
+		short := strconv.FormatFloat(float64(x), 'g', -1, 32)
+		f, err := strconv.ParseFloat(short, 64)
+		if err != nil {
+			return short
+		}
+		return formatFloat(f)
 	case string:
 		return x
 	default:

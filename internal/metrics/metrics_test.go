@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -54,6 +55,28 @@ func TestCellFormatting(t *testing.T) {
 	for _, tt := range tests {
 		if got := Cell(tt.in); got != tt.want {
 			t.Errorf("Cell(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+// TestCellFloat32NoWideningArtifacts pins the float32 formatting fix: cells
+// must show the value's shortest decimal, not the artifacts of widening the
+// binary float32 representation to float64 (0.3 → 0.30000001192092896).
+func TestCellFloat32NoWideningArtifacts(t *testing.T) {
+	tests := []struct {
+		in   float32
+		want string
+	}{
+		{in: 0.3, want: "0.300"},
+		{in: 0.1, want: "0.100"},
+		{in: 1.27, want: "1.270"},
+		{in: 1e15, want: "1e+15"},  // widened: 999999986991104 (a "round" integer artifact)
+		{in: 1e-4, want: "0.0001"}, // widened: 9.999999747378752e-05
+		{in: float32(math.Pi), want: "3.142"},
+	}
+	for _, tt := range tests {
+		if got := Cell(tt.in); got != tt.want {
+			t.Errorf("Cell(float32(%v)) = %q, want %q", tt.in, got, tt.want)
 		}
 	}
 }

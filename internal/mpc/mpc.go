@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"math"
 	"runtime/debug"
+	"slices"
 	"sort"
 	"sync"
+
+	"github.com/rulingset/mprs/internal/trace"
 )
 
 // Regime selects how the per-machine memory budget S is derived from the
@@ -79,6 +82,10 @@ type Config struct {
 	// last checkpoint and is charged accordingly. 0 disables checkpointing
 	// (crashes recover from the barrier-committed state at replay cost 1).
 	CheckpointEvery int
+	// Tracer, when non-nil, receives one trace.Event per committed superstep
+	// (per-machine words sent/received, resident memory, recovery activity).
+	// Tracing is deterministic and costs nothing when nil.
+	Tracer trace.Tracer
 }
 
 // Violation records a budget breach observed during the simulation.
@@ -99,10 +106,35 @@ func (v Violation) String() string {
 // RoundInfo summarizes one communication round.
 type RoundInfo struct {
 	Name     string
-	MaxSent  int // max words sent by any machine this round
-	MaxRecv  int // max words received by any machine this round
+	Span     string // algorithm phase annotation active during the round
+	MaxSent  int    // max words sent by any machine this round
+	MaxRecv  int    // max words received by any machine this round
 	Messages int
 	Words    int
+	// GiniSent and GiniRecv are the round's communication-imbalance
+	// coefficients across machines (0 balanced, →1 one machine carries all).
+	GiniSent float64
+	GiniRecv float64
+}
+
+// SpanStat aggregates the rounds of one named trace span (algorithm phase):
+// how many rounds it spent, how much traffic it moved, and how skewed that
+// traffic was across machines. The skew quantities are what the
+// sparsification theorems shape: concentration phases should show high
+// imbalance (gather-like traffic), local phases should stay near-balanced.
+type SpanStat struct {
+	Span     string
+	Rounds   int
+	Messages int64
+	Words    int64
+	// MaxSent and MaxRecv are the largest per-machine per-round word counts
+	// observed inside the span.
+	MaxSent int
+	MaxRecv int
+	// GiniSent and GiniRecv are the worst per-round imbalance coefficients
+	// observed inside the span.
+	GiniSent float64
+	GiniRecv float64
 }
 
 // Stats aggregates the model-relevant measurements of a simulation.
@@ -121,6 +153,20 @@ type Stats struct {
 	PeakResident int
 	Violations   []Violation
 	Log          []RoundInfo
+
+	// Spans aggregates rounds/traffic/skew per named trace span, in order of
+	// first appearance (see Cluster.Span).
+	Spans []SpanStat
+	// SkewSent is the worst per-round send imbalance observed: max over
+	// rounds with traffic of MaxSent / (Words/M), i.e. the straggler ratio
+	// of the most loaded machine against the mean.
+	SkewSent float64
+	// SkewRecv is the receive-side counterpart of SkewSent.
+	SkewRecv float64
+	// GiniSent and GiniRecv are the worst per-round Gini imbalance
+	// coefficients observed (see trace.Gini).
+	GiniSent float64
+	GiniRecv float64
 
 	// RecoveredCrashes counts injected machine crashes recovered at the
 	// superstep barrier.
@@ -175,6 +221,15 @@ type Cluster struct {
 	snapshots [][]uint64
 	ckptRound int
 	fired     map[uint64]struct{}
+
+	// Observability state: the registered tracer, the active span label, and
+	// reusable per-machine scratch buffers so the skew accounting adds no
+	// allocations to the superstep path.
+	tracer  trace.Tracer
+	span    string
+	sentW   []int
+	recvW   []int
+	sortBuf []int
 }
 
 // NewCluster creates a cluster for a ground set of n items. The memory
@@ -219,8 +274,26 @@ func NewCluster(cfg Config, n int) (*Cluster, error) {
 		resident: make([]int, cfg.Machines),
 		inboxes:  make([][]Message, cfg.Machines),
 		outboxes: make([][]Message, cfg.Machines),
+		tracer:   cfg.Tracer,
+		span:     "setup",
+		sentW:    make([]int, cfg.Machines),
+		recvW:    make([]int, cfg.Machines),
+		sortBuf:  make([]int, cfg.Machines),
 	}, nil
 }
+
+// SetTracer registers (or, with nil, removes) the superstep tracer.
+func (c *Cluster) SetTracer(t trace.Tracer) { c.tracer = t }
+
+// Span sets the active trace-span label; subsequent rounds are attributed to
+// it in Stats.Spans, the round log, and emitted trace events. Algorithms
+// annotate their phases with the canonical labels "sparsify", "seed-search",
+// "gather" and "finish"; rounds before the first Span call land in "setup".
+func (c *Cluster) Span(name string) { c.span = name }
+
+// CurrentSpan returns the active trace-span label (so helpers like the
+// derandomizer can set a span and restore the caller's afterwards).
+func (c *Cluster) CurrentSpan() string { return c.span }
 
 // Machines returns the machine count M.
 func (c *Cluster) Machines() int { return c.cfg.Machines }
@@ -315,6 +388,7 @@ func (c *Cluster) Stats() Stats {
 	out := c.stats
 	out.Violations = append([]Violation(nil), c.stats.Violations...)
 	out.Log = append([]RoundInfo(nil), c.stats.Log...)
+	out.Spans = append([]SpanStat(nil), c.stats.Spans...)
 	return out
 }
 
@@ -343,23 +417,92 @@ func (c *Cluster) ChargeRounds(name string, k int) error {
 	}
 	for i := 0; i < k; i++ {
 		c.stats.Rounds++
-		c.stats.Log = append(c.stats.Log, RoundInfo{Name: name})
+		info := RoundInfo{Name: name, Span: c.span}
+		c.stats.Log = append(c.stats.Log, info)
+		c.bumpSpan(info)
+		if c.tracer != nil {
+			c.tracer.Superstep(trace.Event{
+				Round:   c.stats.Rounds,
+				Step:    name,
+				Span:    c.span,
+				Charged: true,
+			})
+		}
 	}
 	return nil
 }
 
+// findSpan returns the (possibly new) aggregate for the named span. The last
+// entry is checked first so the common case — consecutive rounds in the same
+// phase — is O(1).
+func (c *Cluster) findSpan(name string) *SpanStat {
+	if n := len(c.stats.Spans); n > 0 && c.stats.Spans[n-1].Span == name {
+		return &c.stats.Spans[n-1]
+	}
+	for i := range c.stats.Spans {
+		if c.stats.Spans[i].Span == name {
+			return &c.stats.Spans[i]
+		}
+	}
+	c.stats.Spans = append(c.stats.Spans, SpanStat{Span: name})
+	return &c.stats.Spans[len(c.stats.Spans)-1]
+}
+
+// bumpSpan folds one committed round into its span aggregate.
+func (c *Cluster) bumpSpan(info RoundInfo) {
+	sp := c.findSpan(info.Span)
+	sp.Rounds++
+	sp.Messages += int64(info.Messages)
+	sp.Words += int64(info.Words)
+	sp.MaxSent = maxInt(sp.MaxSent, info.MaxSent)
+	sp.MaxRecv = maxInt(sp.MaxRecv, info.MaxRecv)
+	sp.GiniSent = maxFloat(sp.GiniSent, info.GiniSent)
+	sp.GiniRecv = maxFloat(sp.GiniRecv, info.GiniRecv)
+}
+
+// recoverySnapshot captures the fault-layer counters so Step can report the
+// recovery activity of one superstep as deltas in its trace event.
+type recoverySnapshot struct {
+	crashes, recoveryRounds int
+	dropped, dups, stalls   int
+	replayed                int64
+}
+
+func (c *Cluster) snapshotRecovery() recoverySnapshot {
+	return recoverySnapshot{
+		crashes:        c.stats.RecoveredCrashes,
+		recoveryRounds: c.stats.RecoveryRounds,
+		dropped:        c.stats.DroppedMessages,
+		dups:           c.stats.DupMessages,
+		stalls:         c.stats.StallRounds,
+		replayed:       c.stats.ReplayedWords,
+	}
+}
+
 // MergeStats accumulates b into a: rounds, traffic and violations add up,
-// peaks take the maximum. Used when an algorithm chains sub-instances on
-// fresh clusters (e.g. recursive β-ruling levels).
+// peaks and skew coefficients take the maximum, span aggregates merge by
+// name, and b's per-round indices (violations, like the appended log) are
+// offset by a's round count so merged stats read as one continuous run. Used
+// when an algorithm chains sub-instances on fresh clusters (e.g. recursive
+// β-ruling levels).
 func MergeStats(a, b Stats) Stats {
+	offset := a.Rounds
 	a.Rounds += b.Rounds
 	a.Messages += b.Messages
 	a.Words += b.Words
 	a.PeakSent = maxInt(a.PeakSent, b.PeakSent)
 	a.PeakRecv = maxInt(a.PeakRecv, b.PeakRecv)
 	a.PeakResident = maxInt(a.PeakResident, b.PeakResident)
-	a.Violations = append(a.Violations, b.Violations...)
+	for _, v := range b.Violations {
+		v.Round += offset
+		a.Violations = append(a.Violations, v)
+	}
 	a.Log = append(a.Log, b.Log...)
+	a.Spans = mergeSpans(a.Spans, b.Spans)
+	a.SkewSent = maxFloat(a.SkewSent, b.SkewSent)
+	a.SkewRecv = maxFloat(a.SkewRecv, b.SkewRecv)
+	a.GiniSent = maxFloat(a.GiniSent, b.GiniSent)
+	a.GiniRecv = maxFloat(a.GiniRecv, b.GiniRecv)
 	a.RecoveredCrashes += b.RecoveredCrashes
 	a.RecoveryRounds += b.RecoveryRounds
 	a.ReplayedWords += b.ReplayedWords
@@ -367,6 +510,31 @@ func MergeStats(a, b Stats) Stats {
 	a.DroppedMessages += b.DroppedMessages
 	a.DupMessages += b.DupMessages
 	a.StallRounds += b.StallRounds
+	return a
+}
+
+// mergeSpans folds b's span aggregates into a's, matching by name and
+// preserving first-appearance order. The result never aliases b.
+func mergeSpans(a, b []SpanStat) []SpanStat {
+	for _, sp := range b {
+		merged := false
+		for i := range a {
+			if a[i].Span == sp.Span {
+				a[i].Rounds += sp.Rounds
+				a[i].Messages += sp.Messages
+				a[i].Words += sp.Words
+				a[i].MaxSent = maxInt(a[i].MaxSent, sp.MaxSent)
+				a[i].MaxRecv = maxInt(a[i].MaxRecv, sp.MaxRecv)
+				a[i].GiniSent = maxFloat(a[i].GiniSent, sp.GiniSent)
+				a[i].GiniRecv = maxFloat(a[i].GiniRecv, sp.GiniRecv)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			a = append(a, sp)
+		}
+	}
 	return a
 }
 
@@ -525,6 +693,7 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 	}
 	M := c.cfg.Machines
 	round := c.stats.Rounds + 1
+	pre := c.snapshotRecovery()
 	c.maybeCheckpoint(round)
 
 	var ctxs []*Ctx
@@ -555,10 +724,11 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 	}
 
 	c.stats.Rounds++
-	info := RoundInfo{Name: name}
+	info := RoundInfo{Name: name, Span: c.span}
 	var firstErr error
 	for m := 0; m < M; m++ {
 		sent := ctxs[m].sent
+		c.sentW[m] = sent
 		if sent > info.MaxSent {
 			info.MaxSent = sent
 		}
@@ -588,6 +758,7 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 			info.Messages++
 			info.Words += len(msg.Payload)
 		}
+		c.recvW[m] = recv
 		if recv > info.MaxRecv {
 			info.MaxRecv = recv
 		}
@@ -605,9 +776,47 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 	if droppedThisRound {
 		c.stats.RecoveryRounds++
 	}
+	// Skew accounting: per-round Gini coefficients (computed on the reusable
+	// scratch buffer — no allocation) and the straggler ratio max/mean.
+	copy(c.sortBuf, c.sentW)
+	info.GiniSent = trace.Gini(c.sortBuf)
+	copy(c.sortBuf, c.recvW)
+	info.GiniRecv = trace.Gini(c.sortBuf)
+	if info.Words > 0 {
+		mean := float64(info.Words) / float64(M)
+		c.stats.SkewSent = maxFloat(c.stats.SkewSent, float64(info.MaxSent)/mean)
+		c.stats.SkewRecv = maxFloat(c.stats.SkewRecv, float64(info.MaxRecv)/mean)
+	}
+	c.stats.GiniSent = maxFloat(c.stats.GiniSent, info.GiniSent)
+	c.stats.GiniRecv = maxFloat(c.stats.GiniRecv, info.GiniRecv)
 	c.stats.Messages += int64(info.Messages)
 	c.stats.Words += int64(info.Words)
 	c.stats.Log = append(c.stats.Log, info)
+	c.bumpSpan(info)
+	if c.tracer != nil {
+		// Event slices are freshly allocated: sinks may retain them. Machine
+		// goroutines are quiesced at this point, so c.resident is stable.
+		c.tracer.Superstep(trace.Event{
+			Round:          c.stats.Rounds,
+			Step:           name,
+			Span:           c.span,
+			Sent:           slices.Clone(c.sentW),
+			Recv:           slices.Clone(c.recvW),
+			Resident:       slices.Clone(c.resident),
+			Messages:       info.Messages,
+			Words:          info.Words,
+			MaxSent:        info.MaxSent,
+			MaxRecv:        info.MaxRecv,
+			GiniSent:       info.GiniSent,
+			GiniRecv:       info.GiniRecv,
+			Crashes:        c.stats.RecoveredCrashes - pre.crashes,
+			RecoveryRounds: c.stats.RecoveryRounds - pre.recoveryRounds,
+			ReplayedWords:  c.stats.ReplayedWords - pre.replayed,
+			Dropped:        c.stats.DroppedMessages - pre.dropped,
+			Duplicated:     c.stats.DupMessages - pre.dups,
+			Stalls:         c.stats.StallRounds - pre.stalls,
+		})
+	}
 	if firstErr != nil {
 		// Strict mode: abort cleanly — the violation is recorded and
 		// returned, nothing reaches the next round's inboxes.
@@ -652,6 +861,13 @@ func stableSortBySrc(box []Message) {
 }
 
 func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxFloat(a, b float64) float64 {
 	if a > b {
 		return a
 	}

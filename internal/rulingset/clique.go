@@ -55,7 +55,7 @@ func cliqueRuling2(g *graph.Graph, o Options, deterministic bool) (CliqueResult,
 		return CliqueResult{Members: []int32{0}, Beta: 2, ResidualN: 1}, nil
 	}
 	o = o.withDefaults(n)
-	c, err := clique.NewCluster(clique.Config{Strict: o.Strict, Faults: o.Faults}, n)
+	c, err := clique.NewCluster(clique.Config{Strict: o.Strict, Faults: o.Faults, Tracer: o.Tracer}, n)
 	if err != nil {
 		return CliqueResult{}, err
 	}
@@ -75,6 +75,7 @@ func cliqueRuling2(g *graph.Graph, o Options, deterministic bool) (CliqueResult,
 	cand := bitset.New(n)
 	var phases []PhaseStat
 
+	c.Span("sparsify")
 	for _, j := range schedule(int(delta)) {
 		if active.Count() == 0 {
 			break
@@ -267,6 +268,9 @@ func cliqueDetMarks(c *clique.Cluster, o Options, active *bitset.Set, view [][]i
 	for v := 0; v < n; v++ {
 		ps.EstimatorInitial += nodeTerm(v, seed)
 	}
+	caller := c.CurrentSpan()
+	c.Span("seed-search")
+	defer c.Span(caller)
 	segW := fam.SegWidth()
 	for seed.Fixed() < seed.Total() {
 		start := seed.Fixed()
@@ -317,6 +321,7 @@ func cliqueDetMarks(c *clique.Cluster, o Options, active *bitset.Set, view [][]i
 // notifies the members.
 func cliqueSolveResidual(c *clique.Cluster, g *graph.Graph, cand *bitset.Set) ([]int32, *graph.Graph, error) {
 	n := g.N()
+	c.Span("gather")
 	// Announce: candidates tell their neighbors (one word per pair).
 	if err := c.Step("residual/announce", func(x *clique.Ctx) {
 		if !cand.Contains(x.Node) {
@@ -382,6 +387,7 @@ func cliqueSolveResidual(c *clique.Cluster, g *graph.Graph, cand *bitset.Set) ([
 		inMIS.Add(int(toOrig[v]))
 	}
 	// Notify members individually (one word per pair from node 0).
+	c.Span("finish")
 	if err := c.Step("residual/notify", func(x *clique.Ctx) {
 		if x.Node != 0 {
 			return

@@ -52,6 +52,7 @@ func lubyMIS(g *graph.Graph, o Options, deterministic bool) (Result, error) {
 	var phases []PhaseStat
 
 	remaining := n
+	c.Span("sparsify") // Luby's marking iterations play the sparsify role
 	for iter := 1; remaining > 0; iter++ {
 		if iter > o.MaxIterations {
 			return Result{}, fmt.Errorf("rulingset: luby iteration cap %d exceeded with %d active vertices", o.MaxIterations, remaining)
@@ -173,6 +174,7 @@ func lubyMIS(g *graph.Graph, o Options, deterministic bool) (Result, error) {
 		phases = append(phases, ps)
 	}
 
+	c.Span("finish")
 	members := make([]int32, 0, inSet.Count())
 	inSet.ForEach(func(v int) bool {
 		members = append(members, int32(v))

@@ -81,6 +81,8 @@ func maxDegree(d *mpc.DistGraph) (uint64, error) {
 // the sparsifier's invariant (every vertex in C or adjacent to it) the
 // result is a 2-ruling set.
 func solveResidual(d *mpc.DistGraph, st *sparsifyState, o Options) ([]int32, *graph.Graph, error) {
+	c := d.Cluster()
+	c.Span("gather")
 	sub, toOrig, err := d.GatherSubgraph("residual", st.candidates)
 	if err != nil {
 		return nil, nil, err
@@ -92,7 +94,8 @@ func solveResidual(d *mpc.DistGraph, st *sparsifyState, o Options) ([]int32, *gr
 		members[i] = toOrig[v]
 		payload[i] = uint64(uint32(toOrig[v]))
 	}
-	if _, err := d.Cluster().Broadcast("residual/members", payload); err != nil {
+	c.Span("finish")
+	if _, err := c.Broadcast("residual/members", payload); err != nil {
 		return nil, nil, err
 	}
 	slices.Sort(members)

@@ -33,6 +33,7 @@ import (
 
 	"github.com/rulingset/mprs/internal/graph"
 	"github.com/rulingset/mprs/internal/mpc"
+	"github.com/rulingset/mprs/internal/trace"
 )
 
 // Options configures an algorithm run. The zero value selects sensible
@@ -91,6 +92,12 @@ type Options struct {
 	// recovery; 0 recovers from the barrier-committed state instead. See
 	// mpc.Config.CheckpointEvery.
 	CheckpointEvery int
+
+	// Tracer, when non-nil, receives one trace.Event per committed superstep
+	// of the simulated cluster, annotated with the algorithm's phase spans
+	// (sparsify / seed-search / gather / finish). Deterministic; free when
+	// nil. See the internal/trace package for the built-in sinks.
+	Tracer trace.Tracer
 }
 
 // SeedPolicy selects how a deterministic phase fixes its hash seed.
@@ -160,6 +167,7 @@ func (o Options) cluster(n int) (*mpc.Cluster, error) {
 		Strict:          o.Strict,
 		Faults:          o.Faults,
 		CheckpointEvery: o.CheckpointEvery,
+		Tracer:          o.Tracer,
 	}, n)
 }
 

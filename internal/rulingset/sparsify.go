@@ -60,6 +60,7 @@ func runPhases(d *mpc.DistGraph, o Options, st *sparsifyState, js []int, determi
 	g := d.Graph()
 	c := d.Cluster()
 	n := g.N()
+	c.Span("sparsify")
 	for _, j := range js {
 		if st.active.Count() == 0 {
 			return nil

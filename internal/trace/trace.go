@@ -1,0 +1,198 @@
+// Package trace is the simulators' observability layer: per-superstep events
+// carrying the per-machine communication and memory quantities the paper's
+// theorems bound, plus the recovery activity of the fault layer.
+//
+// Both simulators (internal/mpc and internal/clique) emit one Event per
+// committed superstep to a registered Tracer. Tracing is strictly passive and
+// deterministic: events are a pure function of (input, options, fault plan),
+// contain no wall-clock timestamps, and the built-in JSONL sink therefore
+// produces byte-identical files for identical runs — proven by test. With no
+// tracer registered the simulators skip event construction entirely, so the
+// hot superstep path pays nothing.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"slices"
+)
+
+// Event records one committed superstep (or one analytically charged round).
+// Slices are per-machine (per-node in the congested clique), indexed by
+// machine id; they are owned by the event and never aliased by the emitting
+// cluster.
+type Event struct {
+	// Round is the 1-based committed round index (after this superstep).
+	Round int `json:"round"`
+	// Step is the step name passed to Step/RouteStep/ChargeRounds.
+	Step string `json:"step"`
+	// Span is the algorithm phase annotation active during the superstep
+	// (e.g. "sparsify", "seed-search", "gather", "finish").
+	Span string `json:"span"`
+	// Charged marks rounds accounted analytically (ChargeRounds): no
+	// simulated traffic, so the per-machine slices are empty.
+	Charged bool `json:"charged,omitempty"`
+
+	// Sent and Recv are words sent/received per machine this round.
+	Sent []int `json:"sent,omitempty"`
+	Recv []int `json:"recv,omitempty"`
+	// Resident is the per-machine resident memory in words at the barrier
+	// (MPC simulator only; the clique model has no memory budget).
+	Resident []int `json:"resident,omitempty"`
+
+	// Messages and Words total the round's delivered traffic.
+	Messages int `json:"messages"`
+	Words    int `json:"words"`
+	// MaxSent and MaxRecv are the per-machine peaks this round.
+	MaxSent int `json:"max_sent"`
+	MaxRecv int `json:"max_recv"`
+	// GiniSent and GiniRecv are the round's communication-imbalance
+	// coefficients (0 = perfectly balanced, →1 = one machine carries all).
+	GiniSent float64 `json:"gini_sent"`
+	GiniRecv float64 `json:"gini_recv"`
+
+	// Recovery activity (fault layer) that occurred while committing this
+	// superstep, as deltas against the previous superstep.
+	Crashes        int   `json:"crashes,omitempty"`
+	RecoveryRounds int   `json:"recovery_rounds,omitempty"`
+	ReplayedWords  int64 `json:"replayed_words,omitempty"`
+	Dropped        int   `json:"dropped,omitempty"`
+	Duplicated     int   `json:"duplicated,omitempty"`
+	Stalls         int   `json:"stalls,omitempty"`
+}
+
+// Tracer receives one event per committed superstep. Implementations must
+// not retain ev's slices beyond the call unless they own them (the emitting
+// simulators allocate fresh slices per event, so retaining is safe for the
+// built-in sinks).
+type Tracer interface {
+	Superstep(ev Event)
+}
+
+// JSONL is a Tracer writing one JSON object per line. Encoding is
+// deterministic (fixed field order, no timestamps), so two identical runs
+// produce byte-identical output.
+type JSONL struct {
+	bw  *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONL creates a JSONL tracer over w. If w is an io.Closer (e.g. an
+// *os.File), Close closes it after flushing.
+func NewJSONL(w io.Writer) *JSONL {
+	t := &JSONL{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Superstep implements Tracer. The first write error is retained and
+// surfaced by Close; later events are dropped.
+func (t *JSONL) Superstep(ev Event) {
+	if t.err != nil {
+		return
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.bw.Write(data); err != nil {
+		t.err = err
+		return
+	}
+	t.err = t.bw.WriteByte('\n')
+}
+
+// Err returns the first write/encode error, if any.
+func (t *JSONL) Err() error { return t.err }
+
+// Close flushes the buffer (and closes the underlying writer when it is an
+// io.Closer), returning the first error observed.
+func (t *JSONL) Close() error {
+	if err := t.bw.Flush(); t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}
+
+// Ring is an in-memory Tracer retaining the most recent Cap events — the
+// "flight recorder" sink for tests, experiments and post-mortem inspection
+// without unbounded memory.
+type Ring struct {
+	cap   int
+	evs   []Event
+	start int
+	total int
+}
+
+// NewRing creates a ring buffer holding the last n events (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{cap: n}
+}
+
+// Superstep implements Tracer.
+func (r *Ring) Superstep(ev Event) {
+	if len(r.evs) < r.cap {
+		r.evs = append(r.evs, ev)
+	} else {
+		r.evs[r.start] = ev
+		r.start = (r.start + 1) % r.cap
+	}
+	r.total++
+}
+
+// Total returns the number of events observed (including evicted ones).
+func (r *Ring) Total() int { return r.total }
+
+// Events returns the retained events in emission order.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.evs))
+	out = append(out, r.evs[r.start:]...)
+	out = append(out, r.evs[:r.start]...)
+	return out
+}
+
+// Multi fans one event stream out to several tracers.
+type Multi []Tracer
+
+// Superstep implements Tracer.
+func (m Multi) Superstep(ev Event) {
+	for _, t := range m {
+		if t != nil {
+			t.Superstep(ev)
+		}
+	}
+}
+
+// Gini computes the Gini imbalance coefficient of the values in xs, sorting
+// xs in place (callers pass scratch buffers). 0 means perfectly balanced
+// load; values toward 1 mean one machine carries everything. Returns 0 for
+// empty input or an all-zero round.
+func Gini(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	slices.Sort(xs)
+	var sum, weighted int64
+	for i, x := range xs {
+		sum += int64(x)
+		weighted += int64(i+1) * int64(x)
+	}
+	if sum == 0 {
+		return 0
+	}
+	n := float64(len(xs))
+	return 2*float64(weighted)/(n*float64(sum)) - (n+1)/n
+}

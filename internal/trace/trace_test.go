@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJSONLDeterministicAndShape(t *testing.T) {
+	evs := []Event{
+		{Round: 1, Step: "a", Span: "setup", Sent: []int{3, 0}, Recv: []int{0, 3}, Messages: 1, Words: 3, MaxSent: 3, MaxRecv: 3, GiniSent: 0.5, GiniRecv: 0.5},
+		{Round: 2, Step: "b", Span: "sparsify", Charged: true},
+		{Round: 3, Step: "c", Span: "finish", Crashes: 1, RecoveryRounds: 2, ReplayedWords: 7, Dropped: 1, Duplicated: 2, Stalls: 3},
+	}
+	render := func() string {
+		var b bytes.Buffer
+		tr := NewJSONL(&b)
+		for _, ev := range evs {
+			tr.Superstep(ev)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := render()
+	if second := render(); second != first {
+		t.Fatalf("identical event streams encoded differently:\n%s\nvs\n%s", first, second)
+	}
+	lines := strings.Split(strings.TrimSuffix(first, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), first)
+	}
+	if want := `{"round":1,"step":"a","span":"setup","sent":[3,0],"recv":[0,3],"messages":1,"words":3,"max_sent":3,"max_recv":3,"gini_sent":0.5,"gini_recv":0.5}`; lines[0] != want {
+		t.Errorf("line 1 = %s\nwant     %s", lines[0], want)
+	}
+	// omitempty: charged rounds carry no zero-valued traffic fields, and
+	// fault counters appear only when non-zero.
+	if strings.Contains(lines[1], "crashes") || strings.Contains(lines[1], `"sent"`) {
+		t.Errorf("charged event carries empty fields: %s", lines[1])
+	}
+	for _, want := range []string{`"crashes":1`, `"recovery_rounds":2`, `"replayed_words":7`, `"dropped":1`, `"duplicated":2`, `"stalls":3`} {
+		if !strings.Contains(lines[2], want) {
+			t.Errorf("line 3 missing %s: %s", lines[2], want)
+		}
+	}
+}
+
+type failWriter struct{ failAfter int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.failAfter <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.failAfter--
+	return len(p), nil
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	tr := NewJSONL(&failWriter{failAfter: 0})
+	for i := 0; i < 4100; i++ { // enough to overflow the bufio buffer
+		tr.Superstep(Event{Round: i})
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if tr.Err() == nil {
+		t.Fatal("Err() lost the sticky error")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Events(); len(got) != 0 {
+		t.Fatalf("fresh ring has %d events", len(got))
+	}
+	for i := 1; i <= 5; i++ {
+		r.Superstep(Event{Round: i})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total %d, want 5", r.Total())
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if got[i].Round != want {
+			t.Fatalf("events %v, want rounds [3 4 5]", got)
+		}
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Superstep(Event{Round: 1})
+	r.Superstep(Event{Round: 2})
+	got := r.Events()
+	if len(got) != 1 || got[0].Round != 2 {
+		t.Fatalf("events %v, want just round 2", got)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	a, b := NewRing(4), NewRing(4)
+	m := Multi{a, nil, b}
+	m.Superstep(Event{Round: 1})
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Fatalf("fan-out missed a sink: %d, %d", a.Total(), b.Total())
+	}
+}
+
+func TestGini(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []int
+		want float64
+	}{
+		{name: "empty", xs: nil, want: 0},
+		{name: "all zero", xs: []int{0, 0, 0}, want: 0},
+		{name: "balanced", xs: []int{5, 5, 5, 5}, want: 0},
+		{name: "one carries all of two", xs: []int{0, 10}, want: 0.5},
+		{name: "one carries all of four", xs: []int{0, 0, 0, 8}, want: 0.75},
+		{name: "unsorted input", xs: []int{8, 0, 0, 0}, want: 0.75},
+	}
+	for _, tt := range tests {
+		if got := Gini(append([]int(nil), tt.xs...)); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s: Gini = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+	// n nodes, one carrying everything: G = (n-1)/n → 1.
+	big := make([]int, 100)
+	big[7] = 1000
+	if got, want := Gini(big), 0.99; math.Abs(got-want) > 1e-12 {
+		t.Errorf("concentrated: Gini = %v, want %v", got, want)
+	}
+}

@@ -30,10 +30,13 @@
 package mprs
 
 import (
+	"io"
+
 	"github.com/rulingset/mprs/internal/gen"
 	"github.com/rulingset/mprs/internal/graph"
 	"github.com/rulingset/mprs/internal/mpc"
 	"github.com/rulingset/mprs/internal/rulingset"
+	"github.com/rulingset/mprs/internal/trace"
 )
 
 // Graph is a simple undirected graph in CSR form; see NewGraph and
@@ -75,6 +78,35 @@ type FaultEvent = mpc.FaultEvent
 // MachineError is a panic recovered from one machine's step function; runs
 // surface it as a structured error instead of crashing the process.
 type MachineError = mpc.MachineError
+
+// Tracer receives one TraceEvent per committed superstep when set on
+// Options.Tracer. Tracing is bit-deterministic (identical runs produce
+// identical event streams) and costs nothing when no tracer is registered.
+type Tracer = trace.Tracer
+
+// TraceEvent is one superstep observation: round index, phase span,
+// per-machine words sent/received, resident memory, skew metrics, and any
+// recovery activity charged to the superstep.
+type TraceEvent = trace.Event
+
+// SpanStat aggregates rounds, traffic and skew per named algorithm phase
+// (sparsify / seed-search / gather / finish); Stats.Spans carries one entry
+// per span in order of first appearance.
+type SpanStat = mpc.SpanStat
+
+// JSONLTracer streams events as JSON Lines; see NewJSONLTrace.
+type JSONLTracer = trace.JSONL
+
+// TraceRing is a bounded in-memory sink retaining the most recent events;
+// see NewTraceRing.
+type TraceRing = trace.Ring
+
+// NewJSONLTrace returns a Tracer streaming one JSON object per superstep to
+// w. Close flushes and surfaces any write error.
+func NewJSONLTrace(w io.Writer) *JSONLTracer { return trace.NewJSONL(w) }
+
+// NewTraceRing returns an in-memory Tracer retaining the last n events.
+func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
 
 // ParseFaultPlan builds a FaultPlan from a compact spec such as
 // "crash=0.02,drop=0.01,dup=0.005,stall=0.05,crash@3:1"; an empty spec
