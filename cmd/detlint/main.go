@@ -1,0 +1,74 @@
+// Command detlint enforces the repository's determinism invariants by
+// static analysis: map-iteration order leaks, wall-clock reads, global
+// math/rand use, dropped Send/budget errors, and float accumulation in map
+// ranges (see internal/lint for the analyzer catalogue and the
+// //detlint:ok annotation syntax).
+//
+// Usage:
+//
+//	go run ./cmd/detlint ./...
+//
+// Exit status is 0 when the tree is clean, 1 when there are findings, and
+// 2 when the run itself fails (bad pattern, type error).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/rulingset/mprs/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir       = fs.String("dir", "", "directory to resolve package patterns from (default: current directory)")
+		all       = fs.Bool("all", false, "treat every scanned package as determinism-critical (used on lint fixtures)")
+		skipTests = fs.Bool("skip-tests", false, "exclude _test.go files from analysis")
+		analyzers = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list      = fs.Bool("list", false, "list analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: detlint [flags] [packages]\n\npackages are directories, optionally with a /... suffix (default ./...)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	cfg := lint.Config{
+		Dir:         *dir,
+		Patterns:    fs.Args(),
+		AllCritical: *all,
+		SkipTests:   *skipTests,
+	}
+	if *analyzers != "" {
+		cfg.Analyzers = strings.Split(*analyzers, ",")
+	}
+	diags, err := lint.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "detlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

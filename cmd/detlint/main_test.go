@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTreeIsClean is the same gate CI runs: the whole module must lint
+// clean, with every finding either fixed or carrying a justified
+// //detlint:ok annotation.
+func TestTreeIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dir", "../.."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("detlint on the tree exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestNegativeFixtureFails proves the gate has teeth: a package with known
+// violations must drive the exit status to 1 and print the findings.
+func TestNegativeFixtureFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-dir", "../..", "-all", "-analyzers", "maporder", "internal/lint/testdata/src/maporder"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("detlint on the maporder fixture exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[maporder]") {
+		t.Errorf("findings missing from stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("summary missing from stderr:\n%s", stderr.String())
+	}
+}
+
+func TestUnknownAnalyzerFlagExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "frobnicator"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr should name the unknown analyzer:\n%s", stderr.String())
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, name := range []string{"maporder", "wallclock", "globalrand", "errdrop", "floatorder"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}

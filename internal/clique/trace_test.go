@@ -77,7 +77,7 @@ func TestCliqueTraceEventsMatchStats(t *testing.T) {
 func TestCliqueTraceRoutedAndCharged(t *testing.T) {
 	c, ring := newTracedClique(t, Config{PairWords: 1}, 4)
 	c.Span("gather")
-	if err := c.RouteStep("route", func(x *Ctx) { x.Send((x.Node + 1) % 4, 7) }); err != nil {
+	if err := c.RouteStep("route", func(x *Ctx) { x.Send((x.Node+1)%4, 7) }); err != nil {
 		t.Fatal(err)
 	}
 	c.Span("finish")
@@ -143,7 +143,7 @@ func TestCliqueStepNoAllocWithoutTracer(t *testing.T) {
 		t.Fatal(err)
 	}
 	step := func() {
-		if err := c.Step("bench", func(x *Ctx) { x.Send((x.Node + 1) % 4, 1, 2) }); err != nil {
+		if err := c.Step("bench", func(x *Ctx) { x.Send((x.Node+1)%4, 1, 2) }); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// annotation is one parsed //detlint:ok directive. It suppresses findings of
+// the listed analyzers on its own line and on the line directly below it —
+// the two places a human reads it as referring to.
+type annotation struct {
+	line      int
+	analyzers []string
+	reason    string
+}
+
+const annPrefix = "//detlint:ok"
+
+// parseAnnotations extracts the //detlint:ok directives of one file and
+// validates them. Malformed directives (no analyzers, unknown analyzer name,
+// missing “-- reason” justification) become diagnostics under the reserved
+// analyzer name "detlint"; those diagnostics are themselves unsuppressible,
+// so annotation misuse always fails the run.
+func parseAnnotations(fset *token.FileSet, f *ast.File, relPos func(token.Pos) token.Position) ([]annotation, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var anns []annotation
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{Pos: relPos(pos), Analyzer: "detlint", Message: msg})
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, annPrefix) {
+				continue
+			}
+			body := strings.TrimPrefix(c.Text, annPrefix)
+			names, reason, found := strings.Cut(body, "--")
+			if !found || strings.TrimSpace(reason) == "" {
+				report(c.Pos(), `detlint:ok annotation needs a written justification: //detlint:ok <analyzer> -- <reason>`)
+				continue
+			}
+			fields := strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+			if len(fields) == 0 {
+				report(c.Pos(), "detlint:ok annotation names no analyzers")
+				continue
+			}
+			var list []string
+			for _, n := range fields {
+				if !known[n] {
+					report(c.Pos(), "unknown analyzer \""+n+"\" in detlint:ok annotation (known: "+knownAnalyzerNames()+")")
+					continue
+				}
+				list = append(list, n)
+			}
+			if len(list) == 0 {
+				continue // every name was unknown; already reported
+			}
+			anns = append(anns, annotation{
+				line:      fset.Position(c.Pos()).Line,
+				analyzers: list,
+				reason:    strings.TrimSpace(reason),
+			})
+		}
+	}
+	return anns, diags
+}
+
+// applySuppressions removes findings covered by an annotation in the same
+// file on the same line or the line above. The reserved "detlint" analyzer
+// (annotation misuse) cannot be suppressed.
+func applySuppressions(diags []Diagnostic, anns map[string][]annotation) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "detlint" && suppressed(d, anns[d.Pos.Filename]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func suppressed(d Diagnostic, anns []annotation) bool {
+	for _, a := range anns {
+		if d.Pos.Line != a.line && d.Pos.Line != a.line+1 {
+			continue
+		}
+		for _, name := range a.analyzers {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errdrop flags silently ignored error results from functions and methods
+// defined in the determinism-critical packages: Ctx.Send variants, the
+// budget-charging APIs (ChargeRounds, SetResident, AddResident), Step and
+// the collectives. These errors carry budget violations, stale-context
+// sends and recovery failures — the accounting the reproduced theorems are
+// about. Dropping one silently under-reports the model's central quantities
+// (the PR 2 exit-code bug was precisely an ignored violation surface).
+// Both a bare call statement and a blank-identifier discard (`_ = …`,
+// `v, _ := …`) are flagged; an intentional discard must carry an annotation
+// explaining why it is safe.
+var errdropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag dropped error results from deterministic-stack APIs",
+	Run:  runErrdrop,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrdrop(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn, idx := p.stackCalleeWithError(call); fn != nil {
+					p.Reportf(call.Pos(), "error result %d of %s is silently dropped; handle it or annotate with //detlint:ok errdrop -- <reason>", idx, calleeLabel(fn))
+				}
+			case *ast.AssignStmt:
+				p.checkAssignDrop(stmt)
+			}
+			return true
+		})
+	}
+}
+
+// checkAssignDrop flags `_ = f()` and `v, _ := f()` when the blanked
+// position is an error from a deterministic-stack callee.
+func (p *Pass) checkAssignDrop(as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := p.callee(call)
+	if fn == nil || !p.criticalCallee(fn) {
+		return
+	}
+	results := signatureResults(fn)
+	if results == nil || results.Len() != len(as.Lhs) {
+		return
+	}
+	for i := 0; i < results.Len(); i++ {
+		if !types.Identical(results.At(i).Type(), errorType) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			p.Reportf(as.Pos(), "error result %d of %s is discarded with a blank identifier; handle it or annotate with //detlint:ok errdrop -- <reason>", i, calleeLabel(fn))
+		}
+	}
+}
+
+// stackCalleeWithError resolves call's callee; it returns the callee and
+// the index of its first error result when the callee is defined in a
+// determinism-critical package and returns an error, and (nil, 0) otherwise.
+func (p *Pass) stackCalleeWithError(call *ast.CallExpr) (*types.Func, int) {
+	fn := p.callee(call)
+	if fn == nil || !p.criticalCallee(fn) {
+		return nil, 0
+	}
+	results := signatureResults(fn)
+	if results == nil {
+		return nil, 0
+	}
+	for i := 0; i < results.Len(); i++ {
+		if types.Identical(results.At(i).Type(), errorType) {
+			return fn, i
+		}
+	}
+	return nil, 0
+}
+
+// callee resolves the called function or method, or nil for builtins,
+// conversions and indirect calls through function values.
+func (p *Pass) callee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func signatureResults(fn *types.Func) *types.Tuple {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Results()
+}
+
+// calleeLabel renders a short human name: Recv.Method or pkg.Func.
+func calleeLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

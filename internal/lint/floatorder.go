@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatorder flags float32/float64 accumulation inside the body of a map
+// range. Floating-point addition is not associative, so summing map values
+// in Go's randomized iteration order produces run-dependent low-order bits —
+// which the golden traces and the shortest-round-trip metric formatting
+// then faithfully expose as diffs. Accumulate over a sorted key slice (or
+// sum integers/bit patterns) instead.
+var floatorderAnalyzer = &Analyzer{
+	Name: "floatorder",
+	Doc:  "flag floating-point accumulation inside map iteration",
+	Run:  runFloatorder,
+}
+
+func runFloatorder(p *Pass) {
+	for _, f := range p.Files {
+		var mapRanges []*ast.RangeStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			switch stmt := n.(type) {
+			case *ast.RangeStmt:
+				if t := p.Info.TypeOf(stmt.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						mapRanges = append(mapRanges, stmt)
+					}
+				}
+			case *ast.AssignStmt:
+				if len(mapRanges) == 0 || !insideAny(mapRanges, stmt.Pos()) {
+					return true
+				}
+				p.checkFloatAccum(stmt)
+			}
+			return true
+		})
+	}
+}
+
+// insideAny reports whether pos lies in the body of any recorded map range.
+func insideAny(ranges []*ast.RangeStmt, pos token.Pos) bool {
+	for _, rs := range ranges {
+		if rs.Body.Pos() <= pos && pos < rs.Body.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFloatAccum flags `x op= v` and `x = x op v` forms with a float LHS.
+func (p *Pass) checkFloatAccum(as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) == 1 && isFloat(p.Info.TypeOf(as.Lhs[0])) {
+			p.Reportf(as.Pos(), "float accumulation inside a map range: iteration order changes the result bits (FP addition is not associative); accumulate over sorted keys instead")
+		}
+	case token.ASSIGN:
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || !isFloat(p.Info.TypeOf(lhs)) {
+			return
+		}
+		obj := p.objectOf(lhs)
+		if obj == nil {
+			return
+		}
+		if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok && p.mentionsObj(bin, obj) {
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				p.Reportf(as.Pos(), "float accumulation inside a map range: iteration order changes the result bits (FP addition is not associative); accumulate over sorted keys instead")
+			}
+		}
+	}
+}
+
+// mentionsObj reports whether obj appears as an operand of the (possibly
+// nested) binary expression.
+func (p *Pass) mentionsObj(e ast.Expr, obj types.Object) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return p.objectOf(e) == obj
+	case *ast.BinaryExpr:
+		return p.mentionsObj(e.X, obj) || p.mentionsObj(e.Y, obj)
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,46 @@
+package lint
+
+import "go/types"
+
+// globalrand forbids the package-level math/rand convenience functions
+// (rand.Intn, rand.Float64, rand.Shuffle, rand.Perm, …): they draw from the
+// process-global source, whose state is shared across goroutines and whose
+// default seeding is outside the caller's control. Deterministic code must
+// construct an explicitly seeded generator — rand.New(rand.NewSource(seed))
+// — and thread the *rand.Rand through, the way Luby and sparsify already do.
+// The constructors themselves stay allowed.
+var globalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid package-level math/rand functions; require a seeded *rand.Rand",
+	Run:  runGlobalrand,
+}
+
+// globalrandAllowed are the math/rand(/v2) package-level functions that
+// build explicitly seeded generators rather than using the global one.
+var globalrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runGlobalrand(p *Pass) {
+	// Info.Uses iteration order is irrelevant: the driver sorts diagnostics.
+	for id, obj := range p.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods on *rand.Rand etc. are exactly the sanctioned route
+		}
+		if globalrandAllowed[fn.Name()] {
+			continue
+		}
+		p.Reportf(id.Pos(), "math/rand.%s draws from the shared global source; thread an explicitly seeded *rand.Rand instead", fn.Name())
+	}
+}

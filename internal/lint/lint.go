@@ -1,0 +1,290 @@
+// Package lint is detlint: a static-analysis pass enforcing the repo's
+// determinism invariants at compile time instead of only at test time.
+//
+// The headline claim of this codebase — bit-deterministic MPC ruling sets,
+// proven by golden-trace comparison in CI — is only as strong as the
+// simulator substrate underneath it. A single `range` over a map in a message
+// path, a stray time.Now in an algorithm, or a silently dropped budget error
+// can break bit-determinism on a future Go runtime without any test noticing
+// until the golden trace diverges. detlint walks the module with go/parser
+// and go/types (stdlib only, no external dependencies) and flags exactly
+// those classes in the determinism-critical packages.
+//
+// Analyzers:
+//
+//	maporder   — `for … range` over a map, unless the loop only collects the
+//	             keys into a slice that is subsequently sorted in the same
+//	             function. Go map iteration order is deliberately randomized;
+//	             feeding it into message or trace order is a determinism bug.
+//	wallclock  — time.Now / time.Since / time.Until anywhere outside
+//	             internal/experiments, cmd/… and examples/… (wall-clock reads
+//	             are inherently nondeterministic; measurement belongs in the
+//	             harness, never in an algorithm or simulator).
+//	globalrand — package-level math/rand functions (rand.Intn, rand.Float64,
+//	             rand.Shuffle, …) which draw from the shared, process-global
+//	             source. Deterministic code must thread an explicitly seeded
+//	             *rand.Rand, the way Luby/sparsify already do.
+//	errdrop    — ignored error results from functions and methods defined in
+//	             the determinism-critical packages (Ctx.Send variants, the
+//	             budget-charging ChargeRounds/SetResident/AddResident, Step,
+//	             collectives). The PR 2 exit-code bug was exactly this class.
+//	floatorder — float32/float64 accumulation inside the body of a map range:
+//	             FP addition is not associative, so the randomized iteration
+//	             order changes the bits of the result.
+//
+// A finding is suppressible only by an annotation on the same line or the
+// line directly above:
+//
+//	//detlint:ok <analyzer>[,<analyzer>…] -- <reason>
+//
+// The justification after “--” is mandatory, and an unknown analyzer name in
+// an annotation is itself an error — so suppressions stay auditable and
+// cannot rot silently.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned relative to the module root.
+type Diagnostic struct {
+	Pos      token.Position // Filename is module-root-relative (slash-separated)
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Config controls one lint run.
+type Config struct {
+	// Dir is the directory patterns are resolved from; "" means the current
+	// working directory. The module root is discovered by walking up to
+	// go.mod.
+	Dir string
+	// Patterns are package patterns: a directory path, or a path ending in
+	// "/..." for a recursive walk (testdata, vendor and hidden directories
+	// are skipped by walks but may be named explicitly). Default: ./...
+	Patterns []string
+	// Analyzers selects a subset by name; nil means all.
+	Analyzers []string
+	// AllCritical treats every scanned package as determinism-critical, so
+	// every analyzer applies everywhere. Used by fixture tests and the
+	// -all CLI flag.
+	AllCritical bool
+	// SkipTests excludes _test.go files from analysis. Test files are
+	// checked by default: they feed the golden traces and the correctness
+	// matrix, so nondeterministic iteration there hides real signal.
+	SkipTests bool
+}
+
+// Analyzer is one invariant checker. Run inspects a fully typechecked
+// package and reports findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands one typechecked package (or test variant of a package) to an
+// analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Critical reports whether the package is determinism-critical (all
+	// analyzers apply, and same-package callees count for errdrop).
+	Critical bool
+
+	analyzer         *Analyzer
+	isCriticalImport func(path string) bool
+	relPos           func(token.Pos) token.Position
+	diags            *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.relPos(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// criticalCallee reports whether fn is defined in a determinism-critical
+// package (including the package under analysis itself when it is critical),
+// i.e. whether its dropped error is an errdrop finding.
+func (p *Pass) criticalCallee(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if pkg == p.Pkg {
+		return p.Critical
+	}
+	return p.isCriticalImport(pkg.Path())
+}
+
+// Analyzers returns the full analyzer set in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{maporderAnalyzer, wallclockAnalyzer, globalrandAnalyzer, errdropAnalyzer, floatorderAnalyzer}
+}
+
+// criticalPkgs are the module-relative package directories whose code must
+// be bit-deterministic: the simulators, the algorithms, the derandomization
+// machinery and the substrate they share. This list is the contract future
+// PRs must satisfy (see README “Static analysis”).
+var criticalPkgs = map[string]bool{
+	"internal/mpc":       true,
+	"internal/clique":    true,
+	"internal/rulingset": true,
+	"internal/derand":    true,
+	"internal/hash":      true,
+	"internal/graph":     true,
+	"internal/bitset":    true,
+	"internal/trace":     true,
+}
+
+// wallclockExempt reports whether the package at the module-relative path
+// may read the wall clock: the measurement harness and the binaries, where
+// timing is the point, not a hazard.
+func wallclockExempt(rel string) bool {
+	return rel == "internal/experiments" ||
+		rel == "cmd" || strings.HasPrefix(rel, "cmd/") ||
+		rel == "examples" || strings.HasPrefix(rel, "examples/")
+}
+
+// Run executes the configured analyzers and returns the surviving findings
+// (annotation-suppressed ones removed, annotation misuse added), sorted by
+// position. A non-nil error means the run itself failed (parse or type
+// error, bad pattern) — distinct from “findings exist”.
+func Run(cfg Config) ([]Diagnostic, error) {
+	selected, err := selectAnalyzers(cfg.Analyzers)
+	if err != nil {
+		return nil, err
+	}
+	ld, err := newLoader(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := ld.expand(cfg.Patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	anns := make(map[string][]annotation) // module-relative filename → annotations
+	for _, dir := range dirs {
+		df, err := ld.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if df == nil {
+			continue
+		}
+		for _, unit := range df.units(cfg.SkipTests) {
+			pkg, info, err := ld.check(unit.path, unit.files)
+			if err != nil {
+				return nil, err
+			}
+			critical := cfg.AllCritical || criticalPkgs[df.rel]
+			for _, a := range selected {
+				if !analyzerApplies(a, df.rel, critical) {
+					continue
+				}
+				pass := &Pass{
+					Fset:     ld.fset,
+					Files:    unit.files,
+					Pkg:      pkg,
+					Info:     info,
+					Critical: critical,
+					analyzer: a,
+					diags:    &diags,
+					relPos:   ld.relPos,
+					isCriticalImport: func(path string) bool {
+						rel, ok := ld.moduleRel(path)
+						if !ok {
+							return false
+						}
+						return criticalPkgs[rel] || cfg.AllCritical
+					},
+				}
+				a.Run(pass)
+			}
+			// Annotations are collected from every scanned file — including
+			// packages no analyzer ran on — so a malformed annotation can
+			// never hide anywhere in the tree.
+			for _, f := range unit.files {
+				name := ld.relPos(f.Package).Filename
+				if _, done := anns[name]; done {
+					continue
+				}
+				fileAnns, annDiags := parseAnnotations(ld.fset, f, ld.relPos)
+				anns[name] = fileAnns
+				diags = append(diags, annDiags...)
+			}
+		}
+	}
+
+	diags = applySuppressions(diags, anns)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// analyzerApplies implements the scoping rules: wallclock runs everywhere
+// except the measurement-exempt packages; every other analyzer runs only in
+// determinism-critical packages.
+func analyzerApplies(a *Analyzer, rel string, critical bool) bool {
+	if a.Name == "wallclock" {
+		return !wallclockExempt(rel)
+	}
+	return critical
+}
+
+func selectAnalyzers(names []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q (known: %s)", n, knownAnalyzerNames())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func knownAnalyzerNames() string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// loader parses and typechecks packages of the enclosing module using only
+// the standard library: module-internal imports are typechecked recursively
+// from source, and standard-library imports go through the stdlib source
+// importer (which resolves GOROOT packages without invoking the go tool).
+// Keeping the loader dependency-free is what lets detlint run as a plain
+// `go run ./cmd/detlint` with an unchanged go.mod.
+type loader struct {
+	fset       *token.FileSet
+	base       string // directory patterns are resolved from (absolute)
+	moduleRoot string // directory containing go.mod (absolute)
+	modulePath string // module path declared in go.mod
+
+	parsed  map[string]*dirFiles      // absolute dir → parse result
+	typed   map[string]*types.Package // import path → lib-only package
+	loading map[string]bool           // import-cycle guard
+	stdlib  types.Importer
+}
+
+// dirFiles is the parsed content of one package directory, partitioned the
+// way go/types needs it: library files, in-package test files, and external
+// (_test-suffixed package) test files.
+type dirFiles struct {
+	dir     string // absolute
+	rel     string // module-root-relative, slash-separated ("" = root)
+	path    string // import path
+	libName string
+	lib     []*ast.File
+	test    []*ast.File
+	xtest   []*ast.File
+}
+
+// unit is one typecheckable file set: the library package together with its
+// in-package tests, or the external test package.
+type unit struct {
+	path  string
+	files []*ast.File
+}
+
+// units returns the typecheck units of the directory in analysis order.
+func (df *dirFiles) units(skipTests bool) []unit {
+	var out []unit
+	lib := df.lib
+	if !skipTests {
+		lib = append(append([]*ast.File(nil), df.lib...), df.test...)
+	}
+	if len(lib) > 0 {
+		out = append(out, unit{path: df.path, files: lib})
+	}
+	if !skipTests && len(df.xtest) > 0 {
+		out = append(out, unit{path: df.path + "_test", files: df.xtest})
+	}
+	return out
+}
+
+func newLoader(dir string) (*loader, error) {
+	if dir == "" {
+		dir = "."
+	}
+	base, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := base
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", base)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := regexp.MustCompile(`(?m)^module\s+(\S+)`).FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("lint: no module directive in %s", filepath.Join(root, "go.mod"))
+	}
+	ld := &loader{
+		fset:       token.NewFileSet(),
+		base:       base,
+		moduleRoot: root,
+		modulePath: string(m[1]),
+		parsed:     make(map[string]*dirFiles),
+		typed:      make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}
+	ld.stdlib = importer.ForCompiler(ld.fset, "source", nil)
+	return ld, nil
+}
+
+// relPos converts a token position to one whose filename is module-root
+// relative, so diagnostics are stable across machines.
+func (ld *loader) relPos(pos token.Pos) token.Position {
+	p := ld.fset.Position(pos)
+	if rel, err := filepath.Rel(ld.moduleRoot, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		p.Filename = filepath.ToSlash(rel)
+	}
+	return p
+}
+
+// moduleRel maps an import path inside the module to its module-relative
+// directory; ok is false for paths outside the module.
+func (ld *loader) moduleRel(path string) (string, bool) {
+	if path == ld.modulePath {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, ld.modulePath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// expand resolves package patterns to absolute package directories.
+// "dir/..." walks recursively, skipping testdata, vendor and hidden
+// directories; a plain directory is taken verbatim (so fixtures under
+// testdata can be linted when named explicitly).
+func (ld *loader) expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(ld.base, dir)
+		}
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q does not name a directory", pat)
+		}
+		if !recursive {
+			add(dir)
+			continue
+		}
+		err = filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != dir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses every .go file of dir (with comments, for annotations).
+// Returns nil if the directory contains no Go files.
+func (ld *loader) parseDir(dir string) (*dirFiles, error) {
+	if df, ok := ld.parsed[dir]; ok {
+		return df, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(ld.moduleRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		rel = ""
+	}
+	path := ld.modulePath
+	if rel != "" {
+		path = ld.modulePath + "/" + rel
+	}
+	df := &dirFiles{dir: dir, rel: rel, path: path}
+	type parsedFile struct {
+		name string
+		file *ast.File
+	}
+	var files []parsedFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, parsedFile{name: name, file: f})
+	}
+	if len(files) == 0 {
+		ld.parsed[dir] = nil
+		return nil, nil
+	}
+	for _, pf := range files {
+		if !strings.HasSuffix(pf.name, "_test.go") {
+			df.libName = pf.file.Name.Name
+			break
+		}
+	}
+	for _, pf := range files {
+		pkgName := pf.file.Name.Name
+		switch {
+		case !strings.HasSuffix(pf.name, "_test.go"):
+			df.lib = append(df.lib, pf.file)
+		case df.libName != "" && pkgName == df.libName:
+			df.test = append(df.test, pf.file)
+		case strings.HasSuffix(pkgName, "_test"):
+			df.xtest = append(df.xtest, pf.file)
+		default:
+			// Test files in a directory without library files (a pure test
+			// package): treat as the in-package unit.
+			df.libName = pkgName
+			df.test = append(df.test, pf.file)
+		}
+	}
+	ld.parsed[dir] = df
+	return df, nil
+}
+
+// Import implements types.Importer: module-internal packages are typechecked
+// recursively from source (library files only — importers never see test
+// files), everything else is delegated to the stdlib source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.typed[path]; ok {
+		return pkg, nil
+	}
+	rel, ok := ld.moduleRel(path)
+	if !ok {
+		return ld.stdlib.Import(path)
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+	df, err := ld.parseDir(filepath.Join(ld.moduleRoot, filepath.FromSlash(rel)))
+	if err != nil {
+		return nil, err
+	}
+	if df == nil || len(df.lib) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", path)
+	}
+	pkg, _, err := ld.typecheck(path, df.lib, nil)
+	if err != nil {
+		return nil, err
+	}
+	ld.typed[path] = pkg
+	return pkg, nil
+}
+
+// check typechecks one analysis unit with full type information.
+func (ld *loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, _, err := ld.typecheck(path, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+func (ld *loader) typecheck(path string, files []*ast.File, info *types.Info) (*types.Package, *types.Info, error) {
+	var errs []error
+	conf := types.Config{
+		Importer: ld,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if len(errs) > 0 {
+		max := 5
+		if len(errs) < max {
+			max = len(errs)
+		}
+		msgs := make([]string, 0, max)
+		for _, e := range errs[:max] {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, nil, fmt.Errorf("lint: type errors in %s:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

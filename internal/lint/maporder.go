@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// maporder flags `for … range` over map-typed values. Go randomizes map
+// iteration order per run, so any map range whose body's effects depend on
+// order — appending to a message buffer, emitting trace lines, accumulating
+// floats — injects nondeterminism straight into the quantities the golden
+// traces pin down. The one allowed shape is the canonical fix itself:
+// a loop that only collects the keys into a slice which is sorted later in
+// the same function.
+var maporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose order can leak into messages, traces or results",
+	Run:  runMaporder,
+}
+
+func runMaporder(p *Pass) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if p.sortedKeyCollection(rs, enclosingFuncBody(stack)) {
+				return true
+			}
+			p.Reportf(rs.Pos(), "range over %s: map iteration order is nondeterministic; collect and sort the keys first, or annotate with //detlint:ok maporder -- <reason>",
+				types.TypeString(t, func(other *types.Package) string {
+					if other == p.Pkg {
+						return ""
+					}
+					return other.Name()
+				}))
+			return true
+		})
+	}
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal on the node stack (excluding the node itself), or nil at
+// package level.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// sortedKeyCollection reports whether rs is the allowed map-range shape:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	… sort.XXX(keys) / slices.Sort(keys) later in the same function …
+//
+// i.e. the body is a single append of the key into a slice, and that slice
+// is passed to a sort or slices call after the loop.
+func (p *Pass) sortedKeyCollection(rs *ast.RangeStmt, encl *ast.BlockStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil || encl == nil {
+		return false
+	}
+	keyObj := p.objectOf(key)
+	if keyObj == nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	sliceObj := p.objectOf(lhs)
+	if sliceObj == nil {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := p.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if arg0, ok := call.Args[0].(*ast.Ident); !ok || p.objectOf(arg0) != sliceObj {
+		return false
+	}
+	keyAppended := false
+	for _, arg := range call.Args[1:] {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && p.objectOf(id) == keyObj {
+			keyAppended = true
+		}
+	}
+	if !keyAppended {
+		return false
+	}
+	// The collected slice must reach a sort after the loop.
+	sorted := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && p.objectOf(id) == sliceObj {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// objectOf resolves an identifier whether it is a definition (`:=`, range
+// key declarations) or a use.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}

@@ -1,0 +1,31 @@
+// Package badannot holds malformed //detlint:ok annotations. Each one is
+// itself reported (analyzer "detlint") and suppresses nothing; the expected
+// messages are asserted in lint_test.go because a want-comment cannot share
+// a line with the annotation comment it describes.
+package badannot
+
+// unknownName names an analyzer that does not exist.
+func unknownName(m map[string]int) int {
+	n := 0
+	//detlint:ok frobnicator -- no such analyzer
+	for range m {
+		n++
+	}
+	return n
+}
+
+// noNames gives a justification but no analyzer list.
+func noNames() int {
+	//detlint:ok -- just because
+	return 1
+}
+
+// noReason omits the mandatory -- justification.
+func noReason(m map[string]int) int {
+	n := 0
+	//detlint:ok maporder
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,41 @@
+// Package clean is a fixture that violates none of the determinism
+// invariants: every analyzer must report zero findings on it.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Degrees sums slice-held values after sorting collected map keys.
+func Degrees(adj map[int][]int) []int {
+	ids := make([]int, 0, len(adj))
+	for v := range adj {
+		ids = append(ids, v)
+	}
+	sort.Ints(ids)
+
+	out := make([]int, 0, len(ids))
+	for _, v := range ids {
+		out = append(out, len(adj[v]))
+	}
+	return out
+}
+
+// Perm draws from an explicitly seeded generator.
+func Perm(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Perm(n)
+}
+
+// Mean accumulates floats over a slice, in index order.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,65 @@
+// Package errdrop is a negative fixture for the errdrop analyzer. The Ctx
+// and Cluster shapes mirror the simulators' Send/budget APIs.
+package errdrop
+
+import "errors"
+
+// Ctx mimics a simulator step context whose Send can fail.
+type Ctx struct{ bad bool }
+
+// Send mimics mpc.Ctx.Send with an error result.
+func (x *Ctx) Send(dst int, payload ...uint64) error {
+	if x.bad {
+		return errors.New("stale ctx")
+	}
+	return nil
+}
+
+// Cluster mimics the budget-charging surface.
+type Cluster struct{ n int }
+
+func (c *Cluster) ChargeRounds(name string, k int) error {
+	if k < 0 {
+		return errors.New("negative rounds")
+	}
+	return nil
+}
+
+func (c *Cluster) SetResident(m, words int) error { return nil }
+
+// Gather returns a value and an error.
+func (c *Cluster) Gather() ([]uint64, error) { return nil, nil }
+
+// dropped ignores error results entirely: flagged.
+func dropped(x *Ctx, c *Cluster) {
+	x.Send(0, 1, 2)            // want `error result 0 of Ctx\.Send is silently dropped`
+	c.ChargeRounds("model", 3) // want `error result 0 of Cluster\.ChargeRounds is silently dropped`
+}
+
+// blanked discards errors via the blank identifier: flagged.
+func blanked(x *Ctx, c *Cluster) {
+	_ = x.Send(1)           // want `error result 0 of Ctx\.Send is discarded with a blank identifier`
+	_, _ = c.Gather()       // want `error result 1 of Cluster\.Gather is discarded with a blank identifier`
+	_ = c.SetResident(0, 4) // want `error result 0 of Cluster\.SetResident is discarded with a blank identifier`
+}
+
+// handled checks every error: never flagged.
+func handled(x *Ctx, c *Cluster) error {
+	if err := x.Send(0); err != nil {
+		return err
+	}
+	parts, err := c.Gather()
+	if err != nil {
+		return err
+	}
+	_ = parts
+	return c.ChargeRounds("model", 1)
+}
+
+// outsideStack calls a non-critical function (error drop is vet's business,
+// not a determinism invariant): never flagged when the package is not
+// critical — but fixtures run with every package forced critical, so the
+// same-package callee IS flagged above. Stdlib error drops stay exempt.
+func outsideStack() {
+	_ = errors.New("x").Error()
+}

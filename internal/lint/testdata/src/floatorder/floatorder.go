@@ -1,0 +1,58 @@
+// Package floatorder is a negative fixture for the floatorder analyzer.
+package floatorder
+
+// compound accumulates with += inside a map range: flagged.
+func compound(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation inside a map range`
+	}
+	return sum
+}
+
+// rebind accumulates with s = s + v: flagged.
+func rebind(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s = s + v // want `float accumulation inside a map range`
+	}
+	return s
+}
+
+// product accumulates a product: flagged (FP multiplication rounds too).
+func product(m map[int]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `float accumulation inside a map range`
+	}
+	return p
+}
+
+// intSum accumulates integers: exact, order-free, never flagged.
+func intSum(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// sliceSum accumulates floats over a slice: deterministic order, not flagged.
+func sliceSum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// outside accumulates after the range body closed: not flagged.
+func outside(m map[int]float64) float64 {
+	n := 0
+	for range m {
+		n++
+	}
+	s := 0.0
+	s += float64(n)
+	return s
+}

@@ -1,0 +1,23 @@
+// Package globalrand is a negative fixture for the globalrand analyzer.
+package globalrand
+
+import "math/rand"
+
+// globals draw from the shared process-wide source: flagged.
+func globals() int {
+	x := rand.Intn(10)                 // want `math/rand\.Intn draws from the shared global source`
+	f := rand.Float64()                // want `math/rand\.Float64 draws from the shared global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `math/rand\.Shuffle draws from the shared global source`
+	return x + int(f)
+}
+
+// seeded threads an explicitly seeded *rand.Rand: the sanctioned route.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// passthrough methods on a threaded generator are fine.
+func passthrough(rng *rand.Rand) float64 {
+	return rng.Float64()
+}

@@ -1,0 +1,66 @@
+// Package maporder is a negative fixture for the maporder analyzer.
+package maporder
+
+import (
+	"sort"
+)
+
+// plainRange iterates values directly: flagged.
+func plainRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// keyAndValue uses both key and value: flagged (not a pure key collection).
+func keyAndValue(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `map iteration order is nondeterministic`
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collectNoSort collects keys but never sorts them: flagged.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedCollect is the canonical allowed shape: keys collected into a slice
+// that is sorted before use.
+func sortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// slicesSorted uses sort.Slice on the collected keys: also allowed.
+func slicesSorted(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// sliceRange ranges over a slice: never flagged.
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

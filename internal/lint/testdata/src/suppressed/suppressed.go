@@ -1,0 +1,22 @@
+// Package suppressed exercises //detlint:ok suppression: every violation
+// here carries a justified annotation, so a run must report zero findings.
+package suppressed
+
+// CountAll sweeps a map where only the total matters, never the order.
+func CountAll(m map[string]int) int {
+	n := 0
+	//detlint:ok maporder -- only the entry count is observed, order-free
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SameLine suppresses with an annotation trailing the statement itself.
+func SameLine(m map[int]bool) int {
+	n := 0
+	for k := range m { //detlint:ok maporder -- commutative XOR fold, order-free
+		n ^= k
+	}
+	return n
+}

@@ -1,0 +1,23 @@
+// Package wallclock is a negative fixture for the wallclock analyzer.
+package wallclock
+
+import "time"
+
+// elapsed reads the wall clock twice: both reads flagged.
+func elapsed() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	work()
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// deadline uses time.Until: flagged.
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until reads the wall clock`
+}
+
+// constants and arithmetic on time values are fine.
+func budget() time.Duration {
+	return 3 * time.Second
+}
+
+func work() {}

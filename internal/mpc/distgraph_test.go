@@ -106,7 +106,8 @@ func TestExchangeActive(t *testing.T) {
 		}
 		// Active subgraph on {0,1,3}: edges 0-1, 1-3.
 		wantNbrs := map[int][]int32{0: {1}, 1: {0, 3}, 3: {1}}
-		for v, want := range wantNbrs {
+		for _, v := range []int{0, 1, 3} {
+			want := wantNbrs[v]
 			got := nbrs[v]
 			if len(got) != len(want) {
 				t.Fatalf("machines=%d: nbrs[%d] = %v, want %v", machines, v, got, want)

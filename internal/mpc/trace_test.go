@@ -2,6 +2,7 @@ package mpc
 
 import (
 	"reflect"
+	"sort"
 	"testing"
 
 	"github.com/rulingset/mprs/internal/trace"
@@ -190,19 +191,19 @@ func TestStepNoAllocWithoutTracer(t *testing.T) {
 	payload := make([]uint64, 8)
 	// Warm up the log/violation slices so append doesn't grow mid-measure.
 	for i := 0; i < 64; i++ {
-		if err := c.Step("warm", func(x *Ctx) { x.SendOwned((x.Machine + 1) % 4, payload) }); err != nil {
+		if err := c.Step("warm", func(x *Ctx) { x.SendOwned((x.Machine+1)%4, payload) }); err != nil {
 			t.Fatal(err)
 		}
 	}
 	withoutTracer := testing.AllocsPerRun(32, func() {
-		if err := c.Step("bench", func(x *Ctx) { x.SendOwned((x.Machine + 1) % 4, payload) }); err != nil {
+		if err := c.Step("bench", func(x *Ctx) { x.SendOwned((x.Machine+1)%4, payload) }); err != nil {
 			t.Fatal(err)
 		}
 	})
 	ring := trace.NewRing(8)
 	c.SetTracer(ring)
 	withTracer := testing.AllocsPerRun(32, func() {
-		if err := c.Step("bench", func(x *Ctx) { x.SendOwned((x.Machine + 1) % 4, payload) }); err != nil {
+		if err := c.Step("bench", func(x *Ctx) { x.SendOwned((x.Machine+1)%4, payload) }); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -292,7 +293,12 @@ func TestMergeStatsCoversEveryField(t *testing.T) {
 		}
 		delete(checks, name)
 	}
+	leftover := make([]string, 0, len(checks))
 	for name := range checks {
+		leftover = append(leftover, name)
+	}
+	sort.Strings(leftover)
+	for _, name := range leftover {
 		t.Errorf("check %q matches no Stats field (renamed?)", name)
 	}
 }

@@ -3,12 +3,24 @@ package rulingset
 import (
 	"math"
 	"reflect"
+	"sort"
 	"testing"
 
 	"github.com/rulingset/mprs/internal/gen"
 	"github.com/rulingset/mprs/internal/graph"
 	"github.com/rulingset/mprs/internal/mpc"
 )
+
+// sortedNames returns the workload names in deterministic order, so subtest
+// order (and any trace output they feed) never depends on map iteration.
+func sortedNames(workloads map[string]*graph.Graph) []string {
+	names := make([]string, 0, len(workloads))
+	for name := range workloads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // testWorkloads are the graph families every algorithm is validated on.
 func testWorkloads(t *testing.T) map[string]*graph.Graph {
@@ -63,7 +75,9 @@ func allAlgorithms() []algo {
 // every algorithm on every workload family must emit an independent set with
 // at most the advertised domination radius.
 func TestAlgorithmsProduceValidRulingSets(t *testing.T) {
-	for wname, g := range testWorkloads(t) {
+	workloads := testWorkloads(t)
+	for _, wname := range sortedNames(workloads) {
+		g := workloads[wname]
 		for _, a := range allAlgorithms() {
 			t.Run(wname+"/"+a.name, func(t *testing.T) {
 				res, err := a.run(g, Options{Seed: 42})

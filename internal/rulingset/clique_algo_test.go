@@ -17,7 +17,8 @@ func TestCliqueRuling2Valid(t *testing.T) {
 		"path1":    gen.MustBuild("path:n=1", 0),
 		"edgeless": graph.MustNew(30, nil),
 	}
-	for name, g := range workloads {
+	for _, name := range sortedNames(workloads) {
+		g := workloads[name]
 		for _, det := range []bool{false, true} {
 			label := name + "/rand"
 			run := CliqueRandRuling2
