@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/rulingset/mprs/internal/buildinfo"
 	"github.com/rulingset/mprs/internal/lint"
 )
 
@@ -35,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		skipTests = fs.Bool("skip-tests", false, "exclude _test.go files from analysis")
 		analyzers = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		list      = fs.Bool("list", false, "list analyzers and exit")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: detlint [flags] [packages]\n\npackages are directories, optionally with a /... suffix (default ./...)")
@@ -42,6 +44,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.CLIVersion("detlint"))
+		return 0
 	}
 	if *list {
 		for _, a := range lint.Analyzers() {

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/rulingset/mprs/internal/buildinfo"
 	"github.com/rulingset/mprs/internal/experiments"
 )
 
@@ -30,14 +31,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mprs-experiments", flag.ContinueOnError)
 	var (
-		quick  = fs.Bool("quick", false, "run at reduced scale")
-		seed   = fs.Int64("seed", 1, "workload seed")
-		list   = fs.Bool("list", false, "list experiment ids and exit")
-		runIDs = fs.String("run", "", "comma-separated experiment ids (default: all)")
-		csvDir = fs.String("csv", "", "directory to also write tables as CSV")
+		quick   = fs.Bool("quick", false, "run at reduced scale")
+		seed    = fs.Int64("seed", 1, "workload seed")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		runIDs  = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		csvDir  = fs.String("csv", "", "directory to also write tables as CSV")
+		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.CLIVersion("mprs-experiments"))
+		return nil
 	}
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -6,24 +6,43 @@
 //	mprs gen  -spec gnp:n=4096,p=0.004 -seed 1 -o graph.txt [-binary]
 //	mprs info -spec ... | -in graph.txt
 //	mprs run  -algo det2 -spec gnp:n=4096,p=0.004 [-machines 8] [-regime linear]
-//	          [-epsilon 0.5] [-chunk 8] [-beta 3] [-alpha 3] [-phases] [-rounds]
-//	          [-spans] [-verify] [-trace run.jsonl] [-profile prefix]
+//	          [-epsilon 0.5] [-memory words] [-slack 16] [-chunk 8] [-algo-seed 1]
+//	          [-beta 3] [-alpha 3] [-strict] [-verify]
+//	          [-phases]          print the per-phase trace table
+//	          [-rounds]          print the per-round communication log
+//	          [-spans]           print the per-span (algorithm phase) skew table
+//	          [-trace file.jsonl] write the superstep trace as JSONL (with run header)
+//	          [-profile prefix]  capture CPU/heap profiles
+//	          [-debug-addr host:port] serve live run state (expvar + pprof) over HTTP
 //	          [-faults crash=0.02,drop=0.01,crash@3:1] [-fault-seed 1] [-checkpoint-every 4]
+//	mprs -version
 //
 // Algorithms: luby, detluby, rand2, det2, randbeta, detbeta, randab, detab,
 // clique2, cliquedet2 (congested clique), greedy.
+//
+// -slack widens the linear-regime budget to S = slack·n words per machine
+// (0 = the simulator default of 4·n); the beta/alpha-beta algorithms at small
+// quick-tier sizes typically need -slack 16.
 //
 // Diagnostics (budget violations, errors) go to stderr with a non-zero exit;
 // tables and results go to stdout.
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime/pprof"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/rulingset/mprs/internal/buildinfo"
 	"github.com/rulingset/mprs/internal/gen"
 	"github.com/rulingset/mprs/internal/graph"
 	"github.com/rulingset/mprs/internal/metrics"
@@ -41,9 +60,12 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: mprs <gen|info|run> [flags]; see -h of each subcommand")
+		return fmt.Errorf("usage: mprs <gen|info|run> [flags] (or -version); see -h of each subcommand")
 	}
 	switch args[0] {
+	case "-version", "--version", "version":
+		fmt.Println(buildinfo.CLIVersion("mprs"))
+		return nil
 	case "gen":
 		return cmdGen(args[1:])
 	case "info":
@@ -55,43 +77,60 @@ func run(args []string) error {
 	}
 }
 
-// graphFlags adds the shared -spec/-in/-seed flags and returns a loader.
-func graphFlags(fs *flag.FlagSet) func() (*graph.Graph, error) {
-	spec := fs.String("spec", "", "workload spec, e.g. gnp:n=4096,p=0.004")
-	in := fs.String("in", "", "read graph from an edge-list file instead")
-	seed := fs.Int64("seed", 1, "generator seed")
-	return func() (*graph.Graph, error) {
-		switch {
-		case *spec != "" && *in != "":
-			return nil, fmt.Errorf("-spec and -in are mutually exclusive")
-		case *spec != "":
-			s, err := gen.ParseSpec(*spec)
-			if err != nil {
-				return nil, err
-			}
-			return s.Build(*seed)
-		case *in != "":
-			f, err := os.Open(*in)
-			if err != nil {
-				return nil, err
-			}
-			defer f.Close()
-			return graph.ReadEdgeList(f)
-		default:
-			return nil, fmt.Errorf("one of -spec or -in is required")
+// graphSource carries the shared -spec/-in/-seed flags.
+type graphSource struct {
+	spec, in *string
+	seed     *int64
+}
+
+// graphFlags adds the shared -spec/-in/-seed flags.
+func graphFlags(fs *flag.FlagSet) graphSource {
+	return graphSource{
+		spec: fs.String("spec", "", "workload spec, e.g. gnp:n=4096,p=0.004"),
+		in:   fs.String("in", "", "read graph from an edge-list file instead"),
+		seed: fs.Int64("seed", 1, "generator seed"),
+	}
+}
+
+// describe renders the input source for trace headers and table titles.
+func (s graphSource) describe() string {
+	if *s.spec != "" {
+		return *s.spec
+	}
+	return "file:" + *s.in
+}
+
+func (s graphSource) load() (*graph.Graph, error) {
+	switch {
+	case *s.spec != "" && *s.in != "":
+		return nil, fmt.Errorf("-spec and -in are mutually exclusive")
+	case *s.spec != "":
+		sp, err := gen.ParseSpec(*s.spec)
+		if err != nil {
+			return nil, err
 		}
+		return sp.Build(*s.seed)
+	case *s.in != "":
+		f, err := os.Open(*s.in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	default:
+		return nil, fmt.Errorf("one of -spec or -in is required")
 	}
 }
 
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
-	load := graphFlags(fs)
+	src := graphFlags(fs)
 	out := fs.String("o", "", "output file (default stdout)")
 	binary := fs.Bool("binary", false, "write the compact binary format instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := load()
+	g, err := src.load()
 	if err != nil {
 		return err
 	}
@@ -112,11 +151,11 @@ func cmdGen(args []string) error {
 
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ContinueOnError)
-	load := graphFlags(fs)
+	src := graphFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := load()
+	g, err := src.load()
 	if err != nil {
 		return err
 	}
@@ -128,7 +167,7 @@ func cmdInfo(args []string) error {
 
 func cmdRun(args []string) (retErr error) {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	load := graphFlags(fs)
+	src := graphFlags(fs)
 	var (
 		algo     = fs.String("algo", "det2", "luby|detluby|rand2|det2|randbeta|detbeta|randab|detab|clique2|cliquedet2|greedy")
 		machines = fs.Int("machines", 8, "simulated machine count")
@@ -148,6 +187,7 @@ func cmdRun(args []string) (retErr error) {
 
 		traceFile = fs.String("trace", "", "write a deterministic JSONL superstep trace to this file")
 		profile   = fs.String("profile", "", "capture CPU and heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
+		debugAddr = fs.String("debug-addr", "", "serve live run state (expvar mprs var, net/http/pprof) on this host:port")
 
 		faults = fs.String("faults", "", "fault spec, e.g. crash=0.02,drop=0.01,dup=0.005,stall=0.05,crash@3:1 (empty = off)")
 		fseed  = fs.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
@@ -156,7 +196,7 @@ func cmdRun(args []string) (retErr error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := load()
+	g, err := src.load()
 	if err != nil {
 		return err
 	}
@@ -186,18 +226,48 @@ func cmdRun(args []string) (retErr error) {
 		return fmt.Errorf("unknown regime %q", *regime)
 	}
 
+	// Compose the tracer: an optional JSONL file sink plus an optional live
+	// view for the debug endpoint. Both observe the same committed supersteps.
+	var sinks trace.Multi
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			return err
 		}
 		tr := trace.NewJSONL(f)
-		opts.Tracer = tr
+		machines := *machines
+		if *algo == "clique2" || *algo == "cliquedet2" {
+			machines = g.N() // the clique simulates one machine per vertex
+		}
+		if err := tr.WriteHeader(trace.Header{
+			Algo:     *algo,
+			Spec:     src.describe(),
+			Seed:     *algoSeed,
+			Machines: machines,
+			Build:    buildStamp(),
+		}); err != nil {
+			f.Close()
+			return fmt.Errorf("trace %s: %w", *traceFile, err)
+		}
+		sinks = append(sinks, tr)
 		defer func() {
 			if err := tr.Close(); err != nil && retErr == nil {
 				retErr = fmt.Errorf("trace %s: %w", *traceFile, err)
 			}
 		}()
+	}
+	if *debugAddr != "" {
+		live := trace.NewLive()
+		sinks = append(sinks, live)
+		ln, err := startDebugServer(*debugAddr, live)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars (pprof under /debug/pprof/)\n", ln.Addr())
+	}
+	if len(sinks) > 0 {
+		opts.Tracer = sinks
 	}
 	if *profile != "" {
 		stop, err := startProfiles(*profile)
@@ -318,6 +388,49 @@ func renderSpans(spans []mpc.SpanStat) error {
 	}
 	fmt.Println()
 	return st.Render(os.Stdout)
+}
+
+// buildStamp renders the binary's build info for trace headers. The stamp is
+// a pure function of the binary, so it never breaks trace byte-determinism
+// across runs of the same build.
+func buildStamp() json.RawMessage {
+	data, err := json.Marshal(buildinfo.Get())
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// liveState is the expvar indirection: expvar.Publish panics on duplicate
+// names, so the published Func closes over an atomic pointer that each run
+// (re)points at its live view. Tests exercising multiple runs in one process
+// stay safe.
+var (
+	liveState   atomic.Pointer[trace.Live]
+	publishOnce sync.Once
+)
+
+// startDebugServer exposes the live run state over HTTP: expvar (including
+// the "mprs" variable with the tracer's current round/span/counters) under
+// /debug/vars and net/http/pprof under /debug/pprof/. It returns the bound
+// listener so callers can report the address (and tests can use port 0).
+func startDebugServer(addr string, live *trace.Live) (net.Listener, error) {
+	liveState.Store(live)
+	publishOnce.Do(func() {
+		expvar.Publish("mprs", expvar.Func(func() any {
+			if l := liveState.Load(); l != nil {
+				return l.Snapshot()
+			}
+			return nil
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// expvar and net/http/pprof register their handlers on the default mux.
+	go http.Serve(ln, nil) //nolint — lifetime is the process; Close unblocks it
+	return ln, nil
 }
 
 // startProfiles begins a CPU profile and returns a stop function that also

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/rulingset/mprs/internal/trace"
 )
 
 func TestRunUsageErrors(t *testing.T) {
@@ -199,5 +202,136 @@ func TestRunProfileWritesFiles(t *testing.T) {
 		if st.Size() == 0 {
 			t.Fatalf("profile %s empty", suffix)
 		}
+	}
+}
+
+// TestRunUsageGolden pins the run subcommand's -h output against a golden
+// file, so the documented flag surface and the real one cannot drift apart
+// silently (the bug this guards against: usage text advertising flags that
+// do not exist, or omitting ones that do).
+func TestRunUsageGolden(t *testing.T) {
+	got := captureStderr(t, func() {
+		if err := run([]string{"run", "-h"}); err == nil {
+			t.Error("-h should surface flag.ErrHelp")
+		}
+	})
+	golden := filepath.Join("testdata", "run_usage.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("usage drifted from %s:\n--- got ---\n%s--- want ---\n%s(UPDATE_GOLDEN=1 refreshes after intentional changes)", golden, got, want)
+	}
+	// Every flag named in the command doc's usage block must exist; spot-check
+	// the ones the doc calls out explicitly.
+	for _, flagName := range []string{"-phases", "-rounds", "-spans", "-slack", "-trace", "-debug-addr", "-algo-seed"} {
+		if !strings.Contains(got, "\n  "+flagName) {
+			t.Errorf("usage output missing %s", flagName)
+		}
+	}
+}
+
+// TestVersionFlag checks every spelling of the version request.
+func TestVersionFlag(t *testing.T) {
+	for _, arg := range []string{"-version", "--version", "version"} {
+		if err := run([]string{arg}); err != nil {
+			t.Errorf("%s: %v", arg, err)
+		}
+	}
+}
+
+// TestTraceFileHasHeader: traces written by the CLI start with a schema
+// header carrying the run parameters and the build stamp, and remain fully
+// readable through the trace cursor.
+func TestTraceFileHasHeader(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := run([]string{"run", "-algo", "det2", "-spec", "gnp:n=200,p=0.02",
+		"-chunk", "4", "-algo-seed", "7", "-machines", "4", "-trace", out, "-verify=false"}); err != nil {
+		t.Fatal(err)
+	}
+	hdr, evs, err := trace.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Schema != trace.Schema {
+		t.Errorf("header schema %q", hdr.Schema)
+	}
+	if hdr.Algo != "det2" || hdr.Spec != "gnp:n=200,p=0.02" || hdr.Seed != 7 || hdr.Machines != 4 {
+		t.Errorf("header run parameters wrong: %+v", hdr)
+	}
+	if len(hdr.Build) == 0 || !strings.Contains(string(hdr.Build), "go_version") {
+		t.Errorf("header missing build stamp: %s", hdr.Build)
+	}
+	if len(evs) == 0 {
+		t.Error("no events after header")
+	}
+}
+
+// TestDebugServer drives the live-introspection endpoint end to end: start
+// on an ephemeral port, feed the live tracer, and read the expvar snapshot
+// plus the pprof index over HTTP. Starting twice must not panic (expvar
+// re-publication is guarded).
+func TestDebugServer(t *testing.T) {
+	get := func(url string) string {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", url, resp.StatusCode)
+		}
+		return b.String()
+	}
+	live := trace.NewLive()
+	live.SpanChange("sparsify")
+	live.Superstep(trace.Event{Round: 3, Step: "mark", Span: "sparsify", Words: 12, Sent: []int{12}, Recv: []int{12}})
+	ln, err := startDebugServer("127.0.0.1:0", live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+	vars := get(base + "/debug/vars")
+	if !strings.Contains(vars, `"mprs"`) || !strings.Contains(vars, `"round":3`) || !strings.Contains(vars, `"span":"sparsify"`) {
+		t.Errorf("expvar snapshot missing live state:\n%s", vars)
+	}
+	if idx := get(base + "/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("pprof index not served:\n%s", idx)
+	}
+
+	// A second run in the same process re-points the published variable.
+	live2 := trace.NewLive()
+	live2.Superstep(trace.Event{Round: 9, Span: "gather", Words: 1, Sent: []int{1}, Recv: []int{1}})
+	ln2, err := startDebugServer("127.0.0.1:0", live2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	if vars := get("http://" + ln2.Addr().String() + "/debug/vars"); !strings.Contains(vars, `"round":9`) {
+		t.Errorf("second run's live state not published:\n%s", vars)
+	}
+}
+
+// TestRunDebugAddrFlag exercises the -debug-addr flag through the CLI path.
+func TestRunDebugAddrFlag(t *testing.T) {
+	errOut := captureStderr(t, func() {
+		if err := run([]string{"run", "-algo", "det2", "-spec", "gnp:n=200,p=0.02",
+			"-chunk", "4", "-debug-addr", "127.0.0.1:0", "-verify=false"}); err != nil {
+			t.Errorf("run with -debug-addr: %v", err)
+		}
+	})
+	if !strings.Contains(errOut, "debug server on http://127.0.0.1:") {
+		t.Errorf("debug address not reported on stderr: %q", errOut)
 	}
 }

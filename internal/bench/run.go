@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rulingset/mprs/internal/gen"
+	"github.com/rulingset/mprs/internal/graph"
+	"github.com/rulingset/mprs/internal/mpc"
+	"github.com/rulingset/mprs/internal/rulingset"
+)
+
+// RunConfig controls one bench run.
+type RunConfig struct {
+	// Quick selects the reduced CI tier (QuickSpec instead of Spec).
+	Quick bool
+	// Workloads restricts the run to the named workloads; nil runs the full
+	// registry.
+	Workloads []string
+	// Seed drives workload generation and the randomized algorithms.
+	// Results are a pure function of (registry, Quick, Seed).
+	Seed int64
+	// StripHost zeroes host-dependent columns (wall-clock) in the output,
+	// producing a fully deterministic, byte-reproducible artifact.
+	StripHost bool
+	// Progress, when non-nil, receives one line per completed (workload,
+	// algorithm) pair.
+	Progress func(string)
+}
+
+// mpcAlgo is one MPC-simulator algorithm entry.
+type mpcAlgo struct {
+	name string
+	run  func(*graph.Graph, Workload, rulingset.Options) (rulingset.Result, error)
+}
+
+var mpcAlgos = []mpcAlgo{
+	{"luby", func(g *graph.Graph, _ Workload, o rulingset.Options) (rulingset.Result, error) {
+		return rulingset.LubyMIS(g, o)
+	}},
+	{"detluby", func(g *graph.Graph, _ Workload, o rulingset.Options) (rulingset.Result, error) {
+		return rulingset.DetLubyMIS(g, o)
+	}},
+	{"rand2", func(g *graph.Graph, _ Workload, o rulingset.Options) (rulingset.Result, error) {
+		return rulingset.RandRuling2(g, o)
+	}},
+	{"det2", func(g *graph.Graph, _ Workload, o rulingset.Options) (rulingset.Result, error) {
+		return rulingset.DetRuling2(g, o)
+	}},
+	{"randbeta", func(g *graph.Graph, w Workload, o rulingset.Options) (rulingset.Result, error) {
+		return rulingset.RandRulingBeta(g, beta(w), o)
+	}},
+	{"detbeta", func(g *graph.Graph, w Workload, o rulingset.Options) (rulingset.Result, error) {
+		return rulingset.DetRulingBeta(g, beta(w), o)
+	}},
+	{"randab", func(g *graph.Graph, w Workload, o rulingset.Options) (rulingset.Result, error) {
+		return rulingset.RandRulingAlphaBeta(g, alpha(w), beta(w), o)
+	}},
+	{"detab", func(g *graph.Graph, w Workload, o rulingset.Options) (rulingset.Result, error) {
+		return rulingset.DetRulingAlphaBeta(g, alpha(w), beta(w), o)
+	}},
+}
+
+func beta(w Workload) int {
+	if w.Beta > 0 {
+		return w.Beta
+	}
+	return 3
+}
+
+func alpha(w Workload) int {
+	if w.Alpha > 0 {
+		return w.Alpha
+	}
+	return 3
+}
+
+// cliqueAlgos are the congested-clique entries (the clique simulator's
+// algorithm surface).
+var cliqueAlgos = map[string]func(*graph.Graph, rulingset.Options) (rulingset.CliqueResult, error){
+	"clique2":    rulingset.CliqueRandRuling2,
+	"cliquedet2": rulingset.CliqueDetRuling2,
+}
+
+// Run executes the configured workloads and returns the artifact. Rows come
+// out in registry order × workload algorithm order, so the result layout is
+// deterministic too.
+func Run(cfg RunConfig) (*File, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	var workloads []Workload
+	if cfg.Workloads == nil {
+		workloads = Registry()
+	} else {
+		for _, name := range cfg.Workloads {
+			w, err := Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			workloads = append(workloads, w)
+		}
+	}
+	names := make([]string, len(workloads))
+	for i, w := range workloads {
+		names[i] = w.Name
+	}
+	file := &File{Manifest: newManifest(cfg.Quick, cfg.Seed, names)}
+	for _, w := range workloads {
+		rows, err := runWorkload(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: workload %s: %w", w.Name, err)
+		}
+		file.Results = append(file.Results, rows...)
+	}
+	if cfg.StripHost {
+		file.StripHost()
+	}
+	return file, nil
+}
+
+// runWorkload executes every algorithm of one workload.
+func runWorkload(w Workload, cfg RunConfig) ([]Result, error) {
+	spec := w.Spec
+	if cfg.Quick && w.QuickSpec != "" {
+		spec = w.QuickSpec
+	}
+	s, err := gen.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	g, err := s.Build(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := mpc.ParseFaultPlan(w.Faults, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	opts := rulingset.Options{
+		Machines:        w.Machines,
+		ChunkBits:       w.ChunkBits,
+		LinearSlack:     w.Slack,
+		Seed:            cfg.Seed,
+		Faults:          plan,
+		CheckpointEvery: w.CheckpointEvery,
+	}
+	var rows []Result
+	for _, name := range w.Algos {
+		row, err := runAlgo(g, w, name, opts)
+		if err != nil {
+			return nil, fmt.Errorf("algo %s: %w", name, err)
+		}
+		row.Workload = w.Name
+		row.Experiment = w.Experiment
+		row.Algo = name
+		row.N = g.N()
+		row.M = g.M()
+		rows = append(rows, row)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%s/%s: rounds=%d words=%d wall=%.1fms",
+				w.Name, name, row.Rounds, row.Words, row.WallMS))
+		}
+	}
+	return rows, nil
+}
+
+// runAlgo executes one (graph, algorithm) pair on the simulator that hosts
+// it and flattens the measurements into a Result row.
+func runAlgo(g *graph.Graph, w Workload, name string, opts rulingset.Options) (Result, error) {
+	if run, ok := cliqueAlgos[name]; ok {
+		start := time.Now() // host-dependent column; see Manifest.HostDependent
+		res, err := run(g, opts)
+		wall := time.Since(start)
+		if err != nil {
+			return Result{}, err
+		}
+		row := Result{
+			Model:            "clique",
+			Machines:         g.N(),
+			Members:          len(res.Members),
+			Beta:             res.Beta,
+			Rounds:           res.Stats.Rounds,
+			Phases:           len(res.Phases),
+			SeedSteps:        seedSteps(res.Phases),
+			Messages:         res.Stats.Messages,
+			Words:            res.Stats.Words,
+			PeakRecv:         res.Stats.PeakRecv,
+			SkewSent:         res.Stats.SkewSent,
+			SkewRecv:         res.Stats.SkewRecv,
+			GiniSent:         res.Stats.GiniSent,
+			GiniRecv:         res.Stats.GiniRecv,
+			Violations:       len(res.Stats.Violations),
+			RecoveredCrashes: res.Stats.RecoveredCrashes,
+			RecoveryRounds:   res.Stats.RecoveryRounds,
+			ReplayedWords:    res.Stats.ReplayedWords,
+			DroppedMessages:  res.Stats.DroppedMessages,
+			DupMessages:      res.Stats.DupMessages,
+			StallRounds:      res.Stats.StallRounds,
+			WallMS:           float64(wall.Microseconds()) / 1000,
+		}
+		if !rulingset.IsRulingSet(g, res.Members, res.Beta) {
+			return Result{}, fmt.Errorf("output failed verification")
+		}
+		return row, nil
+	}
+	for _, a := range mpcAlgos {
+		if a.name != name {
+			continue
+		}
+		start := time.Now() // host-dependent column; see Manifest.HostDependent
+		res, err := a.run(g, w, opts)
+		wall := time.Since(start)
+		if err != nil {
+			return Result{}, err
+		}
+		row := Result{
+			Model:            "mpc",
+			Machines:         machines(w),
+			Members:          len(res.Members),
+			Beta:             res.Beta,
+			Rounds:           res.Stats.Rounds,
+			Phases:           len(res.Phases),
+			SeedSteps:        seedSteps(res.Phases),
+			Messages:         res.Stats.Messages,
+			Words:            res.Stats.Words,
+			PeakSent:         res.Stats.PeakSent,
+			PeakRecv:         res.Stats.PeakRecv,
+			PeakResident:     res.Stats.PeakResident,
+			SkewSent:         res.Stats.SkewSent,
+			SkewRecv:         res.Stats.SkewRecv,
+			GiniSent:         res.Stats.GiniSent,
+			GiniRecv:         res.Stats.GiniRecv,
+			Violations:       len(res.Stats.Violations),
+			RecoveredCrashes: res.Stats.RecoveredCrashes,
+			RecoveryRounds:   res.Stats.RecoveryRounds,
+			ReplayedWords:    res.Stats.ReplayedWords,
+			DroppedMessages:  res.Stats.DroppedMessages,
+			DupMessages:      res.Stats.DupMessages,
+			StallRounds:      res.Stats.StallRounds,
+			WallMS:           float64(wall.Microseconds()) / 1000,
+		}
+		if err := rulingset.Check(g, res); err != nil {
+			return Result{}, fmt.Errorf("output failed verification: %w", err)
+		}
+		return row, nil
+	}
+	return Result{}, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func machines(w Workload) int {
+	if w.Machines > 0 {
+		return w.Machines
+	}
+	return 8
+}
+
+func seedSteps(phases []rulingset.PhaseStat) int {
+	total := 0
+	for _, ps := range phases {
+		total += ps.SeedSteps
+	}
+	return total
+}

@@ -179,7 +179,14 @@ func (c *Cluster) SetTracer(t trace.Tracer) { c.tracer = t }
 // Span sets the active trace-span label; subsequent rounds are attributed to
 // it in Stats.Spans and emitted trace events (same labels as the MPC
 // simulator: "sparsify", "seed-search", "gather", "finish"; default "setup").
-func (c *Cluster) Span(name string) { c.span = name }
+// A tracer implementing trace.SpanObserver is notified immediately, so live
+// introspection sees the phase change before its first round commits.
+func (c *Cluster) Span(name string) {
+	c.span = name
+	if o, ok := c.tracer.(trace.SpanObserver); ok {
+		o.SpanChange(name)
+	}
+}
 
 // CurrentSpan returns the active trace-span label.
 func (c *Cluster) CurrentSpan() string { return c.span }

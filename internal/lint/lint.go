@@ -154,10 +154,14 @@ var criticalPkgs = map[string]bool{
 }
 
 // wallclockExempt reports whether the package at the module-relative path
-// may read the wall clock: the measurement harness and the binaries, where
-// timing is the point, not a hazard.
+// may read the wall clock: the measurement harnesses (experiments, bench) and
+// the binaries, where timing is the point, not a hazard. The bench harness
+// keeps wall-clock quarantined in its explicitly host-dependent columns (see
+// bench.HostDependentFields), so the exemption does not weaken the
+// determinism contract of its other measurements.
 func wallclockExempt(rel string) bool {
 	return rel == "internal/experiments" ||
+		rel == "internal/bench" ||
 		rel == "cmd" || strings.HasPrefix(rel, "cmd/") ||
 		rel == "examples" || strings.HasPrefix(rel, "examples/")
 }

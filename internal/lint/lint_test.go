@@ -204,3 +204,42 @@ func TestDiagnosticsAreSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchWallclockExemption pins the bench harness's wall-clock carve-out:
+// internal/bench and the bench CLI measure wall time on purpose (it is their
+// one declared host-dependent column), so the wallclock analyzer must stay
+// silent there — and the exemption must not be vacuous.
+func TestBenchWallclockExemption(t *testing.T) {
+	for _, rel := range []string{"internal/bench", "cmd/mprs-bench", "cmd/traceview"} {
+		if !wallclockExempt(rel) {
+			t.Errorf("wallclockExempt(%q) = false", rel)
+		}
+	}
+	// The deterministic core must NOT inherit the exemption.
+	for _, rel := range []string{"internal/mpc", "internal/clique", "internal/trace", "internal/benchmark"} {
+		if wallclockExempt(rel) {
+			t.Errorf("wallclockExempt(%q) = true; exemption leaked", rel)
+		}
+	}
+	// Lint the real package: zero wallclock findings.
+	diags, err := Run(Config{
+		Dir:       "../..",
+		Patterns:  []string{"internal/bench"},
+		Analyzers: []string{"wallclock"},
+	})
+	if err != nil {
+		t.Fatalf("Run(internal/bench): %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("wallclock findings in exempt internal/bench:\n%s", formatDiags(diags))
+	}
+	// Non-vacuity: the package genuinely reads the wall clock, so the empty
+	// result above proves the exemption (not an absence of time.Now calls).
+	src, err := os.ReadFile(filepath.Join("..", "bench", "run.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "time.Now()") {
+		t.Fatal("internal/bench no longer calls time.Now; exemption test proves nothing")
+	}
+}

@@ -289,7 +289,14 @@ func (c *Cluster) SetTracer(t trace.Tracer) { c.tracer = t }
 // it in Stats.Spans, the round log, and emitted trace events. Algorithms
 // annotate their phases with the canonical labels "sparsify", "seed-search",
 // "gather" and "finish"; rounds before the first Span call land in "setup".
-func (c *Cluster) Span(name string) { c.span = name }
+// A tracer implementing trace.SpanObserver is notified immediately, so live
+// introspection sees the phase change before its first round commits.
+func (c *Cluster) Span(name string) {
+	c.span = name
+	if o, ok := c.tracer.(trace.SpanObserver); ok {
+		o.SpanChange(name)
+	}
+}
 
 // CurrentSpan returns the active trace-span label (so helpers like the
 // derandomizer can set a span and restore the caller's afterwards).

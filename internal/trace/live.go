@@ -1,0 +1,111 @@
+package trace
+
+import "sync"
+
+// SpanObserver is implemented by tracers that want to learn of algorithm
+// phase changes the moment they happen, rather than at the next superstep
+// barrier. The simulators notify the registered tracer on every Span call
+// when it implements this interface; Multi fans the notification out.
+type SpanObserver interface {
+	SpanChange(span string)
+}
+
+// Snapshot is one consistent view of a running simulation, the payload the
+// live-introspection endpoint (expvar) publishes: where the run is (round,
+// span, step) and the cumulative traffic and recovery counters so far.
+type Snapshot struct {
+	// Round is the latest committed round; Span and Step describe it. Span
+	// may be ahead of Round when the algorithm just opened a new phase.
+	Round int    `json:"round"`
+	Span  string `json:"span"`
+	Step  string `json:"step"`
+	// Machines is the per-machine slice width of the last event (0 for
+	// charged rounds).
+	Machines int `json:"machines"`
+	// Messages and Words accumulate delivered traffic across all rounds.
+	Messages int64 `json:"messages"`
+	Words    int64 `json:"words"`
+	// MaxSent and MaxRecv are the per-machine per-round peaks so far.
+	MaxSent int `json:"max_sent"`
+	MaxRecv int `json:"max_recv"`
+	// GiniSent and GiniRecv are the worst per-round imbalance so far.
+	GiniSent float64 `json:"gini_sent"`
+	GiniRecv float64 `json:"gini_recv"`
+	// Recovery counters accumulated across rounds (fault layer).
+	Crashes        int   `json:"recovered_crashes"`
+	RecoveryRounds int   `json:"recovery_rounds"`
+	ReplayedWords  int64 `json:"replayed_words"`
+	Dropped        int   `json:"dropped_messages"`
+	Duplicated     int   `json:"duplicated_messages"`
+	Stalls         int   `json:"stall_rounds"`
+}
+
+// Live is a Tracer maintaining a concurrently readable Snapshot of the run:
+// the current round/span/step plus cumulative traffic, peak and recovery
+// counters. It backs the -debug-addr expvar endpoint, where an HTTP handler
+// reads the snapshot while the simulation goroutine writes it.
+type Live struct {
+	mu   sync.Mutex
+	snap Snapshot
+}
+
+// NewLive creates an empty live view.
+func NewLive() *Live { return &Live{} }
+
+// Superstep implements Tracer.
+func (l *Live) Superstep(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := &l.snap
+	s.Round = ev.Round
+	s.Span = ev.Span
+	s.Step = ev.Step
+	if len(ev.Sent) > 0 {
+		s.Machines = len(ev.Sent)
+	}
+	s.Messages += int64(ev.Messages)
+	s.Words += int64(ev.Words)
+	if ev.MaxSent > s.MaxSent {
+		s.MaxSent = ev.MaxSent
+	}
+	if ev.MaxRecv > s.MaxRecv {
+		s.MaxRecv = ev.MaxRecv
+	}
+	if ev.GiniSent > s.GiniSent {
+		s.GiniSent = ev.GiniSent
+	}
+	if ev.GiniRecv > s.GiniRecv {
+		s.GiniRecv = ev.GiniRecv
+	}
+	s.Crashes += ev.Crashes
+	s.RecoveryRounds += ev.RecoveryRounds
+	s.ReplayedWords += ev.ReplayedWords
+	s.Dropped += ev.Dropped
+	s.Duplicated += ev.Duplicated
+	s.Stalls += ev.Stalls
+}
+
+// SpanChange implements SpanObserver: the snapshot advances to the new phase
+// immediately, before the phase commits its first round.
+func (l *Live) SpanChange(span string) {
+	l.mu.Lock()
+	l.snap.Span = span
+	l.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current view; safe to call concurrently
+// with Superstep.
+func (l *Live) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snap
+}
+
+// SpanChange implements SpanObserver on the fan-out tracer.
+func (m Multi) SpanChange(span string) {
+	for _, t := range m {
+		if o, ok := t.(SpanObserver); ok {
+			o.SpanChange(span)
+		}
+	}
+}

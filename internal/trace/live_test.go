@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLiveAccumulates(t *testing.T) {
+	l := NewLive()
+	l.SpanChange("sparsify")
+	if s := l.Snapshot(); s.Span != "sparsify" || s.Round != 0 {
+		t.Fatalf("span change not visible before first round: %+v", s)
+	}
+	l.Superstep(Event{Round: 1, Step: "mark", Span: "sparsify", Sent: []int{4, 0, 0}, Recv: []int{0, 2, 2},
+		Messages: 2, Words: 4, MaxSent: 4, MaxRecv: 2, GiniSent: 0.6, GiniRecv: 0.3})
+	l.Superstep(Event{Round: 2, Step: "gather", Span: "gather", Sent: []int{1, 1, 1}, Recv: []int{3, 0, 0},
+		Messages: 3, Words: 3, MaxSent: 1, MaxRecv: 3, GiniSent: 0.1, GiniRecv: 0.9,
+		Crashes: 1, RecoveryRounds: 2, ReplayedWords: 10, Dropped: 1, Duplicated: 2, Stalls: 3})
+	s := l.Snapshot()
+	if s.Round != 2 || s.Span != "gather" || s.Step != "gather" || s.Machines != 3 {
+		t.Errorf("position wrong: %+v", s)
+	}
+	if s.Messages != 5 || s.Words != 7 {
+		t.Errorf("traffic totals wrong: %+v", s)
+	}
+	if s.MaxSent != 4 || s.MaxRecv != 3 || s.GiniSent != 0.6 || s.GiniRecv != 0.9 {
+		t.Errorf("peaks wrong: %+v", s)
+	}
+	if s.Crashes != 1 || s.RecoveryRounds != 2 || s.ReplayedWords != 10 || s.Dropped != 1 || s.Duplicated != 2 || s.Stalls != 3 {
+		t.Errorf("recovery counters wrong: %+v", s)
+	}
+}
+
+func TestLiveConcurrentReaders(t *testing.T) {
+	l := NewLive()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = l.Snapshot()
+				}
+			}
+		}()
+	}
+	for r := 1; r <= 500; r++ {
+		l.Superstep(Event{Round: r, Words: 1, Sent: []int{1}, Recv: []int{1}})
+	}
+	close(stop)
+	wg.Wait()
+	if s := l.Snapshot(); s.Round != 500 || s.Words != 500 {
+		t.Fatalf("final snapshot %+v", s)
+	}
+}
+
+func TestMultiForwardsSpanChange(t *testing.T) {
+	a, b := NewLive(), NewLive()
+	m := Multi{a, NewRing(1), nil, b}
+	m.SpanChange("seed-search")
+	if a.Snapshot().Span != "seed-search" || b.Snapshot().Span != "seed-search" {
+		t.Fatal("Multi did not fan SpanChange out to observers")
+	}
+}

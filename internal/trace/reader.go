@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Schema is the trace file format version written into Header.Schema.
+// Version bumps are reserved for changes that break existing readers.
+const Schema = "mprs-trace/1"
+
+// Header is the optional first line of a JSONL trace file: the run manifest
+// identifying what produced the events that follow. It is distinguished from
+// an Event by its "schema" field. All fields are a pure function of
+// (binary, invocation), so headers preserve byte-determinism across runs of
+// the same build.
+type Header struct {
+	// Schema is the trace format version; always Schema when written by
+	// this package.
+	Schema string `json:"schema"`
+	// Algo and Spec identify the run: algorithm name and workload spec (or
+	// input filename).
+	Algo string `json:"algo,omitempty"`
+	Spec string `json:"spec,omitempty"`
+	// Seed is the algorithm seed of the run.
+	Seed int64 `json:"seed,omitempty"`
+	// Machines is the simulated machine count (0 when the producer did not
+	// record it, e.g. congested-clique runs where it equals n).
+	Machines int `json:"machines,omitempty"`
+	// Build stamps the producing binary (module version, VCS revision, go
+	// toolchain); see internal/buildinfo.
+	Build json.RawMessage `json:"build,omitempty"`
+}
+
+// WriteHeader writes the run-manifest header line. It must be called before
+// the first Superstep; the schema field is forced to Schema.
+func (t *JSONL) WriteHeader(h Header) error {
+	if t.err != nil {
+		return t.err
+	}
+	h.Schema = Schema
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.err = err
+		return err
+	}
+	if _, err := t.bw.Write(data); err != nil {
+		t.err = err
+		return err
+	}
+	t.err = t.bw.WriteByte('\n')
+	return t.err
+}
+
+// Reader is a cursor over a JSONL trace: it detects and exposes the optional
+// header line, then yields one Event per Next call. It is the consuming
+// counterpart of the JSONL sink, shared by traceview, bench diffing and any
+// downstream analysis.
+type Reader struct {
+	s      *bufio.Scanner
+	header Header
+	hasHdr bool
+	line   int
+	// pending buffers a headerless first line already consumed by the
+	// header sniff in NewReader, returned by the first Next.
+	pending    []byte
+	hasPending bool
+}
+
+// maxLineBytes bounds one trace line: per-machine slices grow linearly in
+// the machine count, so congested-clique traces over large n produce long
+// lines. 64 MiB admits clusters of tens of millions of machines.
+const maxLineBytes = 64 << 20
+
+// NewReader creates a cursor over r, eagerly consuming the header line if
+// present. An empty input is a valid trace with zero events.
+func NewReader(r io.Reader) (*Reader, error) {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
+	rd := &Reader{s: s}
+	if !s.Scan() {
+		if err := s.Err(); err != nil {
+			return nil, err
+		}
+		return rd, nil // empty trace
+	}
+	rd.line = 1
+	first := s.Bytes()
+	if looksLikeHeader(first) {
+		if err := json.Unmarshal(first, &rd.header); err != nil {
+			return nil, fmt.Errorf("trace: line 1: bad header: %w", err)
+		}
+		if !strings.HasPrefix(rd.header.Schema, "mprs-trace/") {
+			return nil, fmt.Errorf("trace: line 1: unsupported schema %q", rd.header.Schema)
+		}
+		rd.hasHdr = true
+		return rd, nil
+	}
+	// No header: the first line is an event; hold it for the first Next.
+	rd.pending = append(rd.pending, first...)
+	rd.hasPending = true
+	return rd, nil
+}
+
+// Header returns the trace header and whether one was present.
+func (r *Reader) Header() (Header, bool) { return r.header, r.hasHdr }
+
+// Line returns the 1-based line number of the most recently returned event
+// (or header), for error reporting.
+func (r *Reader) Line() int { return r.line }
+
+// Next returns the next event, or io.EOF after the last one.
+func (r *Reader) Next() (Event, error) {
+	var data []byte
+	if r.hasPending {
+		data, r.pending, r.hasPending = r.pending, nil, false
+	} else {
+		if !r.s.Scan() {
+			if err := r.s.Err(); err != nil {
+				return Event{}, err
+			}
+			return Event{}, io.EOF
+		}
+		r.line++
+		data = r.s.Bytes()
+	}
+	var ev Event
+	if err := json.Unmarshal(data, &ev); err != nil {
+		return Event{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+	}
+	return ev, nil
+}
+
+// ReadAll consumes the whole trace: header (zero-valued when absent) and all
+// events in order.
+func ReadAll(r io.Reader) (Header, []Event, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	var evs []Event
+	for {
+		ev, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return rd.header, evs, err
+		}
+		evs = append(evs, ev)
+	}
+	h, _ := rd.Header()
+	return h, evs, nil
+}
+
+// ReadFile reads the JSONL trace at path.
+func ReadFile(path string) (Header, []Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer f.Close()
+	h, evs, err := ReadAll(f)
+	if err != nil {
+		return h, evs, fmt.Errorf("%s: %w", path, err)
+	}
+	return h, evs, nil
+}
+
+// looksLikeHeader reports whether a line is a header rather than an event:
+// headers carry a "schema" key, events a "round" key, and neither format
+// emits the other's discriminator.
+func looksLikeHeader(line []byte) bool {
+	var probe struct {
+		Schema *string `json:"schema"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return false
+	}
+	return probe.Schema != nil
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReaderRoundTripsHeaderAndEvents(t *testing.T) {
+	evs := []Event{
+		{Round: 1, Step: "a", Span: "setup", Sent: []int{3, 0}, Recv: []int{0, 3}, Messages: 1, Words: 3, MaxSent: 3, MaxRecv: 3, GiniSent: 0.5, GiniRecv: 0.5},
+		{Round: 2, Step: "b", Span: "sparsify", Charged: true},
+		{Round: 3, Step: "c", Span: "finish", Crashes: 1, RecoveryRounds: 2},
+	}
+	var b bytes.Buffer
+	w := NewJSONL(&b)
+	if err := w.WriteHeader(Header{Algo: "det2", Spec: "gnp:n=16,p=0.2", Seed: 7, Machines: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		w.Superstep(ev)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h, got, err := ReadAll(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema != Schema {
+		t.Errorf("header schema %q, want %q", h.Schema, Schema)
+	}
+	if h.Algo != "det2" || h.Spec != "gnp:n=16,p=0.2" || h.Seed != 7 || h.Machines != 2 {
+		t.Errorf("header fields lost: %+v", h)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Errorf("events did not round-trip:\ngot  %+v\nwant %+v", got, evs)
+	}
+}
+
+func TestReaderHeaderlessTrace(t *testing.T) {
+	// Pre-header traces (PR 2 output) are plain event streams; the reader
+	// must treat the first line as an event, not reject it.
+	var b bytes.Buffer
+	w := NewJSONL(&b)
+	w.Superstep(Event{Round: 1, Step: "s", Span: "setup", Words: 4})
+	w.Superstep(Event{Round: 2, Step: "s", Span: "setup", Words: 5})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rd.Header(); ok {
+		t.Fatal("headerless trace reported a header")
+	}
+	var rounds []int
+	for {
+		ev, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds = append(rounds, ev.Round)
+	}
+	if !reflect.DeepEqual(rounds, []int{1, 2}) {
+		t.Fatalf("rounds %v, want [1 2]", rounds)
+	}
+}
+
+func TestReaderEmptyTrace(t *testing.T) {
+	rd, err := NewReader(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("empty trace Next = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderRejectsUnknownSchema(t *testing.T) {
+	if _, err := NewReader(strings.NewReader(`{"schema":"other/9"}` + "\n")); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+func TestReaderReportsBadLineWithNumber(t *testing.T) {
+	in := `{"schema":"mprs-trace/1"}` + "\n" + `{"round":1}` + "\n" + "not json\n"
+	rd, err := NewReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = rd.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("bad line error %v, want mention of line 3", err)
+	}
+}
+
+func TestWriteHeaderForcesSchemaAndStaysDeterministic(t *testing.T) {
+	render := func() string {
+		var b bytes.Buffer
+		w := NewJSONL(&b)
+		if err := w.WriteHeader(Header{Schema: "bogus", Algo: "det2", Build: json.RawMessage(`{"go_version":"go1.22.0"}`)}); err != nil {
+			t.Fatal(err)
+		}
+		w.Superstep(Event{Round: 1})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := render()
+	if second := render(); first != second {
+		t.Fatal("headered traces of identical runs differ")
+	}
+	if !strings.HasPrefix(first, `{"schema":"mprs-trace/1"`) {
+		t.Fatalf("caller-supplied schema not overridden: %s", first)
+	}
+	if !strings.Contains(first, `"go_version":"go1.22.0"`) {
+		t.Fatalf("build stamp dropped: %s", first)
+	}
+}

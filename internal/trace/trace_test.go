@@ -137,3 +137,47 @@ func TestGini(t *testing.T) {
 		t.Errorf("concentrated: Gini = %v, want %v", got, want)
 	}
 }
+
+// TestGiniExactEdgeCases pins the degenerate inputs the skew aggregation
+// feeds Gini in real runs — single-machine clusters, rounds with no traffic,
+// and perfectly concentrated (one-hot) rounds — and requires the closed-form
+// answers exactly (==, no tolerance): 0 for the first two, (m−1)/m for a
+// one-hot round over m machines. These are the boundary values the span
+// aggregation's max-folding relies on.
+func TestGiniExactEdgeCases(t *testing.T) {
+	oneHot := func(m, hot, words int) []int {
+		xs := make([]int, m)
+		xs[hot] = words
+		return xs
+	}
+	tests := []struct {
+		name string
+		xs   []int
+		want float64
+	}{
+		{name: "single machine with traffic", xs: []int{42}, want: 0},
+		{name: "single machine no traffic", xs: []int{0}, want: 0},
+		{name: "all-zero round m=5", xs: []int{0, 0, 0, 0, 0}, want: 0},
+		{name: "one-hot m=2", xs: oneHot(2, 1, 9), want: 1.0 / 2},
+		{name: "one-hot m=4 first machine", xs: oneHot(4, 0, 1), want: 3.0 / 4},
+		{name: "one-hot m=8 mid machine", xs: oneHot(8, 3, 1000), want: 7.0 / 8},
+		{name: "one-hot m=8192 (clique gather ceiling)", xs: oneHot(8192, 0, 12345), want: 8191.0 / 8192},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Gini(append([]int(nil), tt.xs...)); got != tt.want {
+				t.Errorf("Gini = %v, want exactly %v", got, tt.want)
+			}
+		})
+	}
+	// The scratch buffer is sorted in place by design; calling again on the
+	// now-sorted slice must give the same answer (order invariance).
+	xs := oneHot(16, 15, 7)
+	first := Gini(xs)
+	if second := Gini(xs); second != first {
+		t.Errorf("Gini not order-invariant: %v then %v", first, second)
+	}
+	if want := 15.0 / 16; first != want {
+		t.Errorf("one-hot m=16: Gini = %v, want exactly %v", first, want)
+	}
+}
