@@ -95,6 +95,10 @@ func BenchmarkA4LubyThresholds(b *testing.B) { benchExperiment(b, "A4") }
 // recovery overhead under the deterministic fault schedule).
 func BenchmarkR1FaultRecovery(b *testing.B) { benchExperiment(b, "R1") }
 
+// BenchmarkR2DurableResume regenerates experiment R2 (durable checkpoint
+// cost vs cadence and resume bit-identity).
+func BenchmarkR2DurableResume(b *testing.B) { benchExperiment(b, "R2") }
+
 // BenchmarkO1CommunicationSkew regenerates experiment O1 (per-phase
 // communication skew through the trace spans).
 func BenchmarkO1CommunicationSkew(b *testing.B) { benchExperiment(b, "O1") }

@@ -15,6 +15,11 @@
 //	          [-profile prefix]  capture CPU/heap profiles
 //	          [-debug-addr host:port] serve live run state (expvar + pprof) over HTTP
 //	          [-faults crash=0.02,drop=0.01,crash@3:1] [-fault-seed 1] [-checkpoint-every 4]
+//	          [-checkpoint-dir dir]  persist durable checkpoints for crash-restart resume
+//	          [-resume]          resume from the newest valid checkpoint in -checkpoint-dir
+//	          [-checkpoint-retain k] durable checkpoints kept on disk (0 = default 3)
+//	          [-members-out file] write the ruling-set member ids, one per line
+//	          [-die-at N]        crash-test hook: exit with status 7 once round N commits
 //	mprs -version
 //
 // Algorithms: luby, detluby, rand2, det2, randbeta, detbeta, randab, detab,
@@ -24,11 +29,22 @@
 // (0 = the simulator default of 4·n); the beta/alpha-beta algorithms at small
 // quick-tier sizes typically need -slack 16.
 //
+// Durable checkpoints: -checkpoint-dir persists driver state through
+// internal/durable (CRC-framed, atomically renamed files keyed by a canonical
+// config fingerprint). A later invocation with the same configuration plus
+// -resume restarts from the newest valid checkpoint and produces the same
+// ruling set — and the same deterministic statistics — as an uninterrupted
+// run. Only the single-cluster MPC algorithms (luby, detluby, rand2, det2)
+// support durable checkpointing. An interrupt (SIGINT/SIGTERM) cancels the
+// run cooperatively at the next superstep barrier with a structured error
+// reporting the committed round.
+//
 // Diagnostics (budget violations, errors) go to stderr with a non-zero exit;
 // tables and results go to stdout.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
@@ -37,12 +53,15 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/rulingset/mprs/internal/buildinfo"
+	"github.com/rulingset/mprs/internal/durable"
 	"github.com/rulingset/mprs/internal/gen"
 	"github.com/rulingset/mprs/internal/graph"
 	"github.com/rulingset/mprs/internal/metrics"
@@ -192,6 +211,12 @@ func cmdRun(args []string) (retErr error) {
 		faults = fs.String("faults", "", "fault spec, e.g. crash=0.02,drop=0.01,dup=0.005,stall=0.05,crash@3:1 (empty = off)")
 		fseed  = fs.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 		ckpt   = fs.Int("checkpoint-every", 0, "snapshot driver state every k supersteps for crash recovery (0 = barrier recovery)")
+
+		ckptDir    = fs.String("checkpoint-dir", "", "persist durable checkpoints to this directory (single-cluster algorithms; implies -checkpoint-every 8 when unset)")
+		resume     = fs.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir")
+		ckptRetain = fs.Int("checkpoint-retain", 0, "durable checkpoints kept in -checkpoint-dir (0 = default 3)")
+		membersOut = fs.String("members-out", "", "write the ruling-set member ids to this file, one per line")
+		dieAt      = fs.Int("die-at", 0, "crash-test hook: exit with status 7 once this round commits (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -226,6 +251,48 @@ func cmdRun(args []string) (retErr error) {
 		return fmt.Errorf("unknown regime %q", *regime)
 	}
 
+	// Cooperative cancellation: an interrupt cancels the run at the next
+	// superstep barrier with a structured error naming the committed round
+	// (instead of killing the process mid-write).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	opts.Context = ctx
+
+	// Durable checkpointing. Resolve the store — and, with -resume, the
+	// checkpoint to restart from — before the tracer is composed, so the
+	// trace header can record the resume round and the JSONL sink can splice
+	// (a resumed trace carries only post-resume events; concatenating it onto
+	// the interrupted run's trace reconstructs the uninterrupted stream).
+	var store *durable.Store
+	resumedFrom := 0
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		if !durableAlgos[*algo] {
+			return fmt.Errorf("-checkpoint-dir: algorithm %q does not support durable checkpointing (single-cluster only: luby, detluby, rand2, det2)", *algo)
+		}
+		if opts.CheckpointEvery <= 0 {
+			opts.CheckpointEvery = defaultCheckpointEvery
+		}
+		fp := runFingerprint(*algo, src.describe(), *src.seed, opts, *faults, *fseed)
+		store, err = durable.Open(*ckptDir, fp, *ckptRetain)
+		if err != nil {
+			return err
+		}
+		store.SetBuildStamp(buildStamp())
+		opts.CheckpointSink = store
+		if *resume {
+			meta, state, err := store.LoadLatest()
+			if err != nil {
+				return err
+			}
+			opts.Resume = &mpc.ResumeState{Round: meta.Round, State: state}
+			resumedFrom = meta.Round
+			fmt.Fprintf(os.Stderr, "resuming from durable checkpoint at round %d in %s\n", meta.Round, store.Dir())
+		}
+	}
+
 	// Compose the tracer: an optional JSONL file sink plus an optional live
 	// view for the debug endpoint. Both observe the same committed supersteps.
 	var sinks trace.Multi
@@ -240,21 +307,31 @@ func cmdRun(args []string) (retErr error) {
 			machines = g.N() // the clique simulates one machine per vertex
 		}
 		if err := tr.WriteHeader(trace.Header{
-			Algo:     *algo,
-			Spec:     src.describe(),
-			Seed:     *algoSeed,
-			Machines: machines,
-			Build:    buildStamp(),
+			Algo:        *algo,
+			Spec:        src.describe(),
+			Seed:        *algoSeed,
+			Machines:    machines,
+			Build:       buildStamp(),
+			ResumedFrom: resumedFrom,
 		}); err != nil {
 			f.Close()
 			return fmt.Errorf("trace %s: %w", *traceFile, err)
 		}
-		sinks = append(sinks, tr)
+		if resumedFrom > 0 {
+			// Replayed rounds were already traced by the interrupted run;
+			// emit only what happens after the resume point.
+			sinks = append(sinks, trace.FromRound{Sink: tr, After: resumedFrom})
+		} else {
+			sinks = append(sinks, tr)
+		}
 		defer func() {
 			if err := tr.Close(); err != nil && retErr == nil {
 				retErr = fmt.Errorf("trace %s: %w", *traceFile, err)
 			}
 		}()
+	}
+	if *dieAt > 0 {
+		sinks = append(sinks, dieAtSink{round: *dieAt})
 	}
 	if *debugAddr != "" {
 		live := trace.NewLive()
@@ -285,10 +362,10 @@ func cmdRun(args []string) (retErr error) {
 		start := time.Now()
 		mis := rulingset.GreedyMIS(g)
 		fmt.Printf("greedy MIS: %d members in %v\n", len(mis), time.Since(start))
-		return nil
+		return writeMembers(*membersOut, mis)
 	}
 	if *algo == "clique2" || *algo == "cliquedet2" {
-		return runClique(g, *algo, opts, *verify, *spans)
+		return runClique(g, *algo, opts, *verify, *spans, *membersOut)
 	}
 
 	start := time.Now()
@@ -355,11 +432,23 @@ func cmdRun(args []string) (retErr error) {
 			return err
 		}
 	}
+	if err := writeMembers(*membersOut, res.Members); err != nil {
+		return err
+	}
 	if *verify {
 		if err := rulingset.Check(g, res); err != nil {
 			return fmt.Errorf("verification failed: %w", err)
 		}
 		fmt.Printf("verified: independent, radius <= %d\n", res.Beta)
+	}
+	if store != nil {
+		dt := metrics.NewTable("durable checkpoints",
+			"dir", "checkpoint bytes", "resumed from", "replayed rounds")
+		dt.AddRow(store.Dir(), res.Stats.CheckpointBytes, resumedFrom, res.Stats.ResumeReplayRounds)
+		fmt.Println()
+		if err := dt.Render(os.Stdout); err != nil {
+			return err
+		}
 	}
 	if opts.Faults.Enabled() {
 		ft := metrics.NewTable(fmt.Sprintf("recovery under %s", opts.Faults),
@@ -376,6 +465,62 @@ func cmdRun(args []string) (retErr error) {
 			fmt.Fprintf(os.Stderr, "budget violation: %s\n", v)
 		}
 		return fmt.Errorf("%d budget violation(s); first: %s", n, res.Stats.Violations[0])
+	}
+	return nil
+}
+
+// durableAlgos are the -algo values that accept -checkpoint-dir/-resume: the
+// single-cluster MPC drivers, whose whole state is the per-machine word
+// arrays a durable checkpoint captures. The multi-cluster and clique drivers
+// reject durable options (see rulingset.Options).
+var durableAlgos = map[string]bool{
+	"luby": true, "detluby": true, "rand2": true, "det2": true,
+}
+
+// defaultCheckpointEvery is the checkpoint cadence -checkpoint-dir implies
+// when -checkpoint-every is unset.
+const defaultCheckpointEvery = 8
+
+// runFingerprint renders the canonical run-configuration string stamped into
+// every durable checkpoint. Resume refuses a checkpoint whose fingerprint
+// differs — replaying a different configuration would silently break the
+// bit-identity contract. Every knob that feeds the deterministic replay is
+// included; observability flags (-trace, -phases, …) are not.
+func runFingerprint(algo, spec string, genSeed int64, o rulingset.Options, faults string, fseed int64) string {
+	return fmt.Sprintf("mprs-run/1 algo=%s spec=%s gen-seed=%d machines=%d regime=%d epsilon=%g memory=%d slack=%d chunk=%d algo-seed=%d strict=%t faults=%s fault-seed=%d checkpoint-every=%d",
+		algo, spec, genSeed, o.Machines, o.Regime, o.Epsilon, o.MemoryWords,
+		o.LinearSlack, o.ChunkBits, o.Seed, o.Strict, faults, fseed, o.CheckpointEvery)
+}
+
+// dieAtSink is the -die-at crash-test hook: a tracer that kills the process
+// with exit status 7 once the given round commits. Because durable
+// checkpoints are persisted (fsync + atomic rename) at the barrier before a
+// round executes, every checkpoint on disk is complete when the exit fires —
+// exactly the state a real mid-run crash leaves behind. The resume
+// integration test and the CI resume-smoke job drive this flag.
+type dieAtSink struct{ round int }
+
+// Superstep implements trace.Tracer.
+func (d dieAtSink) Superstep(ev trace.Event) {
+	if ev.Round >= d.round {
+		fmt.Fprintf(os.Stderr, "mprs: -die-at %d: simulated crash at round %d\n", d.round, ev.Round)
+		os.Exit(7)
+	}
+}
+
+// writeMembers writes the ruling-set member ids one per line, a format
+// byte-diffable across runs (ascending order is part of the Result contract).
+// An empty path is a no-op so call sites stay unconditional.
+func writeMembers(path string, members []int32) error {
+	if path == "" {
+		return nil
+	}
+	var b []byte
+	for _, v := range members {
+		b = fmt.Appendf(b, "%d\n", v)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("members-out: %w", err)
 	}
 	return nil
 }
@@ -463,7 +608,7 @@ func startProfiles(prefix string) (func() error, error) {
 
 // runClique executes the congested-clique algorithms, which carry their own
 // model statistics.
-func runClique(g *graph.Graph, algo string, opts rulingset.Options, verify, spans bool) error {
+func runClique(g *graph.Graph, algo string, opts rulingset.Options, verify, spans bool, membersOut string) error {
 	start := time.Now()
 	var (
 		res rulingset.CliqueResult
@@ -484,6 +629,9 @@ func runClique(g *graph.Graph, algo string, opts rulingset.Options, verify, span
 		res.Stats.Words, res.Stats.PeakRecv, res.Stats.SkewSent, res.Stats.GiniSent,
 		len(res.Stats.Violations), wall.String())
 	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := writeMembers(membersOut, res.Members); err != nil {
 		return err
 	}
 	if spans && len(res.Stats.Spans) > 0 {

@@ -230,7 +230,8 @@ func TestRunUsageGolden(t *testing.T) {
 	}
 	// Every flag named in the command doc's usage block must exist; spot-check
 	// the ones the doc calls out explicitly.
-	for _, flagName := range []string{"-phases", "-rounds", "-spans", "-slack", "-trace", "-debug-addr", "-algo-seed"} {
+	for _, flagName := range []string{"-phases", "-rounds", "-spans", "-slack", "-trace", "-debug-addr", "-algo-seed",
+		"-checkpoint-dir", "-resume", "-checkpoint-retain", "-members-out", "-die-at"} {
 		if !strings.Contains(got, "\n  "+flagName) {
 			t.Errorf("usage output missing %s", flagName)
 		}

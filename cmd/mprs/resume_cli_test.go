@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/rulingset/mprs/internal/trace"
+)
+
+// genTestGraph writes a small generated graph to a file and returns its path,
+// so checkpointed runs and their resumes load bit-identical input.
+func genTestGraph(t *testing.T) string {
+	t.Helper()
+	file := filepath.Join(t.TempDir(), "g.txt")
+	if err := run([]string{"gen", "-spec", "gnp:n=300,p=0.02", "-seed", "3", "-o", file}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	return file
+}
+
+func TestRunDurableFlagValidation(t *testing.T) {
+	g := genTestGraph(t)
+	dir := t.TempDir()
+
+	if err := run([]string{"run", "-algo", "det2", "-in", g, "-resume"}); err == nil ||
+		!strings.Contains(err.Error(), "-resume requires -checkpoint-dir") {
+		t.Errorf("-resume without -checkpoint-dir: err = %v", err)
+	}
+	for _, algo := range []string{"detbeta", "detab", "clique2", "greedy"} {
+		err := run([]string{"run", "-algo", algo, "-in", g, "-checkpoint-dir", dir})
+		if err == nil || !strings.Contains(err.Error(), "does not support durable") {
+			t.Errorf("-checkpoint-dir with %s: err = %v", algo, err)
+		}
+	}
+	// Resuming from an empty directory is a hard error, not a silent fresh run.
+	err := run([]string{"run", "-algo", "det2", "-in", g, "-checkpoint-dir", dir, "-resume"})
+	if err == nil || !strings.Contains(err.Error(), "no valid checkpoint") {
+		t.Errorf("-resume with empty dir: err = %v", err)
+	}
+}
+
+// TestRunDurableResumeInProcess checkpoints a full run, then resumes from the
+// newest durable checkpoint and checks the member list is byte-identical —
+// the CLI end of the resume bit-identity contract.
+func TestRunDurableResumeInProcess(t *testing.T) {
+	g := genTestGraph(t)
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.txt")
+	resumed := filepath.Join(dir, "resumed.txt")
+	ckpt := filepath.Join(dir, "ckpt")
+
+	base := []string{"run", "-algo", "det2", "-in", g, "-chunk", "4",
+		"-checkpoint-dir", ckpt, "-checkpoint-every", "4"}
+	if err := run(append(base, "-members-out", full)); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	var resumeErr error
+	errOut := captureStderr(t, func() {
+		resumeErr = run(append(base, "-resume", "-members-out", resumed))
+	})
+	if resumeErr != nil {
+		t.Fatalf("resumed run: %v", resumeErr)
+	}
+	if !strings.Contains(errOut, "resuming from durable checkpoint at round") {
+		t.Errorf("resume not announced on stderr: %q", errOut)
+	}
+	a, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatalf("resumed members differ from uninterrupted run (%d vs %d bytes)", len(a), len(b))
+	}
+
+	// A different algorithm seed is a different fingerprint: resuming must be
+	// refused rather than replaying the wrong configuration.
+	err = run(append(base, "-algo-seed", "99", "-resume"))
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("fingerprint mismatch not rejected: %v", err)
+	}
+}
+
+// buildCLI compiles the mprs binary once per test into a temp dir, for tests
+// that need a real process to kill.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mprs")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestRunDieAtResumeSubprocess is the crash-restart integration test: run the
+// real binary with -checkpoint-dir and -die-at so it exits with status 7
+// mid-run (after durable checkpoints hit disk), then -resume in a fresh
+// process and require the member list and the spliced trace to match an
+// uninterrupted run byte for byte.
+func TestRunDieAtResumeSubprocess(t *testing.T) {
+	bin := buildCLI(t)
+	g := genTestGraph(t)
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.txt")
+	fullTrace := filepath.Join(dir, "full.jsonl")
+	resumed := filepath.Join(dir, "resumed.txt")
+	resumedTrace := filepath.Join(dir, "resumed.jsonl")
+	ckpt := filepath.Join(dir, "ckpt")
+
+	base := []string{"run", "-algo", "det2", "-in", g, "-chunk", "4", "-checkpoint-every", "4"}
+	mustRun := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command(bin, append(base, args...)...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+	}
+
+	mustRun("-members-out", full, "-trace", fullTrace)
+
+	killed := exec.Command(bin, append(base, "-checkpoint-dir", ckpt, "-die-at", "12")...)
+	out, err := killed.CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 7 {
+		t.Fatalf("-die-at run: want exit status 7, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "simulated crash at round") {
+		t.Fatalf("-die-at did not announce the crash:\n%s", out)
+	}
+
+	mustRun("-checkpoint-dir", ckpt, "-resume", "-members-out", resumed, "-trace", resumedTrace)
+
+	a, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatalf("post-crash resume changed the ruling set (%d vs %d bytes)", len(a), len(b))
+	}
+
+	// Trace splice: the resumed trace declares its resume round in the header
+	// and carries exactly the uninterrupted trace's events after that round.
+	hdr, evs, err := trace.ReadFile(resumedTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.ResumedFrom <= 0 {
+		t.Fatalf("resumed trace header missing resumed_from: %+v", hdr)
+	}
+	_, fullEvs, err := trace.ReadFile(fullTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail []trace.Event
+	for _, ev := range fullEvs {
+		if ev.Round > hdr.ResumedFrom {
+			tail = append(tail, ev)
+		}
+	}
+	if len(evs) == 0 || len(evs) != len(tail) {
+		t.Fatalf("spliced trace has %d events, want %d (resumed from %d)", len(evs), len(tail), hdr.ResumedFrom)
+	}
+	for i := range evs {
+		if evs[i].Round != tail[i].Round || evs[i].Step != tail[i].Step || evs[i].Words != tail[i].Words {
+			t.Fatalf("spliced event %d differs: %+v vs %+v", i, evs[i], tail[i])
+		}
+	}
+
+	// The checkpoint directory holds CRC-framed files plus a manifest, and
+	// respects the default retention.
+	files, err := filepath.Glob(filepath.Join(ckpt, "ckpt-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 || len(files) > 3 {
+		t.Fatalf("retention violated: %d checkpoint files %v", len(files), files)
+	}
+}

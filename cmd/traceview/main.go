@@ -237,6 +237,10 @@ func render(w io.Writer, rep Report) error {
 	if rep.Header.Schema != "" {
 		fmt.Fprintf(w, "trace: %s algo=%s spec=%s seed=%d machines=%d\n",
 			rep.Header.Schema, rep.Header.Algo, rep.Header.Spec, rep.Header.Seed, rep.Header.Machines)
+		if rep.Header.ResumedFrom > 0 {
+			fmt.Fprintf(w, "resumed from durable checkpoint at round %d (events before that are in the interrupted run's trace)\n",
+				rep.Header.ResumedFrom)
+		}
 	} else {
 		fmt.Fprintln(w, "trace: (no header)")
 	}

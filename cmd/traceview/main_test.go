@@ -106,6 +106,25 @@ func TestHeadlessTrace(t *testing.T) {
 	}
 }
 
+// TestResumedTraceAnnounced: a trace whose header carries resumed_from (a
+// durable-checkpoint resume) says so in the report, so a reader knows the
+// file holds only the post-resume suffix of the run.
+func TestResumedTraceAnnounced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "resumed.jsonl")
+	content := `{"schema":"mprs-trace/1","algo":"det2","spec":"t","seed":1,"machines":4,"resumed_from":12}` + "\n" +
+		`{"round":13,"step":"a","span":"setup","words":3,"sent":[3],"recv":[3]}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := run([]string{path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "resumed from durable checkpoint at round 12") {
+		t.Errorf("resume round not announced:\n%s", b.String())
+	}
+}
+
 func TestUsageAndVersion(t *testing.T) {
 	var b bytes.Buffer
 	if err := run(nil, &b); err == nil {

@@ -103,6 +103,13 @@ type Result struct {
 	DupMessages      int   `json:"dup_messages,omitempty"`
 	StallRounds      int   `json:"stall_rounds,omitempty"`
 
+	// Durable-checkpoint overhead (non-zero only when the run persisted
+	// checkpoints or resumed from one). Like wall_ms these describe the
+	// harness, not the algorithm, but unlike wall_ms they are deterministic
+	// for a fixed (workload, checkpoint-every, resume-round) configuration.
+	CheckpointBytes    int64 `json:"checkpoint_bytes,omitempty"`
+	ResumeReplayRounds int   `json:"resume_replay_rounds,omitempty"`
+
 	// WallMS is the run's wall-clock in milliseconds — the only
 	// host-dependent column (see Manifest.HostDependent). Zero when the
 	// runner was configured to strip host-dependent values.

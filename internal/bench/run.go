@@ -238,7 +238,11 @@ func runAlgo(g *graph.Graph, w Workload, name string, opts rulingset.Options) (R
 			DroppedMessages:  res.Stats.DroppedMessages,
 			DupMessages:      res.Stats.DupMessages,
 			StallRounds:      res.Stats.StallRounds,
-			WallMS:           float64(wall.Microseconds()) / 1000,
+
+			CheckpointBytes:    res.Stats.CheckpointBytes,
+			ResumeReplayRounds: res.Stats.ResumeReplayRounds,
+
+			WallMS: float64(wall.Microseconds()) / 1000,
 		}
 		if err := rulingset.Check(g, res); err != nil {
 			return Result{}, fmt.Errorf("output failed verification: %w", err)

@@ -22,6 +22,7 @@
 package clique
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -58,6 +59,11 @@ type Config struct {
 	// (per-node words sent/received, recovery activity). Deterministic; costs
 	// nothing when nil.
 	Tracer trace.Tracer
+	// Context, when non-nil, is checked at every round barrier: once it is
+	// done, Step/RouteStep return a *CancelError wrapping mpc.ErrCanceled or
+	// mpc.ErrDeadline with the committed round and full Stats. See
+	// RunContext.
+	Context context.Context
 }
 
 // Violation records a bandwidth breach.
@@ -383,6 +389,9 @@ func (c *Cluster) runAttempt(round int, f func(x *Ctx)) (crashed []int, merr *mp
 }
 
 func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
+	if err := c.barrierErr(); err != nil {
+		return err
+	}
 	round := c.stats.Rounds + 1
 	preCrashes := c.stats.RecoveredCrashes
 	preRecovery := c.stats.RecoveryRounds

@@ -1,0 +1,74 @@
+package clique
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/rulingset/mprs/internal/mpc"
+)
+
+// Cooperative cancellation, mirroring the MPC simulator: a cluster built
+// with Config.Context checks it at the top of every round barrier (Step and
+// RouteStep) and refuses to start the next round once the context is done.
+// The current round's node goroutines always run to the barrier (the worker
+// pool is joined before step returns), so cancellation never leaks a
+// goroutine or tears state. The sentinels are shared with the mpc package —
+// errors.Is(err, mpc.ErrCanceled) works across both simulators.
+
+// CancelError reports a clique run stopped at a round barrier by its
+// context. It wraps mpc.ErrCanceled or mpc.ErrDeadline (errors.Is selects
+// which) and the context's own cause.
+type CancelError struct {
+	// Round is the number of committed rounds when the run stopped.
+	Round int
+	// Stats is the full accumulated statistics at the stop barrier.
+	Stats Stats
+
+	sentinel error
+	cause    error
+}
+
+// Error implements error.
+func (e *CancelError) Error() string {
+	what := "run canceled"
+	if errors.Is(e.sentinel, mpc.ErrDeadline) {
+		what = "run deadline exceeded"
+	}
+	return fmt.Sprintf("clique: %s after %d committed rounds: %v", what, e.Round, e.cause)
+}
+
+// Unwrap exposes both the mpc sentinel and the context error.
+func (e *CancelError) Unwrap() []error { return []error{e.sentinel, e.cause} }
+
+// barrierErr checks the configured context at a round barrier.
+func (c *Cluster) barrierErr() error {
+	ctx := c.cfg.Context
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		cause := context.Cause(ctx)
+		sentinel := mpc.ErrCanceled
+		if errors.Is(cause, context.DeadlineExceeded) {
+			sentinel = mpc.ErrDeadline
+		}
+		return &CancelError{Round: c.stats.Rounds, Stats: c.Stats(), sentinel: sentinel, cause: cause}
+	default:
+		return nil
+	}
+}
+
+// RunContext builds a clique wired to ctx and executes driver on it,
+// returning the accumulated Stats alongside driver's error; the clique
+// counterpart of mpc.RunContext.
+func RunContext(ctx context.Context, cfg Config, n int, driver func(*Cluster) error) (Stats, error) {
+	cfg.Context = ctx
+	c, err := NewCluster(cfg, n)
+	if err != nil {
+		return Stats{}, err
+	}
+	err = driver(c)
+	return c.Stats(), err
+}

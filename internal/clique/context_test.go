@@ -1,0 +1,66 @@
+package clique
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/rulingset/mprs/internal/mpc"
+)
+
+func TestCliqueCancelAtBarrier(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	stats, err := RunContext(ctx, Config{}, 6, func(c *Cluster) error {
+		for r := 0; r < 10; r++ {
+			if r == 2 {
+				cancel()
+			}
+			if err := c.Step("ring", func(x *Ctx) {
+				x.Send((x.Node+1)%6, uint64(x.Node))
+			}); err != nil {
+				return err
+			}
+			for v := 0; v < 6; v++ {
+				c.Drain(v)
+			}
+		}
+		return nil
+	})
+	// The sentinels are shared with mpc — one errors.Is works for both
+	// simulators.
+	if !errors.Is(err, mpc.ErrCanceled) {
+		t.Fatalf("err = %v, want mpc.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v does not unwrap to context.Canceled", err)
+	}
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T, want *clique.CancelError", err)
+	}
+	if ce.Round != 2 || ce.Stats.Rounds != 2 {
+		t.Fatalf("CancelError round = %d, stats = %+v, want 2 committed rounds", ce.Round, ce.Stats)
+	}
+	if stats.Rounds != 2 {
+		t.Fatalf("RunContext stats = %+v", stats)
+	}
+	want := "clique: run canceled after 2 committed rounds"
+	if got := ce.Error(); len(got) < len(want) || got[:len(want)] != want {
+		t.Fatalf("Error() = %q, want prefix %q", got, want)
+	}
+}
+
+func TestCliqueRouteStepChecksContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c, err := NewCluster(Config{Context: ctx}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RouteStep("never", func(x *Ctx) {}); !errors.Is(err, mpc.ErrCanceled) {
+		t.Fatalf("RouteStep err = %v, want mpc.ErrCanceled", err)
+	}
+	if c.Stats().Rounds != 0 {
+		t.Fatalf("canceled RouteStep committed %d rounds", c.Stats().Rounds)
+	}
+}

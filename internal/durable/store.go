@@ -1,0 +1,302 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ManifestSchema versions the checkpoint-directory manifest.
+const ManifestSchema = "mprs-ckpt-manifest/1"
+
+// manifestName is the manifest file inside a checkpoint directory.
+const manifestName = "MANIFEST.json"
+
+// ckptPrefix/ckptSuffix frame checkpoint file names: ckpt-%010d.ckpt, the
+// zero-padded round making lexicographic order equal round order.
+const (
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".ckpt"
+)
+
+// DefaultRetain is the number of checkpoints kept when Open is given
+// retain <= 0: the newest plus two fallbacks for torn-write recovery.
+const DefaultRetain = 3
+
+// Manifest records what a checkpoint directory holds. It is advisory — the
+// load path scans the directory and verifies files directly, so a stale or
+// corrupt manifest can never mask a good checkpoint or launder a bad one —
+// but its fingerprint guards Open against mixing two different runs'
+// checkpoints in one directory.
+type Manifest struct {
+	Schema      string          `json:"schema"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Retain      int             `json:"retain"`
+	Checkpoints []ManifestEntry `json:"checkpoints"`
+}
+
+// ManifestEntry describes one retained checkpoint file.
+type ManifestEntry struct {
+	Round int    `json:"round"`
+	File  string `json:"file"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Store writes and reads durable checkpoints in one directory. It satisfies
+// the simulator's CheckpointSink interface via Persist.
+type Store struct {
+	dir         string
+	fingerprint string
+	build       json.RawMessage
+	retain      int
+	bytes       int64
+	entries     []ManifestEntry
+}
+
+// Open prepares dir for checkpoints of a run identified by fingerprint
+// (the canonical config string; see cmd/mprs). retain <= 0 means
+// DefaultRetain. If the directory already holds a manifest for a different
+// fingerprint, Open fails with ErrFingerprint — checkpoint directories are
+// per-run-configuration.
+func Open(dir, fingerprint string, retain int) (*Store, error) {
+	if retain <= 0 {
+		retain = DefaultRetain
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	s := &Store{dir: dir, fingerprint: fingerprint, retain: retain}
+	man, err := s.readManifest()
+	switch {
+	case err == nil:
+		if man.Fingerprint != "" && man.Fingerprint != fingerprint {
+			return nil, fmt.Errorf("%w: directory %s holds checkpoints for %q, this run is %q",
+				ErrFingerprint, dir, man.Fingerprint, fingerprint)
+		}
+		s.entries = man.Checkpoints
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh directory: nothing to reconcile.
+	default:
+		// A corrupt manifest is recoverable (it is advisory): rebuild from
+		// the directory contents on the next Persist.
+	}
+	return s, nil
+}
+
+// Dir returns the checkpoint directory.
+func (s *Store) Dir() string { return s.dir }
+
+// BytesWritten returns the total checkpoint bytes persisted through this
+// Store (checkpoint files only; the manifest is bookkeeping).
+func (s *Store) BytesWritten() int64 { return s.bytes }
+
+// SetBuildStamp attaches a build stamp recorded into every subsequent
+// checkpoint's meta (informational; fingerprint is what gates resume).
+func (s *Store) SetBuildStamp(raw json.RawMessage) { s.build = raw }
+
+// fileFor returns the checkpoint file name for a barrier round.
+func fileFor(round int) string {
+	return fmt.Sprintf("%s%010d%s", ckptPrefix, round, ckptSuffix)
+}
+
+// roundOf parses the barrier round out of a checkpoint file name.
+func roundOf(name string) (int, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+	round := 0
+	if len(mid) == 0 {
+		return 0, false
+	}
+	for _, ch := range mid {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		round = round*10 + int(ch-'0')
+	}
+	return round, true
+}
+
+// Persist durably writes the per-machine state captured at barrier round:
+// encode to a temp file, fsync, rename into place, fsync the directory, then
+// update the manifest and GC checkpoints beyond the retention window. The
+// returned count is the checkpoint file's size in bytes. Persist implements
+// the simulator's CheckpointSink.
+func (s *Store) Persist(round int, state [][]uint64) (int64, error) {
+	name := fileFor(round)
+	final := filepath.Join(s.dir, name)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("durable: %w", err)
+	}
+	n, err := Encode(f, Meta{Round: round, Fingerprint: s.fingerprint, Build: s.build}, state)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		// Best-effort cleanup of the torn temp file; the write error is the
+		// one worth reporting.
+		_ = os.Remove(tmp) //detlint:ok errdrop -- cleanup after a failed write; the original error is returned
+		return 0, fmt.Errorf("durable: writing %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return 0, fmt.Errorf("durable: %w", err)
+	}
+	if err := s.syncDir(); err != nil {
+		return 0, err
+	}
+	s.bytes += n
+
+	// Manifest and retention. Entries stay sorted by round ascending.
+	kept := s.entries[:0]
+	for _, e := range s.entries {
+		if e.Round != round {
+			kept = append(kept, e)
+		}
+	}
+	s.entries = append(kept, ManifestEntry{Round: round, File: name, Bytes: n})
+	sort.Slice(s.entries, func(i, j int) bool { return s.entries[i].Round < s.entries[j].Round })
+	var drop []ManifestEntry
+	if len(s.entries) > s.retain {
+		drop = append(drop, s.entries[:len(s.entries)-s.retain]...)
+		s.entries = append([]ManifestEntry(nil), s.entries[len(s.entries)-s.retain:]...)
+	}
+	if err := s.writeManifest(); err != nil {
+		return n, err
+	}
+	for _, e := range drop {
+		if err := os.Remove(filepath.Join(s.dir, e.File)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return n, fmt.Errorf("durable: gc %s: %w", e.File, err)
+		}
+	}
+	return n, nil
+}
+
+// syncDir fsyncs the checkpoint directory so the rename itself is durable.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("durable: sync %s: %w", s.dir, err)
+	}
+	return nil
+}
+
+// readManifest loads the manifest file; fs.ErrNotExist when absent.
+func (s *Store) readManifest() (Manifest, error) {
+	var man Manifest
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if err != nil {
+		return man, err
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		return man, fmt.Errorf("durable: corrupt manifest: %w", err)
+	}
+	if man.Schema != ManifestSchema {
+		return man, fmt.Errorf("durable: unsupported manifest schema %q", man.Schema)
+	}
+	return man, nil
+}
+
+// writeManifest atomically replaces the manifest.
+func (s *Store) writeManifest() error {
+	man := Manifest{
+		Schema:      ManifestSchema,
+		Fingerprint: s.fingerprint,
+		Retain:      s.retain,
+		Checkpoints: s.entries,
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(s.dir, manifestName)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	return s.syncDir()
+}
+
+// LoadLatest returns the newest checkpoint in the directory that decodes and
+// verifies, scanning past corrupt or torn files (so a crash mid-Persist, or
+// bit rot in the newest file, falls back to the previous checkpoint). An
+// intact checkpoint with a different fingerprint is a hard ErrFingerprint:
+// that is a configuration error, not corruption, and skipping it would
+// silently resume a different run. Returns ErrNoCheckpoint when nothing
+// verifies, with the newest file's corruption error attached.
+func (s *Store) LoadLatest() (Meta, [][]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("durable: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := roundOf(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	// Zero-padded rounds: lexicographically descending is newest-first.
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	var firstErr error
+	for _, name := range names {
+		meta, state, err := s.loadFile(name)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", name, err)
+			}
+			if errors.Is(err, ErrFingerprint) {
+				return Meta{}, nil, fmt.Errorf("durable: %s: %w", name, err)
+			}
+			continue
+		}
+		return meta, state, nil
+	}
+	if firstErr != nil {
+		return Meta{}, nil, fmt.Errorf("%w (newest candidate: %v)", ErrNoCheckpoint, firstErr)
+	}
+	return Meta{}, nil, ErrNoCheckpoint
+}
+
+// loadFile decodes and verifies one checkpoint file.
+func (s *Store) loadFile(name string) (Meta, [][]uint64, error) {
+	f, err := os.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	defer f.Close() //detlint:ok errdrop -- read-only handle; no buffered writes to lose
+	meta, state, err := Decode(f)
+	if err != nil {
+		return meta, nil, err
+	}
+	if meta.Fingerprint != s.fingerprint {
+		return meta, nil, fmt.Errorf("%w: checkpoint is for %q, this run is %q",
+			ErrFingerprint, meta.Fingerprint, s.fingerprint)
+	}
+	if r, ok := roundOf(name); ok && r != meta.Round {
+		return meta, nil, fmt.Errorf("%w: file name round %d disagrees with meta round %d", ErrCorrupt, r, meta.Round)
+	}
+	return meta, state, nil
+}

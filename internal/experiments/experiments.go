@@ -99,6 +99,7 @@ var _registry = []struct {
 	{id: "A3", fn: A3AlphaWeight, doc: "ablation: estimator cost weight"},
 	{id: "A4", fn: A4LubyThresholds, doc: "ablation: Luby marking family"},
 	{id: "R1", fn: R1FaultRecovery, doc: "fault injection: output invariance + recovery overhead"},
+	{id: "R2", fn: R2DurableResume, doc: "durable checkpoints: resume invariance + overhead shape"},
 	{id: "O1", fn: O1CommunicationSkew, doc: "observability: per-phase communication skew vs budget"},
 }
 

@@ -7,8 +7,8 @@ import (
 
 func TestIDsAndDescribe(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("have %d experiments, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("have %d experiments, want 18", len(ids))
 	}
 	for _, id := range ids {
 		if Describe(id) == "" {

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"slices"
+
+	"github.com/rulingset/mprs/internal/durable"
+	"github.com/rulingset/mprs/internal/metrics"
+	"github.com/rulingset/mprs/internal/mpc"
+	"github.com/rulingset/mprs/internal/rulingset"
+)
+
+// collectSink is an in-memory CheckpointSink retaining every persisted
+// snapshot, so the experiment can resume from any checkpoint round.
+type collectSink struct {
+	rounds []int
+	states map[int][][]uint64
+}
+
+func (s *collectSink) Persist(round int, state [][]uint64) (int64, error) {
+	if s.states == nil {
+		s.states = make(map[int][][]uint64)
+	}
+	cp := make([][]uint64, len(state))
+	var n int64
+	for m, words := range state {
+		cp[m] = slices.Clone(words)
+		n += int64(8 * len(words))
+	}
+	s.rounds = append(s.rounds, round)
+	s.states[round] = cp
+	return n, nil
+}
+
+// countingSink wraps a CheckpointSink, counting persists.
+type countingSink struct {
+	mpc.CheckpointSink
+	n int64
+}
+
+func (s *countingSink) Persist(round int, state [][]uint64) (int64, error) {
+	s.n++
+	return s.CheckpointSink.Persist(round, state)
+}
+
+// R2DurableResume measures the durable-checkpoint and resume layer
+// (EXPERIMENTS.md R2). Predicted shape, in two parts:
+//
+//  1. Checkpoint cost: the per-checkpoint file size is a near-constant of
+//     the run configuration (machines × state words dominate; the framing
+//     varies by a few bytes with the round number's digits), so total
+//     CheckpointBytes is linear in the number of checkpoints taken — i.e.
+//     inverse-linear in CheckpointEvery for a fixed round count.
+//
+//  2. Resume overhead: a run resumed from durable round R deterministically
+//     replays rounds 1..R before new work happens, so ResumeReplayRounds
+//     equals R exactly (linear, slope 1) — while members and every
+//     deterministic Stats field are bit-identical to the uninterrupted run.
+func R2DurableResume(cfg Config) (Report, error) {
+	n := 2048
+	if cfg.Quick {
+		n = 512
+	}
+	g := mustGNP(n, 12, cfg.Seed)
+
+	// Part 1: durable checkpoint bytes vs cadence, through the real store
+	// (CRC-framed records, atomic rename, manifest).
+	cadences := []int{1, 2, 4, 8, 16}
+	cost := metrics.NewTable("R2: durable checkpoint cost vs cadence (DetRuling2, z=4)",
+		"checkpoint every", "checkpoints", "checkpoint bytes", "bytes/checkpoint", "rounds")
+	var costSeries metrics.Series
+	costSeries.Name = "checkpoint bytes"
+	linearBytes := true
+	perCkpt := int64(0)
+	for _, every := range cadences {
+		dir, err := os.MkdirTemp("", "mprs-r2-*")
+		if err != nil {
+			return Report{}, err
+		}
+		defer os.RemoveAll(dir)
+		store, err := durable.Open(dir, "r2", 0)
+		if err != nil {
+			return Report{}, err
+		}
+		counted := &countingSink{CheckpointSink: store}
+		res, err := rulingset.DetRuling2(g, rulingset.Options{
+			Seed: cfg.Seed, ChunkBits: 4, CheckpointEvery: every, CheckpointSink: counted,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		count := counted.n
+		per := int64(0)
+		if count > 0 {
+			per = res.Stats.CheckpointBytes / count
+		}
+		// Linear within framing noise: the payload is identical per
+		// checkpoint; only the meta record's round digits differ.
+		if perCkpt == 0 {
+			perCkpt = per
+		} else if d := per - perCkpt; d < -perCkpt/100-16 || d > perCkpt/100+16 {
+			linearBytes = false
+		}
+		cost.AddRow(every, count, res.Stats.CheckpointBytes, per, res.Stats.Rounds)
+		costSeries.X = append(costSeries.X, float64(count))
+		costSeries.Y = append(costSeries.Y, float64(res.Stats.CheckpointBytes))
+	}
+
+	// Part 2: resume overhead vs resume round. One checkpointed reference
+	// run collects every snapshot; each is then used to resume a fresh run.
+	sink := &collectSink{}
+	refOpts := rulingset.Options{Seed: cfg.Seed, ChunkBits: 4, CheckpointEvery: 4, CheckpointSink: sink}
+	ref, err := rulingset.DetRuling2(g, refOpts)
+	if err != nil {
+		return Report{}, err
+	}
+	overhead := metrics.NewTable("R2: resume overhead vs resume round (DetRuling2, checkpoint every 4)",
+		"resume round", "replay rounds", "identical members", "identical stats", "rounds")
+	var replaySeries metrics.Series
+	replaySeries.Name = "resume replay rounds"
+	allIdentical := true
+	linearReplay := true
+	picks := sink.rounds
+	if cfg.Quick && len(picks) > 6 {
+		picks = append(append([]int(nil), picks[:3]...), picks[len(picks)-3:]...)
+	}
+	for _, round := range picks {
+		res, err := rulingset.DetRuling2(g, rulingset.Options{
+			Seed: cfg.Seed, ChunkBits: 4, CheckpointEvery: 4,
+			CheckpointSink: &collectSink{},
+			Resume:         &mpc.ResumeState{Round: round, State: sink.states[round]},
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		sameMembers := reflect.DeepEqual(ref.Members, res.Members)
+		refStats, resStats := ref.Stats, res.Stats
+		refStats.CheckpointBytes, resStats.CheckpointBytes = 0, 0
+		refStats.ResumeReplayRounds, resStats.ResumeReplayRounds = 0, 0
+		sameStats := reflect.DeepEqual(refStats, resStats)
+		allIdentical = allIdentical && sameMembers && sameStats
+		if res.Stats.ResumeReplayRounds != round {
+			linearReplay = false
+		}
+		overhead.AddRow(round, res.Stats.ResumeReplayRounds, sameMembers, sameStats, res.Stats.Rounds)
+		replaySeries.X = append(replaySeries.X, float64(round))
+		replaySeries.Y = append(replaySeries.Y, float64(res.Stats.ResumeReplayRounds))
+	}
+
+	return Report{
+		ID:     "R2",
+		Title:  "durable checkpoints and crash-restart resume",
+		Tables: []*metrics.Table{cost, overhead},
+		Figures: []Figure{
+			{Title: "R2: checkpoint bytes vs checkpoint count", Series: []metrics.Series{costSeries}},
+			{Title: "R2: replay rounds vs resume round", Series: []metrics.Series{replaySeries}},
+		},
+		Notes: []string{
+			fmt.Sprintf("shape: checkpoint bytes linear in checkpoint count (constant bytes/checkpoint): %v", linearBytes),
+			fmt.Sprintf("shape: replay rounds == resume round (linear, slope 1): %v", linearReplay),
+			fmt.Sprintf("resumed output and deterministic stats bit-identical to uninterrupted run: %v", allIdentical),
+		},
+	}, nil
+}

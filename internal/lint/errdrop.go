@@ -12,6 +12,15 @@ import (
 // sends and recovery failures — the accounting the reproduced theorems are
 // about. Dropping one silently under-reports the model's central quantities
 // (the PR 2 exit-code bug was precisely an ignored violation surface).
+//
+// Inside a critical package the analyzer additionally covers the os-level
+// durability primitives — os.Rename, (*os.File).Close and (*os.File).Sync —
+// including when deferred. A dropped error there silently forfeits
+// crash-durability: the fsync may never have reached the disk, the rename
+// may never have committed, and the checkpoint the recovery path depends on
+// quietly does not exist (the torn-write class internal/durable defends
+// against).
+//
 // Both a bare call statement and a blank-identifier discard (`_ = …`,
 // `v, _ := …`) are flagged; an intentional discard must carry an annotation
 // explaining why it is safe.
@@ -35,6 +44,14 @@ func runErrdrop(p *Pass) {
 				if fn, idx := p.stackCalleeWithError(call); fn != nil {
 					p.Reportf(call.Pos(), "error result %d of %s is silently dropped; handle it or annotate with //detlint:ok errdrop -- <reason>", idx, calleeLabel(fn))
 				}
+			case *ast.DeferStmt:
+				// A deferred durability call drops its error by
+				// construction; the critical-package APIs themselves are
+				// never sensibly deferred, so only the os-level primitives
+				// are checked here.
+				if fn := p.callee(stmt.Call); fn != nil && p.durabilityCallee(fn) {
+					p.Reportf(stmt.Pos(), "deferred %s discards its error; handle it in a named-error defer or annotate with //detlint:ok errdrop -- <reason>", calleeLabel(fn))
+				}
 			case *ast.AssignStmt:
 				p.checkAssignDrop(stmt)
 			}
@@ -54,7 +71,7 @@ func (p *Pass) checkAssignDrop(as *ast.AssignStmt) {
 		return
 	}
 	fn := p.callee(call)
-	if fn == nil || !p.criticalCallee(fn) {
+	if fn == nil || !(p.criticalCallee(fn) || p.durabilityCallee(fn)) {
 		return
 	}
 	results := signatureResults(fn)
@@ -76,7 +93,7 @@ func (p *Pass) checkAssignDrop(as *ast.AssignStmt) {
 // determinism-critical package and returns an error, and (nil, 0) otherwise.
 func (p *Pass) stackCalleeWithError(call *ast.CallExpr) (*types.Func, int) {
 	fn := p.callee(call)
-	if fn == nil || !p.criticalCallee(fn) {
+	if fn == nil || !(p.criticalCallee(fn) || p.durabilityCallee(fn)) {
 		return nil, 0
 	}
 	results := signatureResults(fn)
@@ -89,6 +106,37 @@ func (p *Pass) stackCalleeWithError(call *ast.CallExpr) (*types.Func, int) {
 		}
 	}
 	return nil, 0
+}
+
+// durabilityCallee reports whether fn is one of the os-level durability
+// primitives — os.Rename, (*os.File).Close, (*os.File).Sync — whose error
+// must not be dropped in a determinism-critical package: an unchecked
+// failure there means data believed durable may not exist after a crash.
+// Non-critical packages are vet's business, as for the stack APIs.
+func (p *Pass) durabilityCallee(fn *types.Func) bool {
+	if !p.Critical {
+		return false
+	}
+	pkg := fn.Pkg()
+	if pkg == nil || pkg.Path() != "os" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return fn.Name() == "Rename"
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "File" {
+		return false
+	}
+	return fn.Name() == "Close" || fn.Name() == "Sync"
 }
 
 // callee resolves the called function or method, or nil for builtins,

@@ -28,6 +28,10 @@
 //	             the determinism-critical packages (Ctx.Send variants, the
 //	             budget-charging ChargeRounds/SetResident/AddResident, Step,
 //	             collectives). The PR 2 exit-code bug was exactly this class.
+//	             Inside critical packages it also covers the os-level
+//	             durability primitives (os.Rename, File.Close, File.Sync),
+//	             including deferred calls — a dropped error there forfeits
+//	             the crash-durability internal/durable promises.
 //	floatorder — float32/float64 accumulation inside the body of a map range:
 //	             FP addition is not associative, so the randomized iteration
 //	             order changes the bits of the result.
@@ -151,6 +155,7 @@ var criticalPkgs = map[string]bool{
 	"internal/graph":     true,
 	"internal/bitset":    true,
 	"internal/trace":     true,
+	"internal/durable":   true,
 }
 
 // wallclockExempt reports whether the package at the module-relative path

@@ -115,6 +115,10 @@ func TestErrdropFixture(t *testing.T) {
 	checkWants(t, "errdrop", runFixture(t, "errdrop", "errdrop"))
 }
 
+func TestDurabilityFixture(t *testing.T) {
+	checkWants(t, "durability", runFixture(t, "durability", "errdrop"))
+}
+
 func TestFloatorderFixture(t *testing.T) {
 	checkWants(t, "floatorder", runFixture(t, "floatorder", "floatorder"))
 }

@@ -1,0 +1,54 @@
+// Package durability is a negative fixture for the errdrop analyzer's
+// os-level durability coverage: dropped errors from os.Rename,
+// (*os.File).Close and (*os.File).Sync inside a critical package mean data
+// believed durable may not exist after a crash.
+package durability
+
+import "os"
+
+// dropped ignores durability errors entirely: flagged.
+func dropped(f *os.File) {
+	f.Sync()                   // want `error result 0 of File\.Sync is silently dropped`
+	f.Close()                  // want `error result 0 of File\.Close is silently dropped`
+	os.Rename("a.tmp", "a")    // want `error result 0 of os\.Rename is silently dropped`
+	_ = f.Sync()               // want `error result 0 of File\.Sync is discarded with a blank identifier`
+	_ = os.Rename("b.tmp", "") // want `error result 0 of os\.Rename is discarded with a blank identifier`
+}
+
+// deferred drops the Close error by construction: flagged.
+func deferred() error {
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred File\.Close discards its error`
+	return nil
+}
+
+// handled checks (or deliberately annotates) every durability error: never
+// flagged.
+func handled(f *os.File) (err error) {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename("a.tmp", "a"); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	g, err := os.Open("y")
+	if err != nil {
+		return err
+	}
+	defer g.Close() //detlint:ok errdrop -- read-only handle; no buffered writes to lose
+	return nil
+}
+
+// otherOS leaves non-durability os calls to vet: never flagged.
+func otherOS() {
+	os.Remove("scratch")
+	os.Setenv("K", "V")
+}

@@ -1,0 +1,222 @@
+package mpc
+
+import (
+	"slices"
+	"strings"
+	"testing"
+)
+
+// Satellite coverage for targeted fault events (stall@R:M, drop@R:S>D) and
+// compound faults — multiple fault classes hitting the same machine in the
+// same round, and crashes landing on the checkpoint-write round. In every
+// case the delivered inboxes (and so the algorithm's output) must be
+// bit-identical to the fault-free run; only the recovery meters may move.
+
+func TestParseFaultPlanTargetedEvents(t *testing.T) {
+	p, err := ParseFaultPlan("stall@4:2, drop@5:0>2, crash@3:1, stall@3:1", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []FaultEvent{{Round: 4, Machine: 2}, {Round: 3, Machine: 1}}; !slices.Equal(p.Stalls, want) {
+		t.Fatalf("explicit stalls = %v, want %v", p.Stalls, want)
+	}
+	if want := []DropEvent{{Round: 5, Src: 0, Dst: 2}}; !slices.Equal(p.Drops, want) {
+		t.Fatalf("explicit drops = %v, want %v", p.Drops, want)
+	}
+	if !p.StallsAt(4, 2) || !p.StallsAt(3, 1) || p.StallsAt(4, 1) {
+		t.Fatal("StallsAt ignores explicit events")
+	}
+	if !p.DropsMessage(5, 0, 2, 0) || p.DropsMessage(5, 0, 2, 1) || p.DropsMessage(5, 2, 0, 0) {
+		t.Fatal("DropsMessage ignores explicit events or over-matches")
+	}
+	if !p.Enabled() {
+		t.Fatal("plan with only explicit events reports disabled")
+	}
+	if !strings.Contains(p.String(), "explicit=4") {
+		t.Fatalf("stringer = %q, want explicit=4", p.String())
+	}
+	for _, bad := range []string{"stall@4", "stall@x:1", "stall@0:0", "drop@5", "drop@5:0", "drop@5:x>2", "drop@5:0>x", "drop@0:0>1", "drop@5:-1>2"} {
+		if _, err := ParseFaultPlan(bad, 0); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTargetedStallCharged(t *testing.T) {
+	plan := &FaultPlan{Seed: 2, Stalls: []FaultEvent{{Round: 2, Machine: 1}}}
+	c, err := NewCluster(Config{Machines: 3, Faults: plan}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		if err := c.Step("tick", echoStep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.StallRounds != 1 {
+		t.Fatalf("StallRounds = %d, want 1 (one targeted straggler)", st.StallRounds)
+	}
+	if got := inboxWords(c.inboxes[0]); len(got) != 3 {
+		t.Fatalf("delivery under targeted stall = %v", got)
+	}
+}
+
+func TestTargetedDropRetransmitted(t *testing.T) {
+	plan := &FaultPlan{Seed: 2, Drops: []DropEvent{{Round: 1, Src: 2, Dst: 0}}}
+	c, err := NewCluster(Config{Machines: 3, Faults: plan}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step("echo", echoStep); err != nil {
+		t.Fatal(err)
+	}
+	// The reliable transport retransmits the targeted loss: full delivery.
+	if got := inboxWords(c.inboxes[0]); !slices.Equal(got, []uint64{0, 1, 2}) {
+		t.Fatalf("delivery under targeted drop = %v", got)
+	}
+	st := c.Stats()
+	if st.DroppedMessages != 1 || st.RecoveryRounds != 1 || st.ReplayedWords != 1 {
+		t.Fatalf("targeted-drop accounting = %+v", st)
+	}
+}
+
+// TestCompoundCrashStallSameRound injects a crash AND a stall on the same
+// machine at the same round: the machine straggles, crashes, is restored and
+// replayed — and the delivery is still bit-identical to fault-free.
+func TestCompoundCrashStallSameRound(t *testing.T) {
+	run := func(plan *FaultPlan) ([]uint64, Stats) {
+		c, err := NewCluster(Config{Machines: 4, Faults: plan, CheckpointEvery: 2}, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := make([]uint64, 4)
+		if err := c.SetCheckpointer(FuncCheckpointer{
+			SnapshotFn: func(m int) []uint64 { return []uint64{state[m]} },
+			RestoreFn:  func(m int, data []uint64) { state[m] = data[0] },
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 5; r++ {
+			if err := c.Step("echo", echoStep); err != nil {
+				t.Fatal(err)
+			}
+			for m := range state {
+				state[m]++
+			}
+		}
+		for m, v := range state {
+			if v != 5 {
+				t.Fatalf("machine %d state = %d after recovery, want 5", m, v)
+			}
+		}
+		return inboxWords(c.inboxes[0]), c.Stats()
+	}
+
+	base, baseStats := run(nil)
+	plan := &FaultPlan{
+		Seed:    13,
+		Crashes: []FaultEvent{{Round: 3, Machine: 1}},
+		Stalls:  []FaultEvent{{Round: 3, Machine: 1}},
+	}
+	faulty, st := run(plan)
+
+	if !slices.Equal(base, faulty) {
+		t.Fatalf("delivery differs under compound fault: %v vs %v", base, faulty)
+	}
+	if st.RecoveredCrashes != 1 || st.StallRounds != 1 {
+		t.Fatalf("compound accounting = %+v", st)
+	}
+	// Committed work is bit-identical; only the recovery meters moved.
+	if st.Rounds != baseStats.Rounds || st.Words != baseStats.Words || st.Messages != baseStats.Messages {
+		t.Fatalf("core stats diverged: %+v vs %+v", st, baseStats)
+	}
+}
+
+// TestCrashDuringCheckpointRound crashes a machine at exactly a round whose
+// barrier writes a checkpoint ((r-1)%CheckpointEvery == 0): the snapshot is
+// taken before the superstep executes, so the crash restores the state that
+// was just checkpointed and replays one round.
+func TestCrashDuringCheckpointRound(t *testing.T) {
+	run := func(plan *FaultPlan) ([]uint64, []uint64, Stats) {
+		c, err := NewCluster(Config{Machines: 3, Faults: plan, CheckpointEvery: 2}, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := []uint64{10, 20, 30}
+		if err := c.SetCheckpointer(FuncCheckpointer{
+			SnapshotFn: func(m int) []uint64 { return []uint64{state[m]} },
+			RestoreFn:  func(m int, data []uint64) { state[m] = data[0] },
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 6; r++ {
+			if err := c.Step("echo", echoStep); err != nil {
+				t.Fatal(err)
+			}
+			for m := range state {
+				state[m]++
+			}
+		}
+		return slices.Clone(state), inboxWords(c.inboxes[0]), c.Stats()
+	}
+
+	baseState, baseDelivery, baseStats := run(nil)
+	// Round 5 is a checkpoint round: (5-1)%2 == 0. Crash machine 2 there.
+	plan := &FaultPlan{Seed: 17, Crashes: []FaultEvent{{Round: 5, Machine: 2}}}
+	state, delivery, st := run(plan)
+
+	if !slices.Equal(baseState, state) {
+		t.Fatalf("driver state diverged: %v vs %v", baseState, state)
+	}
+	if !slices.Equal(baseDelivery, delivery) {
+		t.Fatalf("delivery diverged: %v vs %v", baseDelivery, delivery)
+	}
+	if st.RecoveredCrashes != 1 {
+		t.Fatalf("crash not recovered: %+v", st)
+	}
+	// The checkpoint written at the crash round makes the replay distance 0
+	// extra rounds beyond the restart itself.
+	if st.Rounds != baseStats.Rounds || st.Words != baseStats.Words ||
+		st.Messages != baseStats.Messages || st.CheckpointWords != baseStats.CheckpointWords {
+		t.Fatalf("committed stats diverged: %+v vs %+v", st, baseStats)
+	}
+}
+
+// TestCompoundCrashStallDropSameMachine piles all three fault classes onto
+// one machine in one round and still demands bit-identical delivery.
+func TestCompoundCrashStallDropSameMachine(t *testing.T) {
+	run := func(plan *FaultPlan) []uint64 {
+		c, err := NewCluster(Config{Machines: 3, Faults: plan, CheckpointEvery: 2}, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := []uint64{1, 2, 3}
+		if err := c.SetCheckpointer(FuncCheckpointer{
+			SnapshotFn: func(m int) []uint64 { return []uint64{state[m]} },
+			RestoreFn:  func(m int, data []uint64) { state[m] = data[0] },
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 4; r++ {
+			if err := c.Step("echo", echoStep); err != nil {
+				t.Fatal(err)
+			}
+			for m := range state {
+				state[m]++
+			}
+		}
+		return inboxWords(c.inboxes[0])
+	}
+
+	base := run(nil)
+	plan := &FaultPlan{
+		Seed:    23,
+		Crashes: []FaultEvent{{Round: 2, Machine: 1}},
+		Stalls:  []FaultEvent{{Round: 2, Machine: 1}},
+		Drops:   []DropEvent{{Round: 2, Src: 1, Dst: 0}},
+	}
+	if faulty := run(plan); !slices.Equal(base, faulty) {
+		t.Fatalf("delivery differs: %v vs %v", base, faulty)
+	}
+}

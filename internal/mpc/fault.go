@@ -63,6 +63,17 @@ type FaultEvent struct {
 	Machine int
 }
 
+// DropEvent pins one explicit in-transit message loss: the first message
+// (send-order sequence 0) from Src to Dst at Round is dropped and
+// retransmitted by the reliable layer. Targeted drops let incident
+// reproductions pin a loss to an exact edge and round, the way crash@R:M
+// already pins crashes.
+type DropEvent struct {
+	Round int
+	Src   int
+	Dst   int
+}
+
 // FaultPlan is a deterministic fault schedule. The zero value (and a nil
 // plan) injects nothing. Rates are per-event probabilities realized by a
 // pairwise-independent multiply-shift hash of the event identity under Seed:
@@ -89,12 +100,16 @@ type FaultPlan struct {
 	StallRate float64
 	// Crashes lists explicit crash injections on top of CrashRate.
 	Crashes []FaultEvent
+	// Stalls lists explicit straggler injections on top of StallRate.
+	Stalls []FaultEvent
+	// Drops lists explicit message losses on top of DropRate.
+	Drops []DropEvent
 }
 
 // Enabled reports whether the plan can inject any fault at all.
 func (p *FaultPlan) Enabled() bool {
 	return p != nil && (p.CrashRate > 0 || p.DropRate > 0 || p.DupRate > 0 ||
-		p.StallRate > 0 || len(p.Crashes) > 0)
+		p.StallRate > 0 || len(p.Crashes) > 0 || len(p.Stalls) > 0 || len(p.Drops) > 0)
 }
 
 // String implements fmt.Stringer.
@@ -103,7 +118,8 @@ func (p *FaultPlan) String() string {
 		return "faults(off)"
 	}
 	return fmt.Sprintf("faults(seed=%d crash=%g drop=%g dup=%g stall=%g explicit=%d)",
-		p.Seed, p.CrashRate, p.DropRate, p.DupRate, p.StallRate, len(p.Crashes))
+		p.Seed, p.CrashRate, p.DropRate, p.DupRate, p.StallRate,
+		len(p.Crashes)+len(p.Stalls)+len(p.Drops))
 }
 
 // eventID packs a fault event into one 64-bit identity. Fields beyond the
@@ -158,14 +174,34 @@ func (p *FaultPlan) CrashesAt(round, machine int) bool {
 	return p.roll(faultCrash, round, machine, 0, 0, p.CrashRate)
 }
 
-// StallsAt reports whether machine m straggles at round r.
+// StallsAt reports whether machine m straggles at round r (explicit
+// injections first, then the seeded schedule).
 func (p *FaultPlan) StallsAt(round, machine int) bool {
+	if p == nil {
+		return false
+	}
+	for _, ev := range p.Stalls {
+		if ev.Round == round && ev.Machine == machine {
+			return true
+		}
+	}
 	return p.roll(faultStall, round, machine, 0, 0, p.StallRate)
 }
 
 // DropsMessage reports whether the seq-th message from src to dst at round r
-// is lost in transit.
+// is lost in transit. An explicit DropEvent targets the first message of its
+// (round, src, dst) edge (seq 0); the seeded schedule covers the rest.
 func (p *FaultPlan) DropsMessage(round, src, dst, seq int) bool {
+	if p == nil {
+		return false
+	}
+	if seq == 0 {
+		for _, ev := range p.Drops {
+			if ev.Round == round && ev.Src == src && ev.Dst == dst {
+				return true
+			}
+		}
+	}
 	return p.roll(faultDrop, round, src, dst, seq, p.DropRate)
 }
 
@@ -176,11 +212,13 @@ func (p *FaultPlan) DupsMessage(round, src, dst, seq int) bool {
 
 // ParseFaultPlan builds a FaultPlan from a compact spec such as
 //
-//	"crash=0.02,drop=0.01,dup=0.005,stall=0.05,crash@3:1"
+//	"crash=0.02,drop=0.01,dup=0.005,stall=0.05,crash@3:1,stall@3:1,drop@5:0>2"
 //
-// where rate keys are crash, drop, dup and stall, and "crash@R:M" pins an
-// explicit crash of machine M at round R. seed keys the schedule hash. An
-// empty spec returns a disabled (nil) plan.
+// where rate keys are crash, drop, dup and stall, and the targeted one-shot
+// events are "crash@R:M" (machine M crashes at round R), "stall@R:M"
+// (machine M straggles at round R) and "drop@R:S>D" (the first message from
+// machine S to machine D at round R is lost in transit). seed keys the
+// schedule hash. An empty spec returns a disabled (nil) plan.
 func ParseFaultPlan(spec string, seed int64) (*FaultPlan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" || spec == "off" || spec == "none" {
@@ -193,22 +231,27 @@ func ParseFaultPlan(spec string, seed int64) (*FaultPlan, error) {
 			continue
 		}
 		if rest, ok := strings.CutPrefix(part, "crash@"); ok {
-			rm := strings.SplitN(rest, ":", 2)
-			if len(rm) != 2 {
-				return nil, fmt.Errorf("mpc: fault spec %q: want crash@ROUND:MACHINE", part)
-			}
-			round, err := strconv.Atoi(rm[0])
+			ev, err := parseRoundMachine(part, rest, "crash@ROUND:MACHINE")
 			if err != nil {
-				return nil, fmt.Errorf("mpc: fault spec %q: bad round: %v", part, err)
+				return nil, err
 			}
-			machine, err := strconv.Atoi(rm[1])
+			p.Crashes = append(p.Crashes, ev)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(part, "stall@"); ok {
+			ev, err := parseRoundMachine(part, rest, "stall@ROUND:MACHINE")
 			if err != nil {
-				return nil, fmt.Errorf("mpc: fault spec %q: bad machine: %v", part, err)
+				return nil, err
 			}
-			if round < 1 || machine < 0 {
-				return nil, fmt.Errorf("mpc: fault spec %q: round < 1 or machine < 0", part)
+			p.Stalls = append(p.Stalls, ev)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(part, "drop@"); ok {
+			ev, err := parseDropEvent(part, rest)
+			if err != nil {
+				return nil, err
 			}
-			p.Crashes = append(p.Crashes, FaultEvent{Round: round, Machine: machine})
+			p.Drops = append(p.Drops, ev)
 			continue
 		}
 		kv := strings.SplitN(part, "=", 2)
@@ -236,6 +279,54 @@ func ParseFaultPlan(spec string, seed int64) (*FaultPlan, error) {
 		}
 	}
 	return p, nil
+}
+
+// parseRoundMachine parses the "R:M" tail shared by crash@ and stall@.
+func parseRoundMachine(part, rest, want string) (FaultEvent, error) {
+	rm := strings.SplitN(rest, ":", 2)
+	if len(rm) != 2 {
+		return FaultEvent{}, fmt.Errorf("mpc: fault spec %q: want %s", part, want)
+	}
+	round, err := strconv.Atoi(rm[0])
+	if err != nil {
+		return FaultEvent{}, fmt.Errorf("mpc: fault spec %q: bad round: %v", part, err)
+	}
+	machine, err := strconv.Atoi(rm[1])
+	if err != nil {
+		return FaultEvent{}, fmt.Errorf("mpc: fault spec %q: bad machine: %v", part, err)
+	}
+	if round < 1 || machine < 0 {
+		return FaultEvent{}, fmt.Errorf("mpc: fault spec %q: round < 1 or machine < 0", part)
+	}
+	return FaultEvent{Round: round, Machine: machine}, nil
+}
+
+// parseDropEvent parses the "R:S>D" tail of drop@.
+func parseDropEvent(part, rest string) (DropEvent, error) {
+	rm := strings.SplitN(rest, ":", 2)
+	if len(rm) != 2 {
+		return DropEvent{}, fmt.Errorf("mpc: fault spec %q: want drop@ROUND:SRC>DST", part)
+	}
+	round, err := strconv.Atoi(rm[0])
+	if err != nil {
+		return DropEvent{}, fmt.Errorf("mpc: fault spec %q: bad round: %v", part, err)
+	}
+	sd := strings.SplitN(rm[1], ">", 2)
+	if len(sd) != 2 {
+		return DropEvent{}, fmt.Errorf("mpc: fault spec %q: want drop@ROUND:SRC>DST", part)
+	}
+	src, err := strconv.Atoi(sd[0])
+	if err != nil {
+		return DropEvent{}, fmt.Errorf("mpc: fault spec %q: bad source machine: %v", part, err)
+	}
+	dst, err := strconv.Atoi(sd[1])
+	if err != nil {
+		return DropEvent{}, fmt.Errorf("mpc: fault spec %q: bad destination machine: %v", part, err)
+	}
+	if round < 1 || src < 0 || dst < 0 {
+		return DropEvent{}, fmt.Errorf("mpc: fault spec %q: round < 1 or machine < 0", part)
+	}
+	return DropEvent{Round: round, Src: src, Dst: dst}, nil
 }
 
 // MachineError is a panic from one machine's step function, recovered at the

@@ -132,7 +132,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	// repo's driver discipline: mutate only after Step returns).
 	state := []uint64{100, 200}
 	var restores int
-	c.SetCheckpointer(FuncCheckpointer{
+	err = c.SetCheckpointer(FuncCheckpointer{
 		SnapshotFn: func(m int) []uint64 { return []uint64{state[m]} },
 		RestoreFn: func(m int, data []uint64) {
 			restores++
@@ -142,6 +142,9 @@ func TestCheckpointRoundTrip(t *testing.T) {
 			state[m] = data[0]
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for r := 1; r <= 5; r++ {
 		if err := c.Step("tick", echoStep); err != nil {
 			t.Fatal(err)

@@ -14,6 +14,7 @@
 package mpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -86,6 +87,22 @@ type Config struct {
 	// (per-machine words sent/received, resident memory, recovery activity).
 	// Tracing is deterministic and costs nothing when nil.
 	Tracer trace.Tracer
+	// Context, when non-nil, is checked at every superstep barrier (Step and
+	// ChargeRounds): once it is done, the call returns a *CancelError
+	// wrapping ErrCanceled or ErrDeadline with the committed round and full
+	// Stats. See RunContext.
+	Context context.Context
+	// Sink, when non-nil (together with CheckpointEvery > 0 and a registered
+	// Checkpointer), persists every in-memory checkpoint durably; written
+	// bytes accumulate in Stats.CheckpointBytes. *durable.Store is the
+	// canonical implementation.
+	Sink CheckpointSink
+	// Resume, when non-nil, resumes the run from a durable checkpoint: the
+	// run replays deterministically to Resume.Round, verifies the replayed
+	// state against the checkpoint word-for-word (ErrResumeDiverged on
+	// mismatch), restores through the Checkpointer, and records the replay
+	// in Stats.ResumeReplayRounds.
+	Resume *ResumeState
 }
 
 // Violation records a budget breach observed during the simulation.
@@ -187,6 +204,18 @@ type Stats struct {
 	DupMessages int
 	// StallRounds counts barrier rounds lost to straggler stalls.
 	StallRounds int
+
+	// CheckpointBytes counts bytes persisted to durable checkpoint storage
+	// (Config.Sink); 0 without a sink. Like wall_ms in bench artifacts it is
+	// host/run-dependent rather than part of the bit-identity contract: a
+	// resumed run skips re-persisting checkpoints its directory already
+	// holds, so its CheckpointBytes is lower than an uninterrupted run's.
+	CheckpointBytes int64
+	// ResumeReplayRounds counts supersteps deterministically replayed to
+	// reach the durable checkpoint a resumed run restored from
+	// (Config.Resume); 0 for a run started from scratch. Like
+	// CheckpointBytes it is resume overhead, not algorithm cost.
+	ResumeReplayRounds int
 }
 
 // ErrBudget is wrapped by errors returned in Strict mode when a budget is
@@ -217,10 +246,11 @@ type Cluster struct {
 	lateErr  error
 
 	// Superstep recovery state (see fault.go and checkpoint.go).
-	ckpt      Checkpointer
-	snapshots [][]uint64
-	ckptRound int
-	fired     map[uint64]struct{}
+	ckpt          Checkpointer
+	snapshots     [][]uint64
+	ckptRound     int
+	fired         map[uint64]struct{}
+	resumeApplied bool
 
 	// Observability state: the registered tracer, the active span label, and
 	// reusable per-machine scratch buffers so the skew accounting adds no
@@ -266,6 +296,17 @@ func NewCluster(cfg Config, n int) (*Cluster, error) {
 		budget = cfg.MemoryWords
 	default:
 		return nil, fmt.Errorf("mpc: unknown regime %v", cfg.Regime)
+	}
+	if r := cfg.Resume; r != nil {
+		if cfg.CheckpointEvery <= 0 {
+			return nil, fmt.Errorf("mpc: Resume requires CheckpointEvery > 0 (checkpoint barriers must recur at the cadence the checkpoint was taken at)")
+		}
+		if r.Round < 0 {
+			return nil, fmt.Errorf("mpc: Resume.Round %d < 0", r.Round)
+		}
+		if len(r.State) != cfg.Machines {
+			return nil, fmt.Errorf("mpc: Resume state has %d machines, cluster has %d", len(r.State), cfg.Machines)
+		}
 	}
 	return &Cluster{
 		cfg:      cfg,
@@ -413,6 +454,9 @@ func (c *Cluster) ResetStats() {
 // central quantity): it is recorded as a "rounds" violation and, consistent
 // with budget handling, returned as an error in Strict mode.
 func (c *Cluster) ChargeRounds(name string, k int) error {
+	if err := c.barrierErr(); err != nil {
+		return err
+	}
 	if k < 0 {
 		return c.violate(Violation{
 			Round:   c.stats.Rounds,
@@ -517,6 +561,8 @@ func MergeStats(a, b Stats) Stats {
 	a.DroppedMessages += b.DroppedMessages
 	a.DupMessages += b.DupMessages
 	a.StallRounds += b.StallRounds
+	a.CheckpointBytes += b.CheckpointBytes
+	a.ResumeReplayRounds += b.ResumeReplayRounds
 	return a
 }
 
@@ -698,10 +744,15 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 	if err := c.takeLateErr(); err != nil {
 		return err
 	}
+	if err := c.barrierErr(); err != nil {
+		return err
+	}
 	M := c.cfg.Machines
 	round := c.stats.Rounds + 1
 	pre := c.snapshotRecovery()
-	c.maybeCheckpoint(round)
+	if err := c.maybeCheckpoint(round); err != nil {
+		return err
+	}
 
 	var ctxs []*Ctx
 	for {
@@ -842,7 +893,7 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 // so the delivered box is always exactly the sent messages.
 func (c *Cluster) transportFaults(round, dst int, box []Message, dropped *bool) {
 	p := c.cfg.Faults
-	if p == nil || (p.DropRate <= 0 && p.DupRate <= 0) {
+	if p == nil || (p.DropRate <= 0 && p.DupRate <= 0 && len(p.Drops) == 0) {
 		return
 	}
 	seq, prevSrc := 0, -1

@@ -230,6 +230,7 @@ func TestMergeStatsCoversEveryField(t *testing.T) {
 		SkewSent:   1.5, SkewRecv: 2.5, GiniSent: 0.25, GiniRecv: 0.5,
 		RecoveredCrashes: 1, RecoveryRounds: 2, ReplayedWords: 3,
 		CheckpointWords: 4, DroppedMessages: 5, DupMessages: 6, StallRounds: 7,
+		CheckpointBytes: 8, ResumeReplayRounds: 9,
 	}
 	b := Stats{
 		Rounds: 3, Messages: 20, Words: 50,
@@ -243,6 +244,7 @@ func TestMergeStatsCoversEveryField(t *testing.T) {
 		SkewSent: 1.25, SkewRecv: 3.5, GiniSent: 0.75, GiniRecv: 0.25,
 		RecoveredCrashes: 10, RecoveryRounds: 20, ReplayedWords: 30,
 		CheckpointWords: 40, DroppedMessages: 50, DupMessages: 60, StallRounds: 70,
+		CheckpointBytes: 80, ResumeReplayRounds: 90,
 	}
 	m := MergeStats(a, b)
 
@@ -268,17 +270,19 @@ func TestMergeStatsCoversEveryField(t *testing.T) {
 				m.Spans[0].GiniSent == 0.25 &&
 				m.Spans[1].Span == "finish" && m.Spans[1].Rounds == 2
 		},
-		"SkewSent":         func() bool { return m.SkewSent == 1.5 },
-		"SkewRecv":         func() bool { return m.SkewRecv == 3.5 },
-		"GiniSent":         func() bool { return m.GiniSent == 0.75 },
-		"GiniRecv":         func() bool { return m.GiniRecv == 0.5 },
-		"RecoveredCrashes": func() bool { return m.RecoveredCrashes == 11 },
-		"RecoveryRounds":   func() bool { return m.RecoveryRounds == 22 },
-		"ReplayedWords":    func() bool { return m.ReplayedWords == 33 },
-		"CheckpointWords":  func() bool { return m.CheckpointWords == 44 },
-		"DroppedMessages":  func() bool { return m.DroppedMessages == 55 },
-		"DupMessages":      func() bool { return m.DupMessages == 66 },
-		"StallRounds":      func() bool { return m.StallRounds == 77 },
+		"SkewSent":           func() bool { return m.SkewSent == 1.5 },
+		"SkewRecv":           func() bool { return m.SkewRecv == 3.5 },
+		"GiniSent":           func() bool { return m.GiniSent == 0.75 },
+		"GiniRecv":           func() bool { return m.GiniRecv == 0.5 },
+		"RecoveredCrashes":   func() bool { return m.RecoveredCrashes == 11 },
+		"RecoveryRounds":     func() bool { return m.RecoveryRounds == 22 },
+		"ReplayedWords":      func() bool { return m.ReplayedWords == 33 },
+		"CheckpointWords":    func() bool { return m.CheckpointWords == 44 },
+		"DroppedMessages":    func() bool { return m.DroppedMessages == 55 },
+		"DupMessages":        func() bool { return m.DupMessages == 66 },
+		"StallRounds":        func() bool { return m.StallRounds == 77 },
+		"CheckpointBytes":    func() bool { return m.CheckpointBytes == 88 },
+		"ResumeReplayRounds": func() bool { return m.ResumeReplayRounds == 99 },
 	}
 	st := reflect.TypeOf(Stats{})
 	for i := 0; i < st.NumField(); i++ {

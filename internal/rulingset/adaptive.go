@@ -33,6 +33,9 @@ func DetRulingAdaptive(g *graph.Graph, o Options) (Result, error) {
 }
 
 func rulingAdaptive(g *graph.Graph, o Options, deterministic bool) (Result, error) {
+	if err := o.durableUnsupported("RulingAdaptive"); err != nil {
+		return Result{}, err
+	}
 	var (
 		total   mpc.Stats
 		phases  []PhaseStat
@@ -85,7 +88,9 @@ func rulingAdaptive(g *graph.Graph, o Options, deterministic bool) (Result, erro
 			return Result{}, err
 		}
 		st := newSparsifyState(cur.N())
-		registerCheckpoint(c, opts, st.active, st.candidates)
+		if err := registerCheckpoint(c, opts, st.active, st.candidates); err != nil {
+			return Result{}, err
+		}
 		if err := runPhases(d, opts, st, schedule(int(delta)), deterministic, rng); err != nil {
 			return Result{}, err
 		}

@@ -39,6 +39,9 @@ func rulingBeta(g *graph.Graph, beta int, o Options, deterministic bool) (Result
 	if beta == 2 {
 		return ruling2(g, o, deterministic)
 	}
+	if err := o.durableUnsupported("RulingBeta"); err != nil {
+		return Result{}, err
+	}
 
 	var (
 		rng      *rand.Rand
@@ -70,7 +73,9 @@ func rulingBeta(g *graph.Graph, beta int, o Options, deterministic bool) (Result
 			groups = splitSchedule(schedule(int(delta)), beta-1)
 		}
 		st := newSparsifyState(cur.N())
-		registerCheckpoint(c, opts, st.active, st.candidates)
+		if err := registerCheckpoint(c, opts, st.active, st.candidates); err != nil {
+			return Result{}, err
+		}
 		if err := runPhases(d, opts, st, groups[level], deterministic, rng); err != nil {
 			return Result{}, err
 		}

@@ -9,18 +9,23 @@ import (
 // superstep recovery (see mpc.Checkpointer): machine m's snapshot is the
 // concatenation of each set's PackRange over the machine's vertex range, and
 // Restore unpacks the same layout back. Registration is a no-op unless
-// checkpointing is enabled, so fault-free runs pay nothing.
+// checkpointing is needed — for crash recovery (a fault plan is present),
+// durable persistence (a checkpoint sink is attached) or a resume — so
+// plain runs pay nothing.
 //
 // The drivers register every set they mutate between supersteps (active and
 // candidate sets for sample-and-sparsify, active and membership sets for
 // Luby); anything else a driver holds is either immutable for the run or
 // recomputed from these sets each iteration.
-func registerCheckpoint(c *mpc.Cluster, o Options, sets ...*bitset.Set) {
-	if o.CheckpointEvery <= 0 || o.Faults == nil {
-		return
+func registerCheckpoint(c *mpc.Cluster, o Options, sets ...*bitset.Set) error {
+	if o.CheckpointEvery <= 0 {
+		return nil
+	}
+	if o.Faults == nil && o.CheckpointSink == nil && o.Resume == nil {
+		return nil
 	}
 	perRange := func(lo, hi int) int { return (hi - lo + 63) / 64 }
-	c.SetCheckpointer(mpc.FuncCheckpointer{
+	return c.SetCheckpointer(mpc.FuncCheckpointer{
 		SnapshotFn: func(m int) []uint64 {
 			lo, hi := c.Range(m)
 			out := make([]uint64, 0, len(sets)*perRange(lo, hi))

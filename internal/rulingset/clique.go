@@ -55,7 +55,10 @@ func cliqueRuling2(g *graph.Graph, o Options, deterministic bool) (CliqueResult,
 		return CliqueResult{Members: []int32{0}, Beta: 2, ResidualN: 1}, nil
 	}
 	o = o.withDefaults(n)
-	c, err := clique.NewCluster(clique.Config{Strict: o.Strict, Faults: o.Faults, Tracer: o.Tracer}, n)
+	if err := o.durableUnsupported("CliqueRuling2"); err != nil {
+		return CliqueResult{}, err
+	}
+	c, err := clique.NewCluster(clique.Config{Strict: o.Strict, Faults: o.Faults, Tracer: o.Tracer, Context: o.Context}, n)
 	if err != nil {
 		return CliqueResult{}, err
 	}

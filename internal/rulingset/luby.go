@@ -47,7 +47,9 @@ func lubyMIS(g *graph.Graph, o Options, deterministic bool) (Result, error) {
 	active := bitset.New(n)
 	active.Fill()
 	inSet := bitset.New(n)
-	registerCheckpoint(c, o, active, inSet)
+	if err := registerCheckpoint(c, o, active, inSet); err != nil {
+		return Result{}, err
+	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	var phases []PhaseStat
 

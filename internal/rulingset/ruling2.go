@@ -37,7 +37,9 @@ func ruling2(g *graph.Graph, o Options, deterministic bool) (Result, error) {
 		return Result{}, err
 	}
 	st := newSparsifyState(g.N())
-	registerCheckpoint(c, o, st.active, st.candidates)
+	if err := registerCheckpoint(c, o, st.active, st.candidates); err != nil {
+		return Result{}, err
+	}
 	// The rng drives randomized sampling, and — for the SeedRandomFamily
 	// ablation — random family draws inside deterministic runs.
 	rng := rand.New(rand.NewSource(o.Seed))

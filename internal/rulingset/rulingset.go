@@ -28,6 +28,7 @@
 package rulingset
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -98,6 +99,21 @@ type Options struct {
 	// (sparsify / seed-search / gather / finish). Deterministic; free when
 	// nil. See the internal/trace package for the built-in sinks.
 	Tracer trace.Tracer
+
+	// Context, when non-nil, is checked at every superstep barrier: once it
+	// is done, the run stops with a *mpc.CancelError (wrapping
+	// mpc.ErrCanceled or mpc.ErrDeadline) carrying the committed round and
+	// Stats. See mpc.Config.Context.
+	Context context.Context
+	// CheckpointSink, when non-nil (with CheckpointEvery > 0), persists
+	// every driver checkpoint durably; see mpc.Config.Sink. Only the
+	// single-cluster algorithms (Ruling2, DetRuling2, LubyMIS, DetLubyMIS)
+	// support durable checkpointing — the recursive multi-cluster drivers
+	// chain fresh clusters whose rounds are not a single replayable log.
+	CheckpointSink mpc.CheckpointSink
+	// Resume, when non-nil, resumes from a durable checkpoint (same
+	// single-cluster restriction); see mpc.Config.Resume.
+	Resume *mpc.ResumeState
 }
 
 // SeedPolicy selects how a deterministic phase fixes its hash seed.
@@ -156,6 +172,17 @@ func (o Options) withDefaults(n int) Options {
 	return o
 }
 
+// durableUnsupported rejects durable checkpointing/resume for drivers that
+// chain multiple clusters (recursive β-levels, adaptive escalation, the
+// congested-clique port): their rounds are split across fresh clusters, so
+// they are not one replayable superstep log a durable checkpoint can anchor.
+func (o Options) durableUnsupported(algo string) error {
+	if o.CheckpointSink != nil || o.Resume != nil {
+		return fmt.Errorf("rulingset: %s does not support durable checkpointing/resume (only the single-cluster algorithms Ruling2/DetRuling2/LubyMIS/DetLubyMIS do)", algo)
+	}
+	return nil
+}
+
 // cluster builds the simulated cluster for a graph of order n.
 func (o Options) cluster(n int) (*mpc.Cluster, error) {
 	return mpc.NewCluster(mpc.Config{
@@ -168,6 +195,9 @@ func (o Options) cluster(n int) (*mpc.Cluster, error) {
 		Faults:          o.Faults,
 		CheckpointEvery: o.CheckpointEvery,
 		Tracer:          o.Tracer,
+		Context:         o.Context,
+		Sink:            o.CheckpointSink,
+		Resume:          o.Resume,
 	}, n)
 }
 

@@ -34,6 +34,12 @@ type Header struct {
 	// Build stamps the producing binary (module version, VCS revision, go
 	// toolchain); see internal/buildinfo.
 	Build json.RawMessage `json:"build,omitempty"`
+	// ResumedFrom is the durable-checkpoint round a resumed run restarted
+	// from (0 for a fresh run). A resumed run's trace carries only the events
+	// after that round (see FromRound); splicing it after the first
+	// ResumedFrom rounds of the interrupted trace reconstructs the full
+	// uninterrupted event stream.
+	ResumedFrom int `json:"resumed_from,omitempty"`
 }
 
 // WriteHeader writes the run-manifest header line. It must be called before
@@ -163,7 +169,7 @@ func ReadFile(path string) (Header, []Event, error) {
 	if err != nil {
 		return Header{}, nil, err
 	}
-	defer f.Close()
+	defer f.Close() //detlint:ok errdrop -- read-only handle; no buffered writes to lose
 	h, evs, err := ReadAll(f)
 	if err != nil {
 		return h, evs, fmt.Errorf("%s: %w", path, err)

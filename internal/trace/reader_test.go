@@ -130,3 +130,37 @@ func TestWriteHeaderForcesSchemaAndStaysDeterministic(t *testing.T) {
 		t.Fatalf("build stamp dropped: %s", first)
 	}
 }
+
+func TestHeaderResumedFromRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONL(&buf)
+	if err := w.WriteHeader(Header{Algo: "DetRuling2", ResumedFrom: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"resumed_from":7`) {
+		t.Fatalf("header line = %q", buf.String())
+	}
+	h, _, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ResumedFrom != 7 {
+		t.Fatalf("ResumedFrom = %d, want 7", h.ResumedFrom)
+	}
+	// Fresh runs omit the field entirely, keeping headers byte-identical to
+	// pre-resume builds.
+	buf.Reset()
+	w = NewJSONL(&buf)
+	if err := w.WriteHeader(Header{Algo: "DetRuling2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "resumed_from") {
+		t.Fatalf("fresh header leaks resumed_from: %q", buf.String())
+	}
+}

@@ -164,6 +164,28 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
+// FromRound wraps a Tracer, forwarding only events with Round > After —
+// the splice filter for resumed runs. A run resumed from durable round R
+// deterministically replays rounds 1..R, which the interrupted run's trace
+// already recorded; suppressing them (and stamping the header with
+// ResumedFrom: R) makes the resumed trace the exact continuation of the
+// interrupted one, so concatenating the two reconstructs the uninterrupted
+// event stream byte-for-byte.
+type FromRound struct {
+	// Sink receives the surviving events.
+	Sink Tracer
+	// After is the last suppressed round: events with Round <= After are
+	// dropped.
+	After int
+}
+
+// Superstep implements Tracer.
+func (f FromRound) Superstep(ev Event) {
+	if f.Sink != nil && ev.Round > f.After {
+		f.Sink.Superstep(ev)
+	}
+}
+
 // Multi fans one event stream out to several tracers.
 type Multi []Tracer
 

@@ -181,3 +181,36 @@ func TestGiniExactEdgeCases(t *testing.T) {
 		t.Errorf("one-hot m=16: Gini = %v, want exactly %v", first, want)
 	}
 }
+
+func TestFromRoundSplice(t *testing.T) {
+	full := NewRing(16)
+	spliced := NewRing(16)
+	filter := FromRound{Sink: spliced, After: 3}
+	for r := 1; r <= 6; r++ {
+		ev := Event{Round: r, Step: "tick", Words: r * 10}
+		full.Superstep(ev)
+		filter.Superstep(ev)
+	}
+	got := spliced.Events()
+	if len(got) != 3 {
+		t.Fatalf("filter kept %d events, want 3", len(got))
+	}
+	for i, ev := range got {
+		if ev.Round != 4+i {
+			t.Fatalf("spliced event %d has round %d, want %d", i, ev.Round, 4+i)
+		}
+	}
+	// Concatenating the interrupted prefix (rounds 1..3) with the spliced
+	// suffix reconstructs the uninterrupted stream.
+	joined := append(full.Events()[:3:3], got...)
+	if len(joined) != 6 {
+		t.Fatalf("splice reconstruction has %d events", len(joined))
+	}
+	for i, ev := range joined {
+		if ev.Round != i+1 || ev.Words != (i+1)*10 {
+			t.Fatalf("reconstructed event %d = %+v", i, ev)
+		}
+	}
+	// Nil sink is a no-op, not a panic.
+	FromRound{After: 1}.Superstep(Event{Round: 5})
+}

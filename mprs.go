@@ -32,6 +32,7 @@ package mprs
 import (
 	"io"
 
+	"github.com/rulingset/mprs/internal/durable"
 	"github.com/rulingset/mprs/internal/gen"
 	"github.com/rulingset/mprs/internal/graph"
 	"github.com/rulingset/mprs/internal/mpc"
@@ -113,6 +114,58 @@ func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
 // returns a disabled (nil) plan.
 func ParseFaultPlan(spec string, seed int64) (*FaultPlan, error) {
 	return mpc.ParseFaultPlan(spec, seed)
+}
+
+// Cooperative cancellation. Setting Options.Context makes a run check the
+// context at every superstep barrier: once it is canceled or its deadline
+// passes, the run stops cleanly (no goroutine leaks, no partial writes) and
+// returns a CancelError wrapping the matching sentinel.
+var (
+	// ErrCanceled is wrapped by runs stopped through Options.Context
+	// cancellation.
+	ErrCanceled = mpc.ErrCanceled
+	// ErrDeadline is wrapped by runs stopped by an Options.Context deadline.
+	ErrDeadline = mpc.ErrDeadline
+)
+
+// CancelError is the structured error for a canceled or deadline-exceeded
+// run: it carries the number of committed supersteps and the Stats up to the
+// stopping barrier, and unwraps to both the sentinel (ErrCanceled or
+// ErrDeadline) and the context's cause.
+type CancelError = mpc.CancelError
+
+// CheckpointSink receives the driver state at checkpoint barriers when set
+// as Options.CheckpointSink (with Options.CheckpointEvery > 0). Persist
+// returns the bytes durably written, accumulated into Stats.CheckpointBytes.
+// DurableCheckpointer is the production implementation.
+type CheckpointSink = mpc.CheckpointSink
+
+// ResumeState restarts a run from a durable checkpoint when set as
+// Options.Resume: the run deterministically replays to Round, verifies the
+// replayed state word-for-word against State, and continues from there —
+// producing output and deterministic Stats bit-identical to an uninterrupted
+// run. Only the single-cluster algorithms (MIS/DetMIS/RulingSet2/
+// DetRulingSet2) support durable checkpointing and resume.
+type ResumeState = mpc.ResumeState
+
+// DurableCheckpointer is a CheckpointSink writing schema-versioned,
+// CRC-guarded checkpoint files with atomic renames and bounded retention;
+// see OpenCheckpointDir.
+type DurableCheckpointer = durable.Store
+
+// CheckpointMeta is the self-description record of one durable checkpoint
+// file, returned by DurableCheckpointer.LoadLatest.
+type CheckpointMeta = durable.Meta
+
+// OpenCheckpointDir opens (creating if needed) a durable checkpoint
+// directory bound to a canonical run-configuration fingerprint. Use the
+// returned store as Options.CheckpointSink; after a crash, LoadLatest yields
+// the newest valid checkpoint (scanning past torn or corrupt files) to build
+// the ResumeState for the restarted run. retain bounds the files kept on
+// disk (0 = default 3). Opening a directory whose checkpoints carry a
+// different fingerprint fails rather than mixing incompatible runs.
+func OpenCheckpointDir(dir, fingerprint string, retain int) (*DurableCheckpointer, error) {
+	return durable.Open(dir, fingerprint, retain)
 }
 
 // Memory regimes for Options.Regime.

@@ -1,6 +1,8 @@
 package mprs_test
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -166,5 +168,69 @@ func TestPublicAPICheckDistributed(t *testing.T) {
 	}
 	if _, err := mprs.CheckDistributed(g, []int32{0, 1, 2, 3, 4, 5}, 1, mprs.Options{}); err == nil {
 		t.Fatal("bogus set accepted")
+	}
+}
+
+// TestPublicAPIDurableResume exercises the exported durable-checkpoint
+// surface: OpenCheckpointDir as the CheckpointSink of a run, cooperative
+// cancellation mid-run, and a ResumeState restart that reproduces the
+// uninterrupted output bit for bit.
+func TestPublicAPIDurableResume(t *testing.T) {
+	g := buildTestGraph(t)
+	opts := func() mprs.Options {
+		return mprs.Options{ChunkBits: 4, CheckpointEvery: 2}
+	}
+
+	dir := t.TempDir()
+	const fp = "public-api-test"
+	store, err := mprs.OpenCheckpointDir(dir, fp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := opts()
+	full.CheckpointSink = store
+	ref, err := mprs.DetRulingSet2(g, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.CheckpointBytes == 0 {
+		t.Fatal("no durable bytes accounted")
+	}
+
+	// Cancellation is structured: sentinel, committed round, stats.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	canceled := opts()
+	canceled.Context = ctx
+	_, err = mprs.DetRulingSet2(g, canceled)
+	if !errors.Is(err, mprs.ErrCanceled) {
+		t.Fatalf("canceled run returned %v, want ErrCanceled", err)
+	}
+	var ce *mprs.CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("no CancelError in %v", err)
+	}
+
+	// Restart from the newest durable checkpoint.
+	reopened, err := mprs.OpenCheckpointDir(dir, fp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, state, err := reopened.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := opts()
+	resumed.CheckpointSink = reopened
+	resumed.Resume = &mprs.ResumeState{Round: meta.Round, State: state}
+	res, err := mprs.DetRulingSet2(g, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Members, res.Members) {
+		t.Fatal("resumed members differ from uninterrupted run")
+	}
+	if res.Stats.ResumeReplayRounds != meta.Round {
+		t.Fatalf("ResumeReplayRounds = %d, want %d", res.Stats.ResumeReplayRounds, meta.Round)
 	}
 }
