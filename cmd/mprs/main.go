@@ -67,6 +67,7 @@ import (
 	"github.com/rulingset/mprs/internal/metrics"
 	"github.com/rulingset/mprs/internal/mpc"
 	"github.com/rulingset/mprs/internal/rulingset"
+	"github.com/rulingset/mprs/internal/supervise"
 	"github.com/rulingset/mprs/internal/trace"
 )
 
@@ -91,6 +92,8 @@ func run(args []string) error {
 		return cmdInfo(args[1:])
 	case "run":
 		return cmdRun(args[1:])
+	case "worker":
+		return cmdWorker(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q (want gen, info or run)", args[0])
 	}
@@ -217,6 +220,15 @@ func cmdRun(args []string) (retErr error) {
 		ckptRetain = fs.Int("checkpoint-retain", 0, "durable checkpoints kept in -checkpoint-dir (0 = default 3)")
 		membersOut = fs.String("members-out", "", "write the ruling-set member ids to this file, one per line")
 		dieAt      = fs.Int("die-at", 0, "crash-test hook: exit with status 7 once this round commits (0 = off)")
+		statsOut   = fs.String("stats-out", "", "write the canonical (run-independent) statistics as JSON to this file")
+
+		backend     = fs.String("backend", "inproc", "execution backend: inproc|multiproc")
+		workers     = fs.Int("workers", 4, "worker process count for -backend multiproc")
+		heartbeat   = fs.Duration("heartbeat", 10*time.Second, "multiproc liveness deadline; a worker silent this long is killed and restarted")
+		maxRestarts = fs.Int("max-restarts", 2, "multiproc per-worker restart budget (0 = fail-fast)")
+		jobTimeout  = fs.Duration("job-timeout", 0, "multiproc hard wall-clock cap on the whole job (0 = none)")
+		killWorker  = fs.String("kill-worker", "", "multiproc fault injection: kill worker w once its frame for round r arrives, w@r[,w@r...]")
+		lifecycle   = fs.String("lifecycle-trace", "", "write the supervisor lifecycle events (starts, kills, backoffs, restarts) as JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -249,6 +261,62 @@ func cmdRun(args []string) (retErr error) {
 		opts.Regime = mpc.RegimeExplicit
 	default:
 		return fmt.Errorf("unknown regime %q", *regime)
+	}
+
+	if *backend == "multiproc" {
+		switch {
+		case *resume:
+			return fmt.Errorf("-backend multiproc: -resume is owned by the supervisor (it restarts crashed workers from their checkpoints itself)")
+		case *dieAt > 0:
+			return fmt.Errorf("-backend multiproc: use -kill-worker w@r instead of -die-at")
+		case *profile != "" || *debugAddr != "":
+			return fmt.Errorf("-backend multiproc: -profile and -debug-addr observe a single process; run them on -backend inproc")
+		}
+		ckptEvery := opts.CheckpointEvery
+		if *ckptDir != "" && ckptEvery <= 0 {
+			ckptEvery = defaultCheckpointEvery
+		}
+		spec := supervise.JobSpec{
+			Algo:             *algo,
+			GraphSpec:        *src.spec,
+			GraphFile:        *src.in,
+			GenSeed:          *src.seed,
+			Machines:         *machines,
+			Regime:           int(opts.Regime),
+			Epsilon:          *epsilon,
+			MemoryWords:      *memory,
+			LinearSlack:      *slack,
+			ChunkBits:        *chunk,
+			AlgoSeed:         *algoSeed,
+			Strict:           *strict,
+			Faults:           *faults,
+			FaultSeed:        *fseed,
+			CheckpointEvery:  ckptEvery,
+			CheckpointDir:    *ckptDir,
+			CheckpointRetain: *ckptRetain,
+			TraceFile:        *traceFile,
+		}
+		return runMultiProc(spec, multiProcFlags{
+			workers:     *workers,
+			heartbeat:   *heartbeat,
+			maxRestarts: *maxRestarts,
+			jobTimeout:  *jobTimeout,
+			killWorker:  *killWorker,
+			lifecycle:   *lifecycle,
+		}, runReport{
+			algo:       *algo,
+			title:      fmt.Sprintf("%s on %v (%d machines, %s regime, %d workers)", *algo, g, *machines, *regime, *workers),
+			g:          g,
+			phases:     *phases,
+			rounds:     *rounds,
+			spans:      *spans,
+			verify:     *verify,
+			membersOut: *membersOut,
+			statsOut:   *statsOut,
+			faults:     plan,
+		})
+	} else if *backend != "inproc" {
+		return fmt.Errorf("unknown backend %q (want inproc or multiproc)", *backend)
 	}
 
 	// Cooperative cancellation: an interrupt cancels the run at the next
@@ -393,80 +461,22 @@ func cmdRun(args []string) (retErr error) {
 	if err != nil {
 		return err
 	}
-	wall := time.Since(start)
-
-	tb := metrics.NewTable(fmt.Sprintf("%s on %v (%d machines, %s regime)", *algo, g, *machines, *regime),
-		"members", "beta", "rounds", "messages", "words", "peak sent", "peak recv", "peak resident",
-		"skew sent", "gini sent", "violations", "wall")
-	tb.AddRow(len(res.Members), res.Beta, res.Stats.Rounds, res.Stats.Messages, res.Stats.Words,
-		res.Stats.PeakSent, res.Stats.PeakRecv, res.Stats.PeakResident,
-		res.Stats.SkewSent, res.Stats.GiniSent, len(res.Stats.Violations), wall.String())
-	if err := tb.Render(os.Stdout); err != nil {
-		return err
-	}
-
-	if *phases && len(res.Phases) > 0 {
-		pt := metrics.NewTable("phase trace", "phase", "j", "active before", "active after",
-			"highdeg", "marked", "cand edges", "seed steps", "E[Φ] init", "Φ final")
-		for _, ps := range res.Phases {
-			pt.AddRow(ps.Phase, ps.J, ps.ActiveBefore, ps.ActiveAfter, ps.HighDegBefore,
-				ps.Marked, ps.CandidateEdges, ps.SeedSteps, ps.EstimatorInitial, ps.EstimatorFinal)
-		}
-		fmt.Println()
-		if err := pt.Render(os.Stdout); err != nil {
-			return err
-		}
-	}
-	if *rounds && len(res.Stats.Log) > 0 {
-		rt := metrics.NewTable("round log", "round", "step", "span", "messages", "words", "max sent", "max recv", "gini sent")
-		for i, info := range res.Stats.Log {
-			rt.AddRow(i+1, info.Name, info.Span, info.Messages, info.Words, info.MaxSent, info.MaxRecv, info.GiniSent)
-		}
-		fmt.Println()
-		if err := rt.Render(os.Stdout); err != nil {
-			return err
-		}
-	}
-	if *spans && len(res.Stats.Spans) > 0 {
-		if err := renderSpans(res.Stats.Spans); err != nil {
-			return err
-		}
-	}
-	if err := writeMembers(*membersOut, res.Members); err != nil {
-		return err
-	}
-	if *verify {
-		if err := rulingset.Check(g, res); err != nil {
-			return fmt.Errorf("verification failed: %w", err)
-		}
-		fmt.Printf("verified: independent, radius <= %d\n", res.Beta)
-	}
-	if store != nil {
-		dt := metrics.NewTable("durable checkpoints",
-			"dir", "checkpoint bytes", "resumed from", "replayed rounds")
-		dt.AddRow(store.Dir(), res.Stats.CheckpointBytes, resumedFrom, res.Stats.ResumeReplayRounds)
-		fmt.Println()
-		if err := dt.Render(os.Stdout); err != nil {
-			return err
-		}
-	}
-	if opts.Faults.Enabled() {
-		ft := metrics.NewTable(fmt.Sprintf("recovery under %s", opts.Faults),
-			"recovered crashes", "recovery rounds", "replayed words", "checkpoint words", "dropped", "duplicated", "stall rounds")
-		ft.AddRow(res.Stats.RecoveredCrashes, res.Stats.RecoveryRounds, res.Stats.ReplayedWords,
-			res.Stats.CheckpointWords, res.Stats.DroppedMessages, res.Stats.DupMessages, res.Stats.StallRounds)
-		fmt.Println()
-		if err := ft.Render(os.Stdout); err != nil {
-			return err
-		}
-	}
-	if n := len(res.Stats.Violations); n > 0 {
-		for _, v := range res.Stats.Violations {
-			fmt.Fprintf(os.Stderr, "budget violation: %s\n", v)
-		}
-		return fmt.Errorf("%d budget violation(s); first: %s", n, res.Stats.Violations[0])
-	}
-	return nil
+	return reportResult(runReport{
+		algo:        *algo,
+		title:       fmt.Sprintf("%s on %v (%d machines, %s regime)", *algo, g, *machines, *regime),
+		g:           g,
+		res:         res,
+		wall:        time.Since(start),
+		phases:      *phases,
+		rounds:      *rounds,
+		spans:       *spans,
+		verify:      *verify,
+		membersOut:  *membersOut,
+		statsOut:    *statsOut,
+		faults:      opts.Faults,
+		store:       store,
+		resumedFrom: resumedFrom,
+	})
 }
 
 // durableAlgos are the -algo values that accept -checkpoint-dir/-resume: the

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/rulingset/mprs/internal/durable"
+	"github.com/rulingset/mprs/internal/graph"
+	"github.com/rulingset/mprs/internal/metrics"
+	"github.com/rulingset/mprs/internal/mpc"
+	"github.com/rulingset/mprs/internal/rulingset"
+	"github.com/rulingset/mprs/internal/supervise"
+)
+
+// cmdWorker is the hidden `mprs worker` subcommand: the supervisor re-executes
+// this binary with the WorkerEnv in the MPRS_SUPERVISE_WORKER environment
+// variable, and the worker talks frames over stdin/stdout. Never invoked by
+// hand.
+func cmdWorker(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("worker: unexpected arguments %q", args)
+	}
+	blob := os.Getenv(supervise.EnvSpec)
+	if blob == "" {
+		return fmt.Errorf("worker: %s not set (this subcommand is spawned by `mprs run -backend multiproc`)", supervise.EnvSpec)
+	}
+	var env supervise.WorkerEnv
+	if err := json.Unmarshal([]byte(blob), &env); err != nil {
+		return fmt.Errorf("worker: decode %s: %w", supervise.EnvSpec, err)
+	}
+	return supervise.WorkerMain(env, os.Stdin, os.Stdout)
+}
+
+// multiProcFlags carries the -backend multiproc knobs out of cmdRun.
+type multiProcFlags struct {
+	workers     int
+	heartbeat   time.Duration
+	maxRestarts int
+	jobTimeout  time.Duration
+	killWorker  string
+	lifecycle   string
+}
+
+// runMultiProc is the `mprs run -backend multiproc` path: build the
+// self-contained JobSpec, supervise the worker fleet, and report the result
+// exactly as the in-process path does.
+func runMultiProc(spec supervise.JobSpec, mp multiProcFlags, rep runReport) error {
+	kills, err := parseKillSchedule(mp.killWorker)
+	if err != nil {
+		return err
+	}
+	cfg := supervise.Config{
+		Workers:     mp.workers,
+		Heartbeat:   mp.heartbeat,
+		MaxRestarts: mp.maxRestarts,
+		Timeout:     mp.jobTimeout,
+		KillAt:      kills,
+		Spawn:       supervise.SelfExec("worker"),
+	}
+	if mp.lifecycle != "" {
+		f, err := os.Create(mp.lifecycle)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Lifecycle = f
+	}
+	start := time.Now()
+	res, err := supervise.Run(spec, cfg)
+	if err != nil {
+		var serr *supervise.SupervisorError
+		if errors.As(err, &serr) {
+			fmt.Fprintf(os.Stderr, "supervisor abort: %d committed rounds, worker %d after %d restart(s)\n",
+				serr.CommittedRound, serr.Worker, serr.Attempts)
+		}
+		return err
+	}
+	rep.res = res
+	rep.wall = time.Since(start)
+	return reportResult(rep)
+}
+
+// parseKillSchedule parses -kill-worker "w@r[,w@r...]" into KillAt entries.
+func parseKillSchedule(s string) ([]supervise.KillAt, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var kills []supervise.KillAt
+	for _, part := range strings.Split(s, ",") {
+		w, r, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("-kill-worker: %q is not worker@round", part)
+		}
+		wi, err := strconv.Atoi(w)
+		if err != nil {
+			return nil, fmt.Errorf("-kill-worker: worker %q: %w", w, err)
+		}
+		ri, err := strconv.Atoi(r)
+		if err != nil {
+			return nil, fmt.Errorf("-kill-worker: round %q: %w", r, err)
+		}
+		if wi < 0 || ri < 1 {
+			return nil, fmt.Errorf("-kill-worker: %q: worker must be >= 0 and round >= 1", part)
+		}
+		kills = append(kills, supervise.KillAt{Worker: wi, Round: ri})
+	}
+	return kills, nil
+}
+
+// runReport is everything the shared result-reporting block needs; both
+// backends funnel through it so their stdout, artifacts and exit behavior
+// cannot drift apart.
+type runReport struct {
+	algo  string
+	title string
+	g     *graph.Graph
+
+	res  rulingset.Result
+	wall time.Duration
+
+	phases, rounds, spans, verify bool
+	membersOut, statsOut          string
+
+	faults *mpc.FaultPlan
+
+	// store and resumedFrom drive the durable-checkpoints table; nil/0 when
+	// the run had no durable store in this process (always for multiproc —
+	// the workers own their stores).
+	store       *durable.Store
+	resumedFrom int
+}
+
+// reportResult prints the measurement tables, writes the byte-diffable
+// artifacts (-members-out, -stats-out), verifies, and turns budget
+// violations into a failing exit — the common tail of both backends.
+func reportResult(r runReport) error {
+	res := r.res
+	tb := metrics.NewTable(r.title,
+		"members", "beta", "rounds", "messages", "words", "peak sent", "peak recv", "peak resident",
+		"skew sent", "gini sent", "violations", "wall")
+	tb.AddRow(len(res.Members), res.Beta, res.Stats.Rounds, res.Stats.Messages, res.Stats.Words,
+		res.Stats.PeakSent, res.Stats.PeakRecv, res.Stats.PeakResident,
+		res.Stats.SkewSent, res.Stats.GiniSent, len(res.Stats.Violations), r.wall.String())
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if r.phases && len(res.Phases) > 0 {
+		pt := metrics.NewTable("phase trace", "phase", "j", "active before", "active after",
+			"highdeg", "marked", "cand edges", "seed steps", "E[Φ] init", "Φ final")
+		for _, ps := range res.Phases {
+			pt.AddRow(ps.Phase, ps.J, ps.ActiveBefore, ps.ActiveAfter, ps.HighDegBefore,
+				ps.Marked, ps.CandidateEdges, ps.SeedSteps, ps.EstimatorInitial, ps.EstimatorFinal)
+		}
+		fmt.Println()
+		if err := pt.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if r.rounds && len(res.Stats.Log) > 0 {
+		rt := metrics.NewTable("round log", "round", "step", "span", "messages", "words", "max sent", "max recv", "gini sent")
+		for i, info := range res.Stats.Log {
+			rt.AddRow(i+1, info.Name, info.Span, info.Messages, info.Words, info.MaxSent, info.MaxRecv, info.GiniSent)
+		}
+		fmt.Println()
+		if err := rt.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if r.spans && len(res.Stats.Spans) > 0 {
+		if err := renderSpans(res.Stats.Spans); err != nil {
+			return err
+		}
+	}
+	if err := writeMembers(r.membersOut, res.Members); err != nil {
+		return err
+	}
+	if err := writeStatsOut(r.statsOut, res.Stats); err != nil {
+		return err
+	}
+	if r.verify {
+		if err := rulingset.Check(r.g, res); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		fmt.Printf("verified: independent, radius <= %d\n", res.Beta)
+	}
+	if r.store != nil {
+		dt := metrics.NewTable("durable checkpoints",
+			"dir", "checkpoint bytes", "resumed from", "replayed rounds")
+		dt.AddRow(r.store.Dir(), res.Stats.CheckpointBytes, r.resumedFrom, res.Stats.ResumeReplayRounds)
+		fmt.Println()
+		if err := dt.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if r.faults.Enabled() {
+		ft := metrics.NewTable(fmt.Sprintf("recovery under %s", r.faults),
+			"recovered crashes", "recovery rounds", "replayed words", "checkpoint words", "dropped", "duplicated", "stall rounds")
+		ft.AddRow(res.Stats.RecoveredCrashes, res.Stats.RecoveryRounds, res.Stats.ReplayedWords,
+			res.Stats.CheckpointWords, res.Stats.DroppedMessages, res.Stats.DupMessages, res.Stats.StallRounds)
+		fmt.Println()
+		if err := ft.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if n := len(res.Stats.Violations); n > 0 {
+		for _, v := range res.Stats.Violations {
+			fmt.Fprintf(os.Stderr, "budget violation: %s\n", v)
+		}
+		return fmt.Errorf("%d budget violation(s); first: %s", n, res.Stats.Violations[0])
+	}
+	return nil
+}
+
+// writeStatsOut writes the canonical (run-independent) Stats as indented
+// JSON — the byte-diffable artifact the CI multiproc-smoke job compares
+// across backends. An empty path is a no-op so call sites stay unconditional.
+func writeStatsOut(path string, st mpc.Stats) error {
+	if path == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(supervise.CanonicalStats(st), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("stats-out: %w", err)
+	}
+	return nil
+}

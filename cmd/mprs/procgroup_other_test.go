@@ -1,0 +1,19 @@
+//go:build !unix
+
+package main
+
+import "os/exec"
+
+// setTestProcGroup is a no-op on platforms without process groups.
+func setTestProcGroup(cmd *exec.Cmd) {}
+
+// killTestProcGroup kills the subprocess itself; grandchildren may survive
+// on platforms without process groups.
+func killTestProcGroup(cmd *exec.Cmd) {
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		_ = err // already exited
+	}
+}

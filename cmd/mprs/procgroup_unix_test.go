@@ -1,0 +1,27 @@
+//go:build unix
+
+package main
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setTestProcGroup gives a test subprocess its own process group, so killing
+// it also reaches any workers it spawned.
+func setTestProcGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killTestProcGroup SIGKILLs the subprocess's whole group; a failure means
+// the group is already gone.
+func killTestProcGroup(cmd *exec.Cmd) {
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		if kerr := cmd.Process.Kill(); kerr != nil {
+			_ = kerr // already exited
+		}
+	}
+}

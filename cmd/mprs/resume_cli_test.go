@@ -119,7 +119,7 @@ func TestRunDieAtResumeSubprocess(t *testing.T) {
 	base := []string{"run", "-algo", "det2", "-in", g, "-chunk", "4", "-checkpoint-every", "4"}
 	mustRun := func(args ...string) {
 		t.Helper()
-		cmd := exec.Command(bin, append(base, args...)...)
+		cmd := hardenedCommand(t, bin, append(base, args...)...)
 		if out, err := cmd.CombinedOutput(); err != nil {
 			t.Fatalf("%v: %v\n%s", args, err, out)
 		}
@@ -127,7 +127,7 @@ func TestRunDieAtResumeSubprocess(t *testing.T) {
 
 	mustRun("-members-out", full, "-trace", fullTrace)
 
-	killed := exec.Command(bin, append(base, "-checkpoint-dir", ckpt, "-die-at", "12")...)
+	killed := hardenedCommand(t, bin, append(base, "-checkpoint-dir", ckpt, "-die-at", "12")...)
 	out, err := killed.CombinedOutput()
 	var exitErr *exec.ExitError
 	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 7 {

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"context"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// subprocTimeout is the hard wall-clock cap on every subprocess a test
+// launches: far beyond any quick-tier run, tight enough that a wedged child
+// fails the test instead of hanging the suite until the go test timeout.
+const subprocTimeout = 60 * time.Second
+
+// hardenedCommand builds an exec.Cmd for a test subprocess with the full
+// runaway protection kit: a context deadline, its own process group so
+// cleanup reaches grandchildren (a killed mprs supervisor must not leak its
+// workers), a group-wide SIGKILL as the cancel action, a WaitDelay so Wait
+// cannot block forever on inherited pipes, and a t.Cleanup group kill as the
+// last line of defense.
+func hardenedCommand(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), subprocTimeout)
+	t.Cleanup(cancel)
+	cmd := exec.CommandContext(ctx, bin, args...)
+	setTestProcGroup(cmd)
+	cmd.Cancel = func() error {
+		killTestProcGroup(cmd)
+		return nil
+	}
+	cmd.WaitDelay = 5 * time.Second
+	t.Cleanup(func() { killTestProcGroup(cmd) })
+	return cmd
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lifecycleFixture is a representative supervisor stream: one injected kill
+// with backoff and restart, one stall, and a clean finish.
+const lifecycleFixture = `{"schema":"mprs-lifecycle/1","workers":3,"heartbeat_ms":5000,"max_restarts":2}
+{"seq":1,"kind":"start","worker":0,"round":0}
+{"seq":2,"kind":"start","worker":1,"round":0}
+{"seq":3,"kind":"start","worker":2,"round":0}
+{"seq":4,"kind":"kill","worker":1,"round":10}
+{"seq":5,"kind":"crash","worker":1,"round":10,"note":"injected kill"}
+{"seq":6,"kind":"backoff","worker":1,"round":10,"attempt":1,"backoff_ms":100}
+{"seq":7,"kind":"restart","worker":1,"round":10,"attempt":1}
+{"seq":8,"kind":"stall","worker":2,"round":20,"note":"missed heartbeat deadline"}
+{"seq":9,"kind":"backoff","worker":2,"round":20,"attempt":1,"backoff_ms":100}
+{"seq":10,"kind":"restart","worker":2,"round":20,"attempt":1}
+{"seq":11,"kind":"result","worker":1,"round":48,"attempt":1}
+{"seq":12,"kind":"result","worker":2,"round":48,"attempt":1}
+{"seq":13,"kind":"result","worker":0,"round":48}
+{"seq":14,"kind":"done","worker":0,"round":48}
+`
+
+func writeLifecycleFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.lifecycle")
+	if err := os.WriteFile(path, []byte(lifecycleFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLifecycleTimeline: a lifecycle stream is auto-detected by schema and
+// rendered as the restart timeline rather than a superstep report.
+func TestLifecycleTimeline(t *testing.T) {
+	var b bytes.Buffer
+	if err := run([]string{writeLifecycleFixture(t)}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"lifecycle: mprs-lifecycle/1 workers=3 heartbeat=5000ms max_restarts=2",
+		"per-worker",
+		"restart timeline",
+		"injected kill",
+		"missed heartbeat deadline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLifecycleJSON checks the machine-readable lifecycle report and the
+// per-worker aggregation.
+func TestLifecycleJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := run([]string{"-json", writeLifecycleFixture(t)}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var rep LifecycleReport
+	if err := json.Unmarshal(b.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Header.Workers != 3 || len(rep.Events) != 14 || len(rep.Workers) != 3 {
+		t.Fatalf("report shape: workers=%d events=%d timelines=%d", rep.Header.Workers, len(rep.Events), len(rep.Workers))
+	}
+	w1, w2 := rep.Workers[1], rep.Workers[2]
+	if w1.Crashes != 1 || w1.Restarts != 1 || w1.LastJoin != 10 || w1.FinalOutcome != "result" {
+		t.Errorf("worker 1 timeline: %+v", w1)
+	}
+	if w2.Stalls != 1 || w2.Restarts != 1 || w2.LastJoin != 20 {
+		t.Errorf("worker 2 timeline: %+v", w2)
+	}
+	if rep.Workers[0].Crashes != 0 || rep.Workers[0].Restarts != 0 {
+		t.Errorf("worker 0 timeline: %+v", rep.Workers[0])
+	}
+}
+
+// TestLifecycleMalformed: a stream with a broken line reports the line, and
+// a superstep trace is NOT routed to the lifecycle path.
+func TestLifecycleMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.lifecycle")
+	bad := `{"schema":"mprs-lifecycle/1","workers":1}` + "\n" + `{"seq":` + "\n"
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := run([]string{path}, &b); err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Errorf("broken line 2 not reported: %v", err)
+	}
+	// The regular fixture trace still takes the superstep path.
+	b.Reset()
+	if err := run([]string{filepath.Join("testdata", "fixture.jsonl")}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "restart timeline") {
+		t.Error("superstep trace routed to the lifecycle renderer")
+	}
+}

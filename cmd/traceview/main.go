@@ -21,6 +21,7 @@ import (
 
 	"github.com/rulingset/mprs/internal/buildinfo"
 	"github.com/rulingset/mprs/internal/metrics"
+	"github.com/rulingset/mprs/internal/supervise"
 	"github.com/rulingset/mprs/internal/trace"
 )
 
@@ -47,6 +48,21 @@ func run(args []string, out io.Writer) error {
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: traceview [-json] [-top k] trace.jsonl")
+	}
+	// A supervisor lifecycle stream gets the restart-timeline report; anything
+	// else goes down the superstep-trace path (whose reader validates the
+	// schema itself).
+	if schema, err := sniffSchema(fs.Arg(0)); err == nil && schema == supervise.LifecycleSchema {
+		rep, err := readLifecycle(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		return renderLifecycle(out, rep)
 	}
 	hdr, evs, err := trace.ReadFile(fs.Arg(0))
 	if err != nil {

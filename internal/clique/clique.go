@@ -64,6 +64,13 @@ type Config struct {
 	// mpc.ErrDeadline with the committed round and full Stats. See
 	// RunContext.
 	Context context.Context
+	// Transport, when non-nil, carries every committed round's sorted
+	// per-destination message boxes, exactly as in the MPC simulator (the
+	// shared mpc.Transport interface; Message is an alias of mpc.Message, so
+	// one transport implementation serves both simulators). nil is the
+	// in-memory router. A failed exchange aborts the round cleanly with a
+	// *TransportError.
+	Transport mpc.Transport
 }
 
 // Violation records a bandwidth breach.
@@ -126,11 +133,30 @@ type Stats struct {
 // ErrBandwidth is wrapped by errors returned in Strict mode.
 var ErrBandwidth = errors.New("clique: bandwidth budget exceeded")
 
-// Message is a payload received from node Src.
-type Message struct {
-	Src     int
-	Payload []uint64
+// Message is a payload received from node Src. It is an alias of
+// mpc.Message so both simulators share one message shape — and therefore one
+// Transport implementation (see Config.Transport).
+type Message = mpc.Message
+
+// TransportError reports a round whose message exchange failed (see
+// mpc.TransportError — this is the clique-model counterpart, carrying clique
+// Stats). The round was not committed and nothing was delivered.
+type TransportError struct {
+	// Round is the number of committed rounds when the exchange failed.
+	Round int
+	// Stats is the full accumulated statistics at the failure barrier.
+	Stats Stats
+	// Err is the underlying transport failure.
+	Err error
 }
+
+// Error implements error.
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("clique: transport failed after %d committed rounds: %v", e.Round, e.Err)
+}
+
+// Unwrap exposes the underlying transport failure.
+func (e *TransportError) Unwrap() error { return e.Err }
 
 // Cluster is a simulated congested clique on n nodes.
 type Cluster struct {
@@ -426,6 +452,24 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 		}
 	}
 
+	// Canonicalize the exchange: sort every destination box by sender
+	// (appends happened under a mutex in nondeterministic order) and, when a
+	// transport is configured, hand all boxes to it before any accounting —
+	// exactly the MPC simulator's contract, so one transport implementation
+	// serves both models. A failed exchange aborts before the round commits.
+	boxes := c.outbox
+	c.outbox = make([][]Message, c.n)
+	for dst := 0; dst < c.n; dst++ {
+		sort.SliceStable(boxes[dst], func(i, j int) bool { return boxes[dst][i].Src < boxes[dst][j].Src })
+	}
+	if c.cfg.Transport != nil {
+		exchanged, err := c.cfg.Transport.Exchange(round, boxes)
+		if err != nil {
+			return &TransportError{Round: c.stats.Rounds, Stats: c.Stats(), Err: err}
+		}
+		boxes = exchanged
+	}
+
 	if routed {
 		c.stats.Rounds += LenzenRounds
 	} else {
@@ -438,8 +482,7 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 	clear(sentByNode)
 	maxRecv := 0
 	for dst := 0; dst < c.n; dst++ {
-		box := c.outbox[dst]
-		sort.SliceStable(box, func(i, j int) bool { return box[i].Src < box[j].Src })
+		box := boxes[dst]
 		recv := 0
 		pairWords := 0
 		prevSrc := -1
@@ -496,7 +539,6 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 			}
 		}
 		c.inboxes[dst] = box
-		c.outbox[dst] = nil
 	}
 	if routed {
 		nodeLimit := c.n * c.cfg.PairWords

@@ -156,6 +156,8 @@ var criticalPkgs = map[string]bool{
 	"internal/bitset":    true,
 	"internal/trace":     true,
 	"internal/durable":   true,
+	"internal/transport": true,
+	"internal/supervise": true,
 }
 
 // wallclockExempt reports whether the package at the module-relative path
@@ -163,10 +165,16 @@ var criticalPkgs = map[string]bool{
 // the binaries, where timing is the point, not a hazard. The bench harness
 // keeps wall-clock quarantined in its explicitly host-dependent columns (see
 // bench.HostDependentFields), so the exemption does not weaken the
-// determinism contract of its other measurements.
+// determinism contract of its other measurements. internal/supervise is
+// exempt because failure detection is wall-clock by nature (heartbeat
+// deadlines, restart backoff); its timers only decide WHEN workers run, never
+// WHAT they compute, so committed outputs stay bit-deterministic. The
+// transport wire layer gets no exemption: framing and exchange must be
+// timing-free.
 func wallclockExempt(rel string) bool {
 	return rel == "internal/experiments" ||
 		rel == "internal/bench" ||
+		rel == "internal/supervise" ||
 		rel == "cmd" || strings.HasPrefix(rel, "cmd/") ||
 		rel == "examples" || strings.HasPrefix(rel, "examples/")
 }

@@ -209,6 +209,52 @@ func TestDiagnosticsAreSorted(t *testing.T) {
 	}
 }
 
+// TestBuildTagFixture pins build-constraint-aware loading: the fixture
+// declares procControl under both `unix` and `!unix`, so a loader that
+// ignores //go:build lines dies with a redeclaration type error before any
+// analyzer runs. The surviving maporder want proves analysis still happened.
+func TestBuildTagFixture(t *testing.T) {
+	checkWants(t, "buildtag", runFixture(t, "buildtag", "maporder"))
+}
+
+// TestTransportSuperviseCoverage pins the multi-process backend's lint
+// contract: the wire layer and the supervisor are determinism-critical, the
+// supervisor alone may read the wall clock (heartbeats and backoff are
+// wall-clock by nature; they decide when workers run, never what they
+// compute), and both real packages lint clean under the full analyzer set.
+func TestTransportSuperviseCoverage(t *testing.T) {
+	for _, rel := range []string{"internal/transport", "internal/supervise"} {
+		if !criticalPkgs[rel] {
+			t.Errorf("criticalPkgs[%q] = false; multi-process backend escaped detlint", rel)
+		}
+	}
+	if !wallclockExempt("internal/supervise") {
+		t.Error(`wallclockExempt("internal/supervise") = false; heartbeat timers would be findings`)
+	}
+	if wallclockExempt("internal/transport") {
+		t.Error(`wallclockExempt("internal/transport") = true; the wire layer must stay timing-free`)
+	}
+	diags, err := Run(Config{
+		Dir:      "../..",
+		Patterns: []string{"internal/transport", "internal/supervise"},
+	})
+	if err != nil {
+		t.Fatalf("Run(transport, supervise): %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("findings in the multi-process backend:\n%s", formatDiags(diags))
+	}
+	// Non-vacuity: the supervisor genuinely reads the wall clock, so the
+	// empty result proves the exemption rather than an absence of timers.
+	src, err := os.ReadFile(filepath.Join("..", "supervise", "supervisor.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "time.Now()") {
+		t.Fatal("internal/supervise no longer calls time.Now; exemption test proves nothing")
+	}
+}
+
 // TestBenchWallclockExemption pins the bench harness's wall-clock carve-out:
 // internal/bench and the bench CLI measure wall time on purpose (it is their
 // one declared host-dependent column), so the wallclock analyzer must stay

@@ -1,8 +1,11 @@
 package lint
 
 import (
+	"bufio"
+	"bytes"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -221,7 +224,14 @@ func (ld *loader) parseDir(dir string) (*dirFiles, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
-		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !buildConstraintsMatch(src) {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
@@ -255,6 +265,45 @@ func (ld *loader) parseDir(dir string) (*dirFiles, error) {
 	}
 	ld.parsed[dir] = df
 	return df, nil
+}
+
+// unixGOOS mirrors the go tool's "unix" build-tag set (cmd/dist's unixOS).
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// buildConstraintsMatch evaluates a file's //go:build line (if any) against
+// the host GOOS/GOARCH, so platform-variant files — the supervisor's
+// process-group control has unix and !unix implementations — do not
+// typecheck as redeclarations. Only the //go:build form is recognized; this
+// repo does not use legacy +build lines or filename GOOS suffixes.
+func buildConstraintsMatch(src []byte) bool {
+	sc := bufio.NewScanner(bytes.NewReader(src))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "package ") {
+			break // constraints must precede the package clause
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return true // malformed: let the compiler report it, not the linter
+		}
+		return expr.Eval(func(tag string) bool {
+			switch tag {
+			case runtime.GOOS, runtime.GOARCH:
+				return true
+			case "unix":
+				return unixGOOS[runtime.GOOS]
+			}
+			return false
+		})
+	}
+	return true
 }
 
 // Import implements types.Importer: module-internal packages are typechecked

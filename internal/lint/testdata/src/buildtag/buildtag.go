@@ -1,0 +1,16 @@
+// Package buildtag is a fixture for build-constraint-aware loading: the
+// sibling files declare procControl twice under mutually exclusive
+// //go:build lines (unix vs !unix), the way internal/supervise's
+// process-group control does. The loader must pick exactly one variant per
+// host — a redeclaration error here means constraints were ignored.
+package buildtag
+
+// useIt keeps the platform variant referenced, plus one genuine maporder
+// violation so the fixture proves analyzers still run on what was loaded.
+func useIt(m map[string]int) int {
+	total := procControl()
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}

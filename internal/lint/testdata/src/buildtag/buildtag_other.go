@@ -1,0 +1,5 @@
+//go:build !unix
+
+package buildtag
+
+func procControl() int { return 2 }

@@ -103,6 +103,11 @@ type Config struct {
 	// mismatch), restores through the Checkpointer, and records the replay
 	// in Stats.ResumeReplayRounds.
 	Resume *ResumeState
+	// Transport, when non-nil, carries every committed superstep's sorted
+	// per-destination message boxes (see the Transport interface); nil is
+	// the in-memory router. A failed exchange aborts the step cleanly with
+	// a *TransportError.
+	Transport Transport
 }
 
 // Violation records a budget breach observed during the simulation.
@@ -781,6 +786,29 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 		}
 	}
 
+	// Outboxes were appended under a mutex in nondeterministic order;
+	// restore determinism by stable-sorting on sender (messages from one
+	// sender were appended in its sequential send order, and sorting
+	// stability preserves that order). Transport faults are decided on the
+	// sorted order, so they too are schedule-independent.
+	boxes := c.outboxes
+	c.outboxes = make([][]Message, M)
+	for m := 0; m < M; m++ {
+		stableSortBySrc(boxes[m])
+	}
+	// The sorted boxes are the canonical exchange: hand them to the
+	// configured transport (the multi-process backend ships and verifies
+	// them here); the nil transport delivers them as-is. A failed exchange
+	// aborts before the round commits — nothing below has run, so the
+	// carried Stats are exactly the committed prefix.
+	if c.cfg.Transport != nil {
+		exchanged, err := c.cfg.Transport.Exchange(round, boxes)
+		if err != nil {
+			return &TransportError{Round: c.stats.Rounds, Stats: c.Stats(), Err: err}
+		}
+		boxes = exchanged
+	}
+
 	c.stats.Rounds++
 	info := RoundInfo{Name: name, Span: c.span}
 	var firstErr error
@@ -799,16 +827,9 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 			}
 		}
 	}
-	// Deliver: outboxes were appended under a mutex in nondeterministic
-	// order; restore determinism by stable-sorting on sender (messages from
-	// one sender were appended in its sequential send order, and sorting
-	// stability preserves that order). Transport faults are decided on the
-	// sorted order, so they too are schedule-independent.
-	delivered := make([][]Message, M)
 	droppedThisRound := false
 	for m := 0; m < M; m++ {
-		box := c.outboxes[m]
-		stableSortBySrc(box)
+		box := boxes[m]
 		c.transportFaults(round, m, box, &droppedThisRound)
 		recv := 0
 		for _, msg := range box {
@@ -828,8 +849,6 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 				firstErr = err
 			}
 		}
-		delivered[m] = box
-		c.outboxes[m] = nil
 	}
 	if droppedThisRound {
 		c.stats.RecoveryRounds++
@@ -881,7 +900,7 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 		return firstErr
 	}
 	for m := 0; m < M; m++ {
-		c.inboxes[m] = delivered[m]
+		c.inboxes[m] = boxes[m]
 	}
 	return nil
 }

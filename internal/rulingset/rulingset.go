@@ -114,6 +114,11 @@ type Options struct {
 	// Resume, when non-nil, resumes from a durable checkpoint (same
 	// single-cluster restriction); see mpc.Config.Resume.
 	Resume *mpc.ResumeState
+	// Transport, when non-nil, carries every committed superstep's message
+	// exchange (see mpc.Transport); nil is the in-memory router. The
+	// congested-clique drivers hand the same transport to their clique
+	// cluster (the simulators share one message shape).
+	Transport mpc.Transport
 }
 
 // SeedPolicy selects how a deterministic phase fixes its hash seed.
@@ -198,6 +203,7 @@ func (o Options) cluster(n int) (*mpc.Cluster, error) {
 		Context:         o.Context,
 		Sink:            o.CheckpointSink,
 		Resume:          o.Resume,
+		Transport:       o.Transport,
 	}, n)
 }
 

@@ -1,0 +1,76 @@
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"github.com/rulingset/mprs/internal/rulingset"
+	"github.com/rulingset/mprs/internal/trace"
+)
+
+// Backend executes a JobSpec. The two implementations — InProc and
+// MultiProc — are bit-identical on deterministic outputs: same Members,
+// same Stats (modulo the documented host/run-dependent columns), same trace
+// bytes. That equivalence is the package's core contract and is enforced by
+// tests and the CI multiproc-smoke job.
+type Backend interface {
+	Run(spec JobSpec) (rulingset.Result, error)
+}
+
+// InProc runs the job in this process — the classic single-process path,
+// composed from exactly the same spec helpers the worker processes use, so
+// the two backends cannot drift apart.
+type InProc struct{}
+
+// Run implements Backend.
+func (InProc) Run(spec JobSpec) (res rulingset.Result, retErr error) {
+	if err := spec.Validate(); err != nil {
+		return rulingset.Result{}, err
+	}
+	g, err := spec.BuildGraph()
+	if err != nil {
+		return rulingset.Result{}, err
+	}
+	opts, err := spec.options()
+	if err != nil {
+		return rulingset.Result{}, err
+	}
+	if spec.CheckpointDir != "" {
+		store, err := spec.openStore(spec.CheckpointDir)
+		if err != nil {
+			return rulingset.Result{}, err
+		}
+		opts.CheckpointSink = store
+	}
+	if spec.TraceFile != "" {
+		f, err := os.Create(spec.TraceFile)
+		if err != nil {
+			return rulingset.Result{}, err
+		}
+		tr := trace.NewJSONL(f)
+		if err := tr.WriteHeader(spec.traceHeader()); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+			return rulingset.Result{}, fmt.Errorf("trace %s: %w", spec.TraceFile, err)
+		}
+		opts.Tracer = tr
+		defer func() {
+			if err := tr.Close(); err != nil && retErr == nil {
+				retErr = fmt.Errorf("trace %s: %w", spec.TraceFile, err)
+			}
+		}()
+	}
+	return runAlgo(spec.Algo, g, opts)
+}
+
+// MultiProc runs the job across supervised worker processes.
+type MultiProc struct {
+	Config Config
+}
+
+// Run implements Backend.
+func (m MultiProc) Run(spec JobSpec) (rulingset.Result, error) {
+	return Run(spec, m.Config)
+}

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package supervise
+
+import "os/exec"
+
+// setProcGroup is a no-op on platforms without process groups.
+func setProcGroup(cmd *exec.Cmd) {}
+
+// killProcGroup kills the worker process itself; descendants may survive on
+// platforms without process groups.
+func killProcGroup(cmd *exec.Cmd) {
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		_ = err // already exited; nothing left to kill
+	}
+}

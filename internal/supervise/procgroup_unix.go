@@ -1,0 +1,28 @@
+//go:build unix
+
+package supervise
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcGroup puts the worker in its own process group, so a kill reaches
+// the worker and anything it spawned — no orphans surviving a restart.
+func setProcGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killProcGroup SIGKILLs the worker's whole process group, falling back to
+// the process itself when the group kill fails (already reaped, or the group
+// was never created).
+func killProcGroup(cmd *exec.Cmd) {
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		if kerr := cmd.Process.Kill(); kerr != nil {
+			_ = kerr // already exited; nothing left to kill
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package supervise runs one simulation job across real OS worker processes
+// and keeps it alive: per-worker heartbeats with deterministic superstep
+// progress, timeout/retry with capped exponential backoff, and kill-and-
+// restart of crashed or stalled workers from the newest valid durable
+// checkpoint via the existing resume-by-replay path.
+//
+// Every worker executes the full deterministic job (see internal/transport
+// for why the execution is replicated) and owns a contiguous block of
+// machines whose superstep messages it is authoritative for. The supervisor
+// is a star hub: it relays each worker's Messages frames to the others,
+// retains the newest frame per worker for restart re-delivery, and watches
+// liveness. Because workers proceed in barrier lockstep, no worker is ever
+// more than one exchange ahead of another, so the newest retained frame per
+// peer is exactly what a restarting worker can still need.
+//
+// The contract is cross-backend bit-identity: the multi-process backend —
+// including runs where the supervisor kills and restarts a worker mid-job —
+// produces outputs, deterministic Stats columns and trace bytes identical to
+// the in-process backend's.
+package supervise
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/rulingset/mprs/internal/buildinfo"
+	"github.com/rulingset/mprs/internal/durable"
+	"github.com/rulingset/mprs/internal/gen"
+	"github.com/rulingset/mprs/internal/graph"
+	"github.com/rulingset/mprs/internal/mpc"
+	"github.com/rulingset/mprs/internal/rulingset"
+	"github.com/rulingset/mprs/internal/trace"
+)
+
+// JobSpec is the self-contained, JSON-serializable description of one run —
+// everything a worker process needs to deterministically reproduce the job.
+// Every field feeds the deterministic replay; observability knobs
+// (TraceFile) do not alter it.
+type JobSpec struct {
+	// Algo names the algorithm: one of luby, detluby, rand2, det2 (the
+	// single-cluster MPC drivers — the same set that supports durable
+	// checkpointing, and for the same reason: one replayable superstep log).
+	Algo string `json:"algo"`
+	// GraphSpec generates the input (see internal/gen); GraphFile loads an
+	// edge-list file instead. Exactly one must be set.
+	GraphSpec string `json:"graph_spec,omitempty"`
+	GraphFile string `json:"graph_file,omitempty"`
+	// GenSeed seeds the generator.
+	GenSeed int64 `json:"gen_seed"`
+
+	Machines    int     `json:"machines"`
+	Regime      int     `json:"regime"`
+	Epsilon     float64 `json:"epsilon,omitempty"`
+	MemoryWords int     `json:"memory_words,omitempty"`
+	LinearSlack int     `json:"linear_slack,omitempty"`
+	ChunkBits   int     `json:"chunk_bits,omitempty"`
+	AlgoSeed    int64   `json:"algo_seed"`
+	Strict      bool    `json:"strict,omitempty"`
+
+	// Faults and FaultSeed reproduce the simulated fault schedule (the
+	// mpc.FaultPlan spec string); independent of the physical crash
+	// tolerance this package adds.
+	Faults    string `json:"faults,omitempty"`
+	FaultSeed int64  `json:"fault_seed,omitempty"`
+
+	// CheckpointEvery and CheckpointDir enable durable checkpoints; each
+	// worker persists under its own w<id> subdirectory of CheckpointDir, and
+	// a restarted worker resumes from its newest valid checkpoint. Without a
+	// checkpoint dir a restarted worker recomputes from round 1 — slower,
+	// still bit-identical.
+	CheckpointEvery  int    `json:"checkpoint_every,omitempty"`
+	CheckpointDir    string `json:"checkpoint_dir,omitempty"`
+	CheckpointRetain int    `json:"checkpoint_retain,omitempty"`
+
+	// TraceFile, when set, receives the deterministic JSONL superstep trace,
+	// written by worker 0 only (the replicas would write identical bytes).
+	TraceFile string `json:"trace_file,omitempty"`
+}
+
+// SupportedAlgo reports whether algo can run on the multi-process backend.
+func SupportedAlgo(algo string) bool {
+	switch algo {
+	case "luby", "detluby", "rand2", "det2":
+		return true
+	}
+	return false
+}
+
+// SpecLabel renders the input source exactly as the CLI's trace headers and
+// table titles do.
+func (s JobSpec) SpecLabel() string {
+	if s.GraphSpec != "" {
+		return s.GraphSpec
+	}
+	return "file:" + s.GraphFile
+}
+
+// Validate rejects specs no worker could run.
+func (s JobSpec) Validate() error {
+	if !SupportedAlgo(s.Algo) {
+		return fmt.Errorf("supervise: algorithm %q not supported on the multi-process backend (single-cluster MPC algorithms only: luby, detluby, rand2, det2)", s.Algo)
+	}
+	if (s.GraphSpec == "") == (s.GraphFile == "") {
+		return fmt.Errorf("supervise: exactly one of GraphSpec and GraphFile must be set")
+	}
+	if s.Machines < 1 {
+		return fmt.Errorf("supervise: machines %d < 1", s.Machines)
+	}
+	if s.CheckpointDir != "" && s.CheckpointEvery <= 0 {
+		return fmt.Errorf("supervise: CheckpointDir requires CheckpointEvery > 0")
+	}
+	return nil
+}
+
+// BuildGraph deterministically reconstructs the input graph.
+func (s JobSpec) BuildGraph() (*graph.Graph, error) {
+	if s.GraphFile != "" {
+		f, err := os.Open(s.GraphFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close() //detlint:ok errdrop -- read-only handle; read failures surface from ReadEdgeList
+		return graph.ReadEdgeList(f)
+	}
+	sp, err := gen.ParseSpec(s.GraphSpec)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Build(s.GenSeed)
+}
+
+// Fingerprint renders the canonical configuration string stamped into the
+// workers' durable checkpoints, so a restarted worker refuses to resume a
+// different configuration's state.
+func (s JobSpec) Fingerprint() string {
+	return fmt.Sprintf("mprs-multiproc/1 algo=%s spec=%s gen-seed=%d machines=%d regime=%d epsilon=%g memory=%d slack=%d chunk=%d algo-seed=%d strict=%t faults=%s fault-seed=%d checkpoint-every=%d",
+		s.Algo, s.SpecLabel(), s.GenSeed, s.Machines, s.Regime, s.Epsilon, s.MemoryWords,
+		s.LinearSlack, s.ChunkBits, s.AlgoSeed, s.Strict, s.Faults, s.FaultSeed, s.CheckpointEvery)
+}
+
+// options builds the rulingset.Options the spec describes (transport, trace
+// and durable wiring are added by the caller).
+func (s JobSpec) options() (rulingset.Options, error) {
+	plan, err := mpc.ParseFaultPlan(s.Faults, s.FaultSeed)
+	if err != nil {
+		return rulingset.Options{}, err
+	}
+	return rulingset.Options{
+		Machines:        s.Machines,
+		Regime:          mpc.Regime(s.Regime),
+		Epsilon:         s.Epsilon,
+		MemoryWords:     s.MemoryWords,
+		LinearSlack:     s.LinearSlack,
+		ChunkBits:       s.ChunkBits,
+		Seed:            s.AlgoSeed,
+		Strict:          s.Strict,
+		Faults:          plan,
+		CheckpointEvery: s.CheckpointEvery,
+	}, nil
+}
+
+// runAlgo dispatches to the single-cluster MPC drivers.
+func runAlgo(algo string, g *graph.Graph, o rulingset.Options) (rulingset.Result, error) {
+	switch algo {
+	case "luby":
+		return rulingset.LubyMIS(g, o)
+	case "detluby":
+		return rulingset.DetLubyMIS(g, o)
+	case "rand2":
+		return rulingset.RandRuling2(g, o)
+	case "det2":
+		return rulingset.DetRuling2(g, o)
+	}
+	return rulingset.Result{}, fmt.Errorf("supervise: unknown algorithm %q", algo)
+}
+
+// buildStamp renders the binary's build info exactly as the CLI does for its
+// trace headers; a pure function of the binary, so replicated workers of the
+// same build stamp identical bytes.
+func buildStamp() json.RawMessage {
+	data, err := json.Marshal(buildinfo.Get())
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// traceHeader is the job's trace header — field-for-field what the CLI's
+// in-process path writes, which is what makes the trace files byte-
+// comparable across backends.
+func (s JobSpec) traceHeader() trace.Header {
+	return trace.Header{
+		Algo:     s.Algo,
+		Spec:     s.SpecLabel(),
+		Seed:     s.AlgoSeed,
+		Machines: s.Machines,
+		Build:    buildStamp(),
+	}
+}
+
+// openStore opens the durable checkpoint store rooted at dir (creating it),
+// stamped with the spec's fingerprint.
+func (s JobSpec) openStore(dir string) (*durable.Store, error) {
+	st, err := durable.Open(dir, s.Fingerprint(), s.CheckpointRetain)
+	if err != nil {
+		return nil, err
+	}
+	st.SetBuildStamp(buildStamp())
+	return st, nil
+}
+
+// workerCheckpointDir is worker id's private subdirectory of the job's
+// checkpoint dir — replicated workers persist identical state, but each owns
+// its files so a mid-write crash of one worker cannot corrupt another's
+// newest checkpoint.
+func (s JobSpec) workerCheckpointDir(id int) string {
+	return filepath.Join(s.CheckpointDir, fmt.Sprintf("w%d", id))
+}

@@ -1,0 +1,270 @@
+package supervise
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rulingset/mprs/internal/rulingset"
+)
+
+// TestMain doubles as the worker entry point: the supervisor's SelfExec
+// re-executes this test binary with the WorkerEnv in the environment, and the
+// worker runs before any test would.
+func TestMain(m *testing.M) {
+	if blob := os.Getenv(EnvSpec); blob != "" {
+		var env WorkerEnv
+		if err := json.Unmarshal([]byte(blob), &env); err != nil {
+			os.Exit(3)
+		}
+		if err := WorkerMain(env, os.Stdin, os.Stdout); err != nil {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// testSpec is the quick-tier workload every supervisor test runs: small
+// enough to finish in well under a second per run, large enough to take
+// dozens of supersteps so mid-run kills land inside the computation.
+func testSpec(t *testing.T, algo string) JobSpec {
+	t.Helper()
+	return JobSpec{
+		Algo:      algo,
+		GraphSpec: "gnp:n=512,p=0.03",
+		GenSeed:   1,
+		Machines:  8,
+		AlgoSeed:  1,
+		ChunkBits: 8,
+	}
+}
+
+// testConfig is the supervisor configuration every test starts from: a hard
+// wall-clock timeout so a wedged run fails loudly instead of hanging the
+// suite, and a heartbeat short enough to keep stall detection honest.
+func testConfig(workers int) Config {
+	return Config{
+		Workers:   workers,
+		Heartbeat: 3 * time.Second,
+		Timeout:   60 * time.Second,
+		Spawn:     SelfExec(),
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	good := JobSpec{Algo: "det2", GraphSpec: "gnp:n=64,p=0.1", Machines: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		spec JobSpec
+	}{
+		{"unsupported algo", JobSpec{Algo: "detbeta", GraphSpec: "g", Machines: 4}},
+		{"no graph", JobSpec{Algo: "det2", Machines: 4}},
+		{"both graphs", JobSpec{Algo: "det2", GraphSpec: "g", GraphFile: "f", Machines: 4}},
+		{"no machines", JobSpec{Algo: "det2", GraphSpec: "g"}},
+		{"dir without k", JobSpec{Algo: "det2", GraphSpec: "g", Machines: 4, CheckpointDir: "d"}},
+	} {
+		if err := tc.spec.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestMultiProcEquivalence is the backend bit-identity contract: for each
+// supported algorithm, the multi-process backend's Members, canonical Stats
+// and trace bytes equal the in-process backend's exactly.
+func TestMultiProcEquivalence(t *testing.T) {
+	for _, algo := range []string{"det2", "luby"} {
+		t.Run(algo, func(t *testing.T) {
+			dir := t.TempDir()
+			inSpec := testSpec(t, algo)
+			inSpec.TraceFile = filepath.Join(dir, "in.trace")
+			inRes, err := InProc{}.Run(inSpec)
+			if err != nil {
+				t.Fatalf("inproc: %v", err)
+			}
+
+			mpSpec := testSpec(t, algo)
+			mpSpec.TraceFile = filepath.Join(dir, "mp.trace")
+			mpRes, err := MultiProc{Config: testConfig(3)}.Run(mpSpec)
+			if err != nil {
+				t.Fatalf("multiproc: %v", err)
+			}
+
+			requireSameResult(t, inRes, mpRes)
+			requireSameFile(t, inSpec.TraceFile, mpSpec.TraceFile)
+		})
+	}
+}
+
+// TestMultiProcKillRestart kills real worker processes mid-run — first a
+// follower, then worker 0 (the trace writer) — and requires the restarted
+// run to stay bit-identical to an uninterrupted in-process run with the same
+// checkpoint cadence.
+func TestMultiProcKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	inSpec := testSpec(t, "det2")
+	inSpec.CheckpointEvery = 4
+	inSpec.CheckpointDir = filepath.Join(dir, "ck-in")
+	inSpec.TraceFile = filepath.Join(dir, "in.trace")
+	inRes, err := InProc{}.Run(inSpec)
+	if err != nil {
+		t.Fatalf("inproc: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		kills []KillAt
+	}{
+		{"follower", []KillAt{{Worker: 1, Round: 10}}},
+		{"trace-writer", []KillAt{{Worker: 0, Round: 12}}},
+		{"two-workers", []KillAt{{Worker: 1, Round: 6}, {Worker: 2, Round: 14}}},
+	} {
+		kills := tc.kills
+		t.Run(tc.name, func(t *testing.T) {
+			sub := t.TempDir()
+			spec := testSpec(t, "det2")
+			spec.CheckpointEvery = 4
+			spec.CheckpointDir = filepath.Join(sub, "ck")
+			spec.TraceFile = filepath.Join(sub, "mp.trace")
+
+			var lifecycle bytes.Buffer
+			cfg := testConfig(3)
+			cfg.MaxRestarts = 2
+			cfg.BackoffInitial = 20 * time.Millisecond
+			cfg.KillAt = kills
+			cfg.Lifecycle = &lifecycle
+
+			res, err := Run(spec, cfg)
+			if err != nil {
+				t.Fatalf("multiproc with kills %v: %v\nlifecycle:\n%s", kills, err, lifecycle.String())
+			}
+			requireSameResult(t, inRes, res)
+			requireSameFile(t, inSpec.TraceFile, spec.TraceFile)
+
+			life := lifecycle.String()
+			for _, want := range []string{`"kind":"kill"`, `"kind":"crash"`, `"kind":"backoff"`, `"kind":"restart"`, `"kind":"done"`} {
+				if !strings.Contains(life, want) {
+					t.Errorf("lifecycle missing %s:\n%s", want, life)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiProcRestartWithoutCheckpoints: no checkpoint dir means a killed
+// worker recomputes from round 1 — slower, still bit-identical.
+func TestMultiProcRestartWithoutCheckpoints(t *testing.T) {
+	inRes, err := InProc{}.Run(testSpec(t, "det2"))
+	if err != nil {
+		t.Fatalf("inproc: %v", err)
+	}
+	cfg := testConfig(2)
+	cfg.MaxRestarts = 1
+	cfg.BackoffInitial = 20 * time.Millisecond
+	cfg.KillAt = []KillAt{{Worker: 1, Round: 8}}
+	res, err := Run(testSpec(t, "det2"), cfg)
+	if err != nil {
+		t.Fatalf("multiproc: %v", err)
+	}
+	requireSameResult(t, inRes, res)
+}
+
+// TestMultiProcFailFast: MaxRestarts 0 aborts on the first kill with a
+// structured SupervisorError carrying the committed round and harvested
+// Stats from a surviving worker.
+func TestMultiProcFailFast(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.MaxRestarts = 0
+	cfg.KillAt = []KillAt{{Worker: 1, Round: 10}}
+	_, err := Run(testSpec(t, "det2"), cfg)
+	var serr *SupervisorError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want *SupervisorError, got %v", err)
+	}
+	if serr.Worker != 1 || serr.Attempts != 0 {
+		t.Errorf("SupervisorError identity: %+v", serr)
+	}
+	if serr.CommittedRound <= 0 {
+		t.Errorf("CommittedRound = %d, want > 0", serr.CommittedRound)
+	}
+	if serr.Stats.Rounds == 0 {
+		t.Errorf("Stats not harvested from a survivor: %+v", serr.Stats)
+	}
+}
+
+// TestMultiProcRestartBudgetExhausted: more kills than restarts aborts with
+// the failing worker's attempt count.
+func TestMultiProcRestartBudgetExhausted(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.MaxRestarts = 1
+	cfg.BackoffInitial = 20 * time.Millisecond
+	cfg.KillAt = []KillAt{{Worker: 1, Round: 6}, {Worker: 1, Round: 10}}
+	_, err := Run(testSpec(t, "det2"), cfg)
+	var serr *SupervisorError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want *SupervisorError, got %v", err)
+	}
+	if serr.Worker != 1 || serr.Attempts != 1 {
+		t.Errorf("SupervisorError identity: %+v", serr)
+	}
+}
+
+func TestMultiProcConfigValidation(t *testing.T) {
+	if _, err := Run(testSpec(t, "det2"), Config{Workers: 0, Spawn: SelfExec()}); err == nil {
+		t.Error("workers 0 accepted")
+	}
+	if _, err := Run(testSpec(t, "det2"), Config{Workers: 9, Spawn: SelfExec()}); err == nil {
+		t.Error("more workers than machines accepted")
+	}
+	if _, err := Run(testSpec(t, "det2"), Config{Workers: 2}); err == nil {
+		t.Error("missing Spawn accepted")
+	}
+}
+
+// requireSameResult compares Members and the canonical Stats bit-for-bit.
+func requireSameResult(t *testing.T, a, b rulingset.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Members, b.Members) {
+		t.Fatalf("Members differ: %d vs %d entries", len(a.Members), len(b.Members))
+	}
+	if a.Beta != b.Beta {
+		t.Fatalf("Beta differs: %d vs %d", a.Beta, b.Beta)
+	}
+	ca, err := json.Marshal(CanonicalStats(a.Stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := json.Marshal(CanonicalStats(b.Stats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("canonical Stats differ:\n%s\nvs\n%s", ca, cb)
+	}
+}
+
+// requireSameFile compares two files byte for byte.
+func requireSameFile(t *testing.T, a, b string) {
+	t.Helper()
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(da) == 0 || !bytes.Equal(da, db) {
+		t.Fatalf("%s and %s differ (%d vs %d bytes)", a, b, len(da), len(db))
+	}
+}

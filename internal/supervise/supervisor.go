@@ -1,0 +1,618 @@
+package supervise
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+
+	"github.com/rulingset/mprs/internal/mpc"
+	"github.com/rulingset/mprs/internal/rulingset"
+	"github.com/rulingset/mprs/internal/transport"
+)
+
+// SpawnFunc builds the (unstarted) worker command for env. The supervisor
+// owns the process's stdin/stdout pipes and process group; Spawn only
+// chooses the executable, arguments and environment. SelfExec is the usual
+// implementation.
+type SpawnFunc func(env WorkerEnv) (*exec.Cmd, error)
+
+// SelfExec returns a SpawnFunc that re-executes the current binary with the
+// given arguments, passing the WorkerEnv through the EnvSpec environment
+// variable — the CLI spawns `mprs worker` this way.
+func SelfExec(args ...string) SpawnFunc {
+	return func(env WorkerEnv) (*exec.Cmd, error) {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		blob, err := json.Marshal(env)
+		if err != nil {
+			return nil, err
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Env = append(os.Environ(), EnvSpec+"="+string(blob))
+		return cmd, nil
+	}
+}
+
+// KillAt injects a real SIGKILL: the supervisor kills Worker's process group
+// as soon as its authoritative frame for a round >= Round arrives. Because
+// the trigger is deterministic superstep progress (never wall clock), test
+// and CI kill schedules reproduce.
+type KillAt struct {
+	Worker int
+	Round  int
+}
+
+// Config tunes the supervisor.
+type Config struct {
+	// Workers is the worker-process count (>= 1); more workers than
+	// machines is rejected (a worker must own at least one machine).
+	Workers int
+	// Heartbeat is the liveness deadline: a worker silent for longer is
+	// declared stalled and killed. Workers send heartbeats at a quarter of
+	// it. Default 10s.
+	Heartbeat time.Duration
+	// MaxRestarts is the per-worker restart budget. 0 is fail-fast: the
+	// first crash aborts the job with a SupervisorError. N > 0 is
+	// retry-N-then-abort.
+	MaxRestarts int
+	// BackoffInitial and BackoffMax bound the capped exponential restart
+	// backoff (initial·2^(attempt−1), capped). Defaults 100ms and 5s.
+	BackoffInitial time.Duration
+	BackoffMax     time.Duration
+	// Timeout, when > 0, is a hard wall-clock cap on the whole job: on
+	// expiry every worker process group is killed and Run returns a
+	// SupervisorError. The CI/test safety net against wedged workers.
+	Timeout time.Duration
+	// KillAt is the injected-kill schedule (tests, CI smoke).
+	KillAt []KillAt
+	// Lifecycle, when non-nil, receives the JSONL lifecycle stream (see
+	// LifecycleSchema).
+	Lifecycle io.Writer
+	// Spawn builds worker commands; required (use SelfExec).
+	Spawn SpawnFunc
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 10 * time.Second
+	}
+	if cfg.BackoffInitial <= 0 {
+		cfg.BackoffInitial = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	return cfg
+}
+
+// SupervisorError reports a job the supervisor had to abort: the restart
+// budget ran out, a worker failed deterministically, the job timed out, or
+// the replicas diverged. It carries the committed round and the full Stats
+// at the abort point (harvested from a surviving worker via an orderly
+// stop when one is available), so even an aborted job is a complete
+// measurement of the work it committed.
+type SupervisorError struct {
+	// Worker is the worker whose failure triggered the abort (-1 when no
+	// single worker did, e.g. a timeout).
+	Worker int
+	// Attempts is how many times that worker had been restarted.
+	Attempts int
+	// CommittedRound is the newest round known committed.
+	CommittedRound int
+	// Stats is the accumulated model statistics at the abort point; zero
+	// when no surviving worker could report them.
+	Stats mpc.Stats
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *SupervisorError) Error() string {
+	return fmt.Sprintf("supervise: aborted after %d committed rounds (worker %d, %d restarts): %v",
+		e.CommittedRound, e.Worker, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *SupervisorError) Unwrap() error { return e.Err }
+
+// proc states.
+const (
+	procRunning = iota
+	procWaiting // killed; restart scheduled after backoff
+	procDone    // result received
+	procDead    // exited after done, or abandoned during abort
+)
+
+type proc struct {
+	id    int
+	gen   int // spawn generation; events from older generations are stale
+	state int
+
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	outQ  chan transport.Frame
+	quit  chan struct{}
+
+	attempts  int
+	restartAt time.Time
+	lastSeen  time.Time
+	lastRound int // newest heartbeat-reported round (monitoring only)
+	sentRound int // newest authoritative frame round received (the join point)
+	result    []byte
+}
+
+type event struct {
+	worker, gen int
+	frame       transport.Frame
+	err         error // non-nil: the worker's stream ended (EOF, torn frame)
+}
+
+type supervisor struct {
+	spec JobSpec
+	cfg  Config
+	life *lifecycleWriter
+
+	events chan event
+	procs  []*proc
+	// retained and retainedRound hold the newest authoritative frame per
+	// worker. Barrier lockstep keeps workers within one exchange of each
+	// other, so the newest frame per peer is exactly what a restarting
+	// worker can still need (older rounds it replays locally).
+	retained      [][]byte
+	retainedRound []int
+	killAt        []KillAt
+	killFired     []bool
+
+	aborting      bool
+	abortErr      *SupervisorError
+	abortHarvest  bool
+	abortDeadline time.Time
+	deadline      time.Time
+}
+
+// Run executes spec across cfg.Workers supervised worker processes and
+// returns worker 0's result after verifying all workers returned identical
+// deterministic results. On abort it returns a *SupervisorError.
+func Run(spec JobSpec, cfg Config) (rulingset.Result, error) {
+	cfg = cfg.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return rulingset.Result{}, err
+	}
+	if cfg.Workers < 1 {
+		return rulingset.Result{}, fmt.Errorf("supervise: workers %d < 1", cfg.Workers)
+	}
+	if cfg.Workers > spec.Machines {
+		return rulingset.Result{}, fmt.Errorf("supervise: %d workers > %d machines (every worker must own at least one machine)", cfg.Workers, spec.Machines)
+	}
+	if cfg.Spawn == nil {
+		return rulingset.Result{}, fmt.Errorf("supervise: Config.Spawn is required (see SelfExec)")
+	}
+	s := &supervisor{
+		spec:          spec,
+		cfg:           cfg,
+		life:          newLifecycleWriter(cfg.Lifecycle, LifecycleHeader{Workers: cfg.Workers, HeartbeatMS: cfg.Heartbeat.Milliseconds(), MaxRestarts: cfg.MaxRestarts}),
+		events:        make(chan event, 32*cfg.Workers),
+		procs:         make([]*proc, cfg.Workers),
+		retained:      make([][]byte, cfg.Workers),
+		retainedRound: make([]int, cfg.Workers),
+		killAt:        cfg.KillAt,
+		killFired:     make([]bool, len(cfg.KillAt)),
+	}
+	if cfg.Timeout > 0 {
+		s.deadline = time.Now().Add(cfg.Timeout)
+	}
+	for i := range s.procs {
+		s.procs[i] = &proc{id: i}
+		if err := s.spawn(s.procs[i], 0, false); err != nil {
+			s.killAll()
+			return rulingset.Result{}, err
+		}
+	}
+	defer s.killAll()
+
+	tickEvery := cfg.Heartbeat / 4
+	if tickEvery < 10*time.Millisecond {
+		tickEvery = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case ev := <-s.events:
+			s.handle(ev, time.Now())
+		case now := <-ticker.C:
+			s.tick(now)
+		}
+		if res, err, done := s.finished(); done {
+			if err == nil && s.life.err != nil {
+				err = s.life.err
+			}
+			return res, err
+		}
+	}
+}
+
+// spawn starts (or restarts) p with the given join round.
+func (s *supervisor) spawn(p *proc, joinAfter int, resume bool) error {
+	env := WorkerEnv{
+		Spec:        s.spec,
+		Worker:      p.id,
+		Workers:     s.cfg.Workers,
+		JoinAfter:   joinAfter,
+		Resume:      resume,
+		HeartbeatMS: s.cfg.Heartbeat.Milliseconds(),
+	}
+	cmd, err := s.cfg.Spawn(env)
+	if err != nil {
+		return fmt.Errorf("supervise: spawn worker %d: %w", p.id, err)
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	setProcGroup(cmd)
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("supervise: start worker %d: %w", p.id, err)
+	}
+	p.gen++
+	p.state = procRunning
+	p.cmd = cmd
+	p.stdin = stdin
+	p.outQ = make(chan transport.Frame, 4096)
+	p.quit = make(chan struct{})
+	p.lastSeen = time.Now()
+	p.sentRound = joinAfter
+	kind := "start"
+	if p.attempts > 0 {
+		kind = "restart"
+	}
+	s.life.emit(LifecycleEvent{Kind: kind, Worker: p.id, Round: joinAfter, Attempt: p.attempts})
+
+	// Writer: drains the outbound queue onto the worker's stdin. A
+	// dedicated goroutine per worker so one slow or wedged pipe can never
+	// block the hub (the stall deadline deals with the wedged worker).
+	go func(stdin io.WriteCloser, q chan transport.Frame, quit chan struct{}) {
+		defer func() {
+			if err := stdin.Close(); err != nil {
+				_ = err // pipe already broken; the process is gone either way
+			}
+		}()
+		for {
+			select {
+			case <-quit:
+				return
+			case f := <-q:
+				if err := transport.WriteFrame(stdin, f); err != nil {
+					<-quit // write end broken: the process died; wait for the supervisor to notice
+					return
+				}
+			}
+		}
+	}(stdin, p.outQ, p.quit)
+
+	// Reader: turns the worker's stream into events. Any read error —
+	// clean EOF or a torn frame from a mid-write kill — ends the stream
+	// with an error event; cmd.Wait then reaps the process.
+	go func(r io.Reader, id, gen int, cmd *exec.Cmd) {
+		conn := transport.NewConn(r, io.Discard)
+		for {
+			f, err := conn.Read()
+			if err != nil {
+				s.events <- event{worker: id, gen: gen, err: err}
+				break
+			}
+			s.events <- event{worker: id, gen: gen, frame: f}
+		}
+		if err := cmd.Wait(); err != nil {
+			_ = err // exit status is diagnostic only; the stream end already carries the failure
+		}
+	}(stdout, p.id, p.gen, cmd)
+
+	// Re-deliver the retained newest frames a restarting worker still
+	// needs: every peer frame beyond its join round.
+	for q := 0; q < s.cfg.Workers; q++ {
+		if q != p.id && s.retained[q] != nil && s.retainedRound[q] > joinAfter {
+			s.enqueue(p, transport.Frame{Type: transport.FrameMessages, Worker: q, Round: s.retainedRound[q], Payload: s.retained[q]})
+		}
+	}
+	return nil
+}
+
+// enqueue hands a frame to p's writer. The queue is sized far beyond the
+// one-exchange-in-flight protocol bound, so overflow means the worker has
+// wedged with a full pipe — treat it as a stall rather than block the hub.
+func (s *supervisor) enqueue(p *proc, f transport.Frame) {
+	select {
+	case p.outQ <- f:
+	default:
+		s.crash(p, fmt.Errorf("supervise: worker %d outbound queue overflow", p.id), "stall")
+	}
+}
+
+func (s *supervisor) handle(ev event, now time.Time) {
+	p := s.procs[ev.worker]
+	if ev.gen != p.gen {
+		return // stale stream from a generation we already killed
+	}
+	if ev.err != nil {
+		switch p.state {
+		case procDone:
+			p.state = procDead // clean exit after its result
+		case procRunning:
+			if s.aborting {
+				p.state = procDead
+				return
+			}
+			cause := ev.err
+			if errors.Is(cause, io.EOF) {
+				cause = fmt.Errorf("supervise: worker %d exited without a result", p.id)
+			}
+			s.crash(p, cause, "crash")
+		}
+		return
+	}
+	p.lastSeen = now
+	f := ev.frame
+	switch f.Type {
+	case transport.FrameHello:
+		// Liveness signal only; the join round was assigned by us.
+	case transport.FrameHeartbeat:
+		if f.Round > p.lastRound {
+			p.lastRound = f.Round
+		}
+	case transport.FrameMessages:
+		if f.Round > p.lastRound {
+			p.lastRound = f.Round
+		}
+		p.sentRound = f.Round
+		s.retained[p.id] = f.Payload
+		s.retainedRound[p.id] = f.Round
+		for _, q := range s.procs {
+			if q.id != p.id && q.state == procRunning {
+				s.enqueue(q, f)
+			}
+		}
+		s.checkKillAt(p, f.Round)
+	case transport.FrameResult:
+		p.result = f.Payload
+		p.state = procDone
+		s.life.emit(LifecycleEvent{Kind: "result", Worker: p.id, Round: f.Round, Attempt: p.attempts})
+	case transport.FrameError:
+		var we workerError
+		if err := json.Unmarshal(f.Payload, &we); err != nil {
+			we = workerError{Message: fmt.Sprintf("undecodable worker error: %v", err)}
+		}
+		if s.aborting {
+			// The stats harvest from an orderly stop.
+			if we.Stopped && !s.abortHarvest {
+				s.abortHarvest = true
+				s.abortErr.CommittedRound = we.Round
+				s.abortErr.Stats = we.Stats
+			}
+			p.state = procDead
+			return
+		}
+		// A worker failed deterministically (algorithm error, divergence,
+		// strict-mode violation): every replica would fail the same way, so
+		// restarting cannot help. Abort with the worker's own report.
+		s.life.emit(LifecycleEvent{Kind: "error", Worker: p.id, Round: we.Round, Attempt: p.attempts, Note: we.Message})
+		s.beginAbort(p, errors.New(we.Message), &we)
+	}
+}
+
+// checkKillAt fires pending injected kills triggered by p's deterministic
+// superstep progress.
+func (s *supervisor) checkKillAt(p *proc, round int) {
+	for i, k := range s.killAt {
+		if !s.killFired[i] && k.Worker == p.id && round >= k.Round {
+			s.killFired[i] = true
+			s.life.emit(LifecycleEvent{Kind: "kill", Worker: p.id, Round: round, Attempt: p.attempts})
+			s.crash(p, fmt.Errorf("supervise: injected kill of worker %d at round %d", p.id, round), "crash")
+			return
+		}
+	}
+}
+
+// crash kills p's process group and either schedules its restart or begins
+// the abort when the restart budget is spent. kind labels the lifecycle
+// event ("crash" or "stall").
+func (s *supervisor) crash(p *proc, cause error, kind string) {
+	if p.state != procRunning {
+		return
+	}
+	s.stop(p)
+	s.life.emit(LifecycleEvent{Kind: kind, Worker: p.id, Round: p.sentRound, Attempt: p.attempts, Note: cause.Error()})
+	if p.attempts >= s.cfg.MaxRestarts {
+		p.state = procDead
+		s.beginAbort(p, cause, nil)
+		return
+	}
+	p.attempts++
+	backoff := s.cfg.BackoffInitial << (p.attempts - 1)
+	if backoff > s.cfg.BackoffMax || backoff <= 0 {
+		backoff = s.cfg.BackoffMax
+	}
+	p.state = procWaiting
+	p.restartAt = time.Now().Add(backoff)
+	s.life.emit(LifecycleEvent{Kind: "backoff", Worker: p.id, Round: p.sentRound, Attempt: p.attempts, BackoffMS: backoff.Milliseconds()})
+}
+
+// stop tears down p's process: quit the writer, kill the process group.
+func (s *supervisor) stop(p *proc) {
+	select {
+	case <-p.quit:
+	default:
+		close(p.quit)
+	}
+	killProcGroup(p.cmd)
+}
+
+// beginAbort starts the orderly abort: record the error, ask one surviving
+// worker to stop at its next barrier so it reports the committed round and
+// full Stats, and give the harvest a bounded grace period.
+func (s *supervisor) beginAbort(from *proc, cause error, we *workerError) {
+	if s.aborting {
+		return
+	}
+	s.aborting = true
+	worker := -1
+	attempts := 0
+	if from != nil {
+		worker = from.id
+		attempts = from.attempts
+	}
+	committed := 0
+	for _, p := range s.procs {
+		if p.sentRound > committed {
+			committed = p.sentRound
+		}
+	}
+	s.abortErr = &SupervisorError{Worker: worker, Attempts: attempts, CommittedRound: committed, Err: cause}
+	if we != nil {
+		// The failing worker already reported its round and Stats.
+		s.abortHarvest = true
+		s.abortErr.CommittedRound = we.Round
+		s.abortErr.Stats = we.Stats
+	}
+	s.life.emit(LifecycleEvent{Kind: "abort", Worker: worker, Round: s.abortErr.CommittedRound, Attempt: attempts, Note: cause.Error()})
+	stopped := false
+	for _, p := range s.procs {
+		if p.state == procRunning {
+			if !s.abortHarvest && !stopped {
+				stopped = true
+				s.life.emit(LifecycleEvent{Kind: "stop", Worker: p.id, Round: p.sentRound})
+				s.enqueue(p, transport.Frame{Type: transport.FrameStop, Worker: p.id})
+			}
+		}
+	}
+	if s.abortHarvest || !stopped {
+		s.abortDeadline = time.Now()
+		return
+	}
+	s.abortDeadline = time.Now().Add(2 * s.cfg.Heartbeat)
+}
+
+func (s *supervisor) tick(now time.Time) {
+	if s.aborting {
+		return // finishing is handled in finished()
+	}
+	if !s.deadline.IsZero() && now.After(s.deadline) {
+		s.beginAbort(nil, fmt.Errorf("supervise: job timeout %v exceeded", s.cfg.Timeout), nil)
+		return
+	}
+	for _, p := range s.procs {
+		switch p.state {
+		case procRunning:
+			if now.Sub(p.lastSeen) > s.cfg.Heartbeat {
+				s.crash(p, fmt.Errorf("supervise: worker %d missed its heartbeat deadline %v", p.id, s.cfg.Heartbeat), "stall")
+			}
+		case procWaiting:
+			if !now.Before(p.restartAt) {
+				if err := s.spawn(p, p.sentRound, s.spec.CheckpointDir != ""); err != nil {
+					s.beginAbort(p, err, nil)
+					return
+				}
+			}
+		}
+	}
+}
+
+// finished reports whether the run is over and with what.
+func (s *supervisor) finished() (rulingset.Result, error, bool) {
+	if s.aborting {
+		if s.abortHarvest || time.Now().After(s.abortDeadline) {
+			s.killAll()
+			return rulingset.Result{}, s.abortErr, true
+		}
+		return rulingset.Result{}, nil, false
+	}
+	for _, p := range s.procs {
+		if p.state != procDone && p.state != procDead {
+			return rulingset.Result{}, nil, false
+		}
+		if p.result == nil {
+			return rulingset.Result{}, nil, false
+		}
+	}
+	res, err := s.assemble()
+	if err != nil {
+		return rulingset.Result{}, err, true
+	}
+	s.life.emit(LifecycleEvent{Kind: "done", Worker: 0, Round: res.Stats.Rounds})
+	return res, nil, true
+}
+
+// assemble decodes every worker's result, verifies the deterministic
+// columns agree bit-for-bit, and returns worker 0's.
+func (s *supervisor) assemble() (rulingset.Result, error) {
+	canon := make([][]byte, s.cfg.Workers)
+	var first rulingset.Result
+	for i, p := range s.procs {
+		var res rulingset.Result
+		if err := json.Unmarshal(p.result, &res); err != nil {
+			return rulingset.Result{}, fmt.Errorf("supervise: worker %d result: %w", i, err)
+		}
+		if i == 0 {
+			first = res
+		}
+		c, err := json.Marshal(canonicalResult(res))
+		if err != nil {
+			return rulingset.Result{}, err
+		}
+		canon[i] = c
+	}
+	for i := 1; i < len(canon); i++ {
+		if !bytes.Equal(canon[0], canon[i]) {
+			return rulingset.Result{}, &SupervisorError{
+				Worker:         i,
+				CommittedRound: first.Stats.Rounds,
+				Stats:          first.Stats,
+				Err:            fmt.Errorf("%w: worker %d's result differs from worker 0's", transport.ErrDiverged, i),
+			}
+		}
+	}
+	return first, nil
+}
+
+// canonicalResult zeroes the columns documented as host/run-dependent —
+// durable-checkpoint volume and resume replay overhead — which legitimately
+// differ between a restarted worker and an uninterrupted one. Everything
+// else must match bit-for-bit.
+func canonicalResult(res rulingset.Result) rulingset.Result {
+	res.Stats = CanonicalStats(res.Stats)
+	return res
+}
+
+// CanonicalStats zeroes the run-dependent Stats columns — CheckpointBytes
+// (durable-checkpoint volume, which depends on whether and when a worker was
+// restarted) and ResumeReplayRounds (resume overhead, zero for an
+// uninterrupted run). Every remaining column is a deterministic function of
+// the job: comparing CanonicalStats across backends, restarts and machines
+// must be an exact byte-for-byte match.
+func CanonicalStats(st mpc.Stats) mpc.Stats {
+	st.CheckpointBytes = 0
+	st.ResumeReplayRounds = 0
+	return st
+}
+
+// killAll tears down every worker process group (idempotent; used for both
+// abort and end-of-run cleanup).
+func (s *supervisor) killAll() {
+	for _, p := range s.procs {
+		if p != nil && p.cmd != nil {
+			s.stop(p)
+		}
+	}
+}

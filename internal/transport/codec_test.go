@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/rulingset/mprs/internal/mpc"
+)
+
+// testBoxes builds a deterministic per-destination message layout over total
+// machines, the same on every "worker" — the replicated-execution invariant.
+func testBoxes(total, round int) [][]mpc.Message {
+	boxes := make([][]mpc.Message, total)
+	for dst := 0; dst < total; dst++ {
+		for src := 0; src < total; src++ {
+			if (src+dst+round)%3 == 0 {
+				boxes[dst] = append(boxes[dst], mpc.Message{
+					Src:     src,
+					Payload: []uint64{uint64(round), uint64(src)<<32 | uint64(dst)},
+				})
+			}
+		}
+	}
+	return boxes
+}
+
+func TestEncodeVerifyRoundtrip(t *testing.T) {
+	const total, workers = 10, 3
+	boxes := testBoxes(total, 1)
+	for w := 0; w < workers; w++ {
+		owns := func(src int) bool { return OwnerOf(src, total, workers) == w }
+		payload := encodeOwned(boxes, owns)
+		if err := verifyOwned(boxes, owns, payload); err != nil {
+			t.Fatalf("worker %d: self-verify: %v", w, err)
+		}
+	}
+}
+
+func TestVerifyDetectsDivergence(t *testing.T) {
+	const total, workers = 8, 2
+	owns := func(src int) bool { return OwnerOf(src, total, workers) == 0 }
+	payload := encodeOwned(testBoxes(total, 2), owns)
+
+	// A replica whose local state diverged by a single payload word must be
+	// caught by the word-for-word comparison.
+	mutated := testBoxes(total, 2)
+	for dst := range mutated {
+		for i := range mutated[dst] {
+			if owns(mutated[dst][i].Src) {
+				mutated[dst][i].Payload[0] ^= 1
+				if err := verifyOwned(mutated, owns, payload); !errors.Is(err, ErrDiverged) {
+					t.Fatalf("mutated word not caught: %v", err)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no owned message to mutate")
+}
+
+func TestVerifyRejectsMalformedPayload(t *testing.T) {
+	const total, workers = 6, 2
+	boxes := testBoxes(total, 3)
+	owns := func(src int) bool { return OwnerOf(src, total, workers) == 0 }
+	payload := encodeOwned(boxes, owns)
+	// Truncations decode-fail or verify-fail; either way an error, no panic.
+	for cut := 0; cut < len(payload); cut++ {
+		if err := verifyOwned(boxes, owns, payload[:cut]); err == nil {
+			t.Fatalf("truncated payload at %d accepted", cut)
+		}
+	}
+	// Trailing garbage is an error too.
+	if err := verifyOwned(boxes, owns, append(append([]byte(nil), payload...), 0x01)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// bufPipe is an unbounded in-memory byte pipe: writes never block, reads
+// block until data arrives. Both workers in the crossed-pipe tests write
+// their frame before reading the peer's; a synchronous io.Pipe would
+// deadlock there (the supervisor's buffered writer queues play this role in
+// production).
+type bufPipe struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []byte
+}
+
+func newBufPipe() *bufPipe {
+	p := &bufPipe{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *bufPipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf = append(p.buf, b...)
+	p.cond.Broadcast()
+	return len(b), nil
+}
+
+func (p *bufPipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 {
+		p.cond.Wait()
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	return n, nil
+}
+
+// TestWorkerExchange runs two Workers over crossed pipes — each one's writes
+// are the other's reads, no hub — and checks a multi-round exchange delivers
+// the (verified) local boxes unchanged.
+func TestWorkerExchange(t *testing.T) {
+	const total = 5
+	p01 := newBufPipe() // worker 0 -> worker 1
+	p10 := newBufPipe() // worker 1 -> worker 0
+	w0, err := NewWorker(NewConn(p10, p01), 0, 2, total, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := NewWorker(NewConn(p01, p10), 1, 2, total, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, wk := range []*Worker{w0, w1} {
+		wg.Add(1)
+		go func(wk *Worker) {
+			defer wg.Done()
+			for round := 1; round <= 4; round++ {
+				in := testBoxes(total, round)
+				out, err := wk.Exchange(round, in)
+				if err != nil {
+					t.Errorf("round %d: %v", round, err)
+					return
+				}
+				want := testBoxes(total, round)
+				for dst := range want {
+					if len(out[dst]) != len(want[dst]) {
+						t.Errorf("round %d dst %d: %d messages, want %d", round, dst, len(out[dst]), len(want[dst]))
+						return
+					}
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// TestWorkerExchangeDiverged crosses two workers whose round-2 state differs
+// by one word: both must detect the divergence rather than deliver.
+func TestWorkerExchangeDiverged(t *testing.T) {
+	const total = 4
+	p01 := newBufPipe()
+	p10 := newBufPipe()
+	w0, err := NewWorker(NewConn(p10, p01), 0, 2, total, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := NewWorker(NewConn(p01, p10), 1, 2, total, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	run := func(wk *Worker, mutate bool) {
+		defer wg.Done()
+		boxes := testBoxes(total, 1)
+		if mutate {
+		mutated:
+			for dst := range boxes {
+				for i := range boxes[dst] {
+					boxes[dst][i].Payload[0] ^= 1
+					break mutated
+				}
+			}
+		}
+		_, err := wk.Exchange(1, boxes)
+		errs <- err
+	}
+	wg.Add(2)
+	go run(w0, false)
+	go run(w1, true)
+	wg.Wait()
+	close(errs)
+	diverged := 0
+	for err := range errs {
+		if errors.Is(err, ErrDiverged) {
+			diverged++
+		}
+	}
+	if diverged == 0 {
+		t.Fatal("neither worker detected the divergence")
+	}
+}
+
+// TestWorkerJoinAfter: rounds at or below the join round never touch the
+// wire — a restarted worker replays them locally.
+func TestWorkerJoinAfter(t *testing.T) {
+	blocked := &blockingWriter{}
+	wk, err := NewWorker(NewConn(failReader{}, blocked), 1, 3, 9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 5; round++ {
+		boxes := testBoxes(9, round)
+		out, err := wk.Exchange(round, boxes)
+		if err != nil {
+			t.Fatalf("replayed round %d: %v", round, err)
+		}
+		if len(out) != 9 {
+			t.Fatalf("round %d: %d boxes", round, len(out))
+		}
+	}
+	if blocked.writes != 0 {
+		t.Fatalf("replayed rounds wrote %d frames to the wire", blocked.writes)
+	}
+}
+
+type blockingWriter struct{ writes int }
+
+func (b *blockingWriter) Write(p []byte) (int, error) { b.writes++; return len(p), nil }
+
+type failReader struct{}
+
+func (failReader) Read([]byte) (int, error) { return 0, io.ErrUnexpectedEOF }

@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/rulingset/mprs/internal/mpc"
+)
+
+// ErrStopped is wrapped by the exchange error returned after the supervisor
+// ordered this worker to stop: the run aborts barrier-clean at the next
+// exchange, and the resulting *mpc.TransportError carries the committed
+// round and full Stats for the supervisor to harvest.
+var ErrStopped = errors.New("transport: stopped by supervisor")
+
+// OwnerOf maps machine id m to its owning worker: contiguous balanced blocks
+// over total machines, the first total%workers workers owning one extra. The
+// balanced split guarantees every worker owns at least one machine whenever
+// workers <= total (a ceil-division split can leave trailing workers empty).
+// Every worker and the supervisor compute the identical partition from
+// (total, workers) alone.
+func OwnerOf(m, total, workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	q, r := total/workers, total%workers
+	if m < r*(q+1) {
+		return m / (q + 1)
+	}
+	return r + (m-r*(q+1))/q
+}
+
+// Worker is the worker-process side of the multi-process backend: an
+// mpc.Transport that, at every exchanged superstep, ships the messages sent
+// by this worker's owned machine block and verifies every peer's
+// authoritative frame against the local replica before delivering.
+//
+// Rounds at or below the join round exchange locally (identity): a restarted
+// worker deterministically replays the committed prefix the surviving
+// workers have already exchanged, and rejoins the wire at the first round
+// the group has not completed. For a fresh start the join round is 0.
+type Worker struct {
+	conn      *Conn
+	id        int
+	workers   int
+	total     int
+	joinAfter int
+
+	// lastRound is the newest round handed to Exchange, read by the
+	// heartbeat ticker goroutine.
+	lastRound atomic.Int64
+
+	// pending stashes peer frames by round. A peer that already holds this
+	// worker's round-r frame can complete r and send r+1 while this worker
+	// is still collecting r, so frames one exchange ahead are normal; the
+	// barrier lockstep bounds the stash at two live rounds.
+	pending map[int]map[int][]byte
+}
+
+// NewWorker builds the transport for worker id of workers, owning its block
+// of the total machines, exchanging locally through round joinAfter.
+func NewWorker(conn *Conn, id, workers, total, joinAfter int) (*Worker, error) {
+	if workers < 1 || id < 0 || id >= workers {
+		return nil, fmt.Errorf("transport: worker %d of %d out of range", id, workers)
+	}
+	if total < 1 {
+		return nil, fmt.Errorf("transport: %d machines < 1", total)
+	}
+	return &Worker{
+		conn:      conn,
+		id:        id,
+		workers:   workers,
+		total:     total,
+		joinAfter: joinAfter,
+		pending:   make(map[int]map[int][]byte),
+	}, nil
+}
+
+// LastRound reports the newest round handed to Exchange — the progress value
+// heartbeats carry. Safe for concurrent use.
+func (w *Worker) LastRound() int { return int(w.lastRound.Load()) }
+
+// owns reports whether this worker owns machine src.
+func (w *Worker) owns(src int) bool { return OwnerOf(src, w.total, w.workers) == w.id }
+
+// Exchange implements mpc.Transport: ship owned messages, collect every
+// peer's frame for the round, verify each against the local replica, and
+// deliver the (verified-identical) local boxes.
+func (w *Worker) Exchange(round int, boxes [][]mpc.Message) ([][]mpc.Message, error) {
+	w.lastRound.Store(int64(round))
+	if round <= w.joinAfter {
+		// Replayed prefix: the group already exchanged this round; the
+		// local replica is authoritative by deterministic replay.
+		return boxes, nil
+	}
+	if err := w.conn.Write(Frame{Type: FrameMessages, Worker: w.id, Round: round, Payload: encodeOwned(boxes, w.owns)}); err != nil {
+		return nil, err
+	}
+	//detlint:ok maporder -- order-independent: deletes every key below round, no output depends on visit order
+	for r := range w.pending {
+		if r < round {
+			delete(w.pending, r) // completed exchanges; nothing rereads them
+		}
+	}
+	got := w.pending[round]
+	if got == nil {
+		got = make(map[int][]byte, w.workers)
+		w.pending[round] = got
+	}
+	for len(got) < w.workers-1 {
+		f, err := w.conn.Read()
+		if err != nil {
+			return nil, fmt.Errorf("transport: worker %d waiting on round %d: %w", w.id, round, err)
+		}
+		switch f.Type {
+		case FrameStop:
+			return nil, fmt.Errorf("%w (worker %d at round %d)", ErrStopped, w.id, round)
+		case FrameMessages:
+			if f.Worker == w.id {
+				return nil, fmt.Errorf("transport: worker %d received its own frame for round %d", w.id, f.Round)
+			}
+			if f.Worker < 0 || f.Worker >= w.workers {
+				return nil, fmt.Errorf("transport: frame from unknown worker %d", f.Worker)
+			}
+			if f.Round < round {
+				continue // stale re-delivery from a supervisor restart; already replayed locally
+			}
+			stash := got
+			if f.Round > round {
+				stash = w.pending[f.Round]
+				if stash == nil {
+					stash = make(map[int][]byte, w.workers)
+					w.pending[f.Round] = stash
+				}
+			}
+			stash[f.Worker] = f.Payload
+		default:
+			return nil, fmt.Errorf("transport: worker %d: unexpected frame type %d", w.id, f.Type)
+		}
+	}
+	// Verify every peer's authoritative frame word-for-word against the
+	// local replica, in worker order so a multi-peer divergence reports
+	// deterministically.
+	for p := 0; p < w.workers; p++ {
+		if p == w.id {
+			continue
+		}
+		peerOwns := func(src int) bool { return OwnerOf(src, w.total, w.workers) == p }
+		if err := verifyOwned(boxes, peerOwns, got[p]); err != nil {
+			return nil, fmt.Errorf("round %d, worker %d vs peer %d: %w", round, w.id, p, err)
+		}
+	}
+	delete(w.pending, round)
+	return boxes, nil
+}
