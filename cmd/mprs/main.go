@@ -199,6 +199,7 @@ func cmdRun(args []string) (retErr error) {
 		slack    = fs.Int("slack", 0, "linear-regime budget multiplier S = slack·n (0 = default 4)")
 		chunk    = fs.Int("chunk", 8, "derandomizer chunk width z")
 		algoSeed = fs.Int64("algo-seed", 1, "seed for randomized algorithms")
+		par      = fs.Int("parallelism", 0, "step-execution worker pool size (0 = GOMAXPROCS, 1 = serial); results are bit-identical at every level")
 		beta     = fs.Int("beta", 3, "beta for randbeta/detbeta/randab/detab")
 		alpha    = fs.Int("alpha", 3, "alpha for randab/detab")
 		strict   = fs.Bool("strict", false, "fail on budget violations")
@@ -251,6 +252,7 @@ func cmdRun(args []string) (retErr error) {
 		Strict:          *strict,
 		Faults:          plan,
 		CheckpointEvery: *ckpt,
+		Parallelism:     *par,
 	}
 	switch *regime {
 	case "linear":
@@ -295,6 +297,7 @@ func cmdRun(args []string) (retErr error) {
 			CheckpointDir:    *ckptDir,
 			CheckpointRetain: *ckptRetain,
 			TraceFile:        *traceFile,
+			Parallelism:      *par,
 		}
 		return runMultiProc(spec, multiProcFlags{
 			workers:     *workers,
@@ -433,7 +436,7 @@ func cmdRun(args []string) (retErr error) {
 		return writeMembers(*membersOut, mis)
 	}
 	if *algo == "clique2" || *algo == "cliquedet2" {
-		return runClique(g, *algo, opts, *verify, *spans, *membersOut)
+		return runClique(g, *algo, opts, *verify, *spans, *membersOut, *statsOut)
 	}
 
 	start := time.Now()
@@ -618,7 +621,7 @@ func startProfiles(prefix string) (func() error, error) {
 
 // runClique executes the congested-clique algorithms, which carry their own
 // model statistics.
-func runClique(g *graph.Graph, algo string, opts rulingset.Options, verify, spans bool, membersOut string) error {
+func runClique(g *graph.Graph, algo string, opts rulingset.Options, verify, spans bool, membersOut, statsOut string) error {
 	start := time.Now()
 	var (
 		res rulingset.CliqueResult
@@ -642,6 +645,9 @@ func runClique(g *graph.Graph, algo string, opts rulingset.Options, verify, span
 		return err
 	}
 	if err := writeMembers(membersOut, res.Members); err != nil {
+		return err
+	}
+	if err := writeCliqueStatsOut(statsOut, res.Stats); err != nil {
 		return err
 	}
 	if spans && len(res.Stats.Spans) > 0 {

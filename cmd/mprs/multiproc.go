@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/rulingset/mprs/internal/clique"
 	"github.com/rulingset/mprs/internal/durable"
 	"github.com/rulingset/mprs/internal/graph"
 	"github.com/rulingset/mprs/internal/metrics"
@@ -225,6 +226,23 @@ func writeStatsOut(path string, st mpc.Stats) error {
 		return nil
 	}
 	b, err := json.MarshalIndent(supervise.CanonicalStats(st), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("stats-out: %w", err)
+	}
+	return nil
+}
+
+// writeCliqueStatsOut is the clique-simulator counterpart of writeStatsOut.
+// clique.Stats carries no host-dependent fields, so the struct is already
+// canonical and marshals byte-diffably as is.
+func writeCliqueStatsOut(path string, st clique.Stats) error {
+	if path == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -30,8 +30,10 @@ const Schema = "mprs-bench/1"
 
 // HostDependentFields names the Result columns that are a function of the
 // host rather than of (workload, algorithm, seed). They are excluded from
-// exact-match diffing and from the byte-determinism contract.
-var HostDependentFields = []string{"wall_ms"}
+// exact-match diffing and from the byte-determinism contract. speedup_x is
+// a ratio of wall-clocks, so it inherits wall_ms's host-dependence even
+// though every deterministic column is identical across parallelism levels.
+var HostDependentFields = []string{"wall_ms", "speedup_x"}
 
 // Manifest records the provenance of one bench run: what produced it and
 // under which knobs, so two artifacts can be compared meaningfully.
@@ -110,14 +112,32 @@ type Result struct {
 	CheckpointBytes    int64 `json:"checkpoint_bytes,omitempty"`
 	ResumeReplayRounds int   `json:"resume_replay_rounds,omitempty"`
 
-	// WallMS is the run's wall-clock in milliseconds — the only
-	// host-dependent column (see Manifest.HostDependent). Zero when the
-	// runner was configured to strip host-dependent values.
+	// Parallelism is the step-execution worker-pool size the run used (0 =
+	// simulator default, GOMAXPROCS). Part of the row key: workloads with a
+	// parallelism dimension emit one row per level, and every deterministic
+	// column above is identical across them — the bench artifact doubles as
+	// an equivalence check.
+	Parallelism int `json:"parallelism,omitempty"`
+
+	// WallMS is the run's wall-clock in milliseconds — host-dependent (see
+	// Manifest.HostDependent). Zero when the runner was configured to strip
+	// host-dependent values.
 	WallMS float64 `json:"wall_ms"`
+	// SpeedupX is WallMS(parallelism=1) / WallMS for rows of a workload's
+	// parallelism sweep (0 elsewhere) — the scaling column for the T8/O1
+	// large-graph regimes. Host-dependent like wall_ms, and stripped with it.
+	SpeedupX float64 `json:"speedup_x"`
 }
 
-// Key identifies a result row across artifacts.
-func (r Result) Key() string { return r.Workload + "/" + r.Algo }
+// Key identifies a result row across artifacts. Rows from a parallelism
+// sweep are disambiguated by an explicit @p<level> suffix.
+func (r Result) Key() string {
+	key := r.Workload + "/" + r.Algo
+	if r.Parallelism > 0 {
+		key += fmt.Sprintf("@p%d", r.Parallelism)
+	}
+	return key
+}
 
 // File is one bench artifact.
 type File struct {
@@ -130,6 +150,7 @@ type File struct {
 func (f *File) StripHost() {
 	for i := range f.Results {
 		f.Results[i].WallMS = 0
+		f.Results[i].SpeedupX = 0
 	}
 }
 

@@ -45,7 +45,11 @@ func TestRunCoversRegistry(t *testing.T) {
 	f := quickRun(t)
 	wantRows := 0
 	for _, w := range Registry() {
-		wantRows += len(w.Algos)
+		levels := len(w.Parallelism)
+		if levels == 0 {
+			levels = 1
+		}
+		wantRows += len(w.Algos) * levels
 	}
 	if len(f.Results) != wantRows {
 		t.Fatalf("got %d rows, want %d", len(f.Results), wantRows)
@@ -85,6 +89,39 @@ func TestRunCoversRegistry(t *testing.T) {
 	}
 }
 
+// TestParallelismSweepRowsIdentical is the bench half of the parallel-engine
+// equivalence contract: within one workload's parallelism sweep, rows of the
+// same algorithm must agree on every column except the parallelism key and
+// the host-dependent ones. A divergence here means the worker-pool commit
+// path broke bit-identity for that workload's regime.
+func TestParallelismSweepRowsIdentical(t *testing.T) {
+	f := quickRun(t)
+	base := map[string]Result{} // workload/algo -> first sweep row, normalized
+	swept := 0
+	for _, r := range f.Results {
+		if r.Parallelism == 0 {
+			continue
+		}
+		swept++
+		norm := r
+		norm.Parallelism = 0
+		norm.WallMS = 0
+		norm.SpeedupX = 0
+		key := r.Workload + "/" + r.Algo
+		first, ok := base[key]
+		if !ok {
+			base[key] = norm
+			continue
+		}
+		if !reflect.DeepEqual(first, norm) {
+			t.Errorf("%s: deterministic columns differ across parallelism levels:\n%+v\nvs\n%+v", r.Key(), first, norm)
+		}
+	}
+	if swept == 0 {
+		t.Fatal("no parallelism-sweep rows in the registry run")
+	}
+}
+
 // TestRunWorkloadFilter checks -workloads style selection.
 func TestRunWorkloadFilter(t *testing.T) {
 	f, err := Run(RunConfig{Quick: true, StripHost: true, Workloads: []string{"t2-star"}})
@@ -120,8 +157,8 @@ func TestDiffCleanOnIdenticalRuns(t *testing.T) {
 		t.Fatalf("re-run flagged as regression: %v", deltas)
 	}
 	for _, d := range deltas {
-		if d.Field != "wall_ms" {
-			t.Errorf("non-wall-clock delta between identical runs: %v", d)
+		if !hostDependent(d.Field) {
+			t.Errorf("non-host-dependent delta between identical runs: %v", d)
 		}
 	}
 }

@@ -145,21 +145,36 @@ func runWorkload(w Workload, cfg RunConfig) ([]Result, error) {
 		Faults:          plan,
 		CheckpointEvery: w.CheckpointEvery,
 	}
+	levels := w.Parallelism
+	if len(levels) == 0 {
+		levels = []int{0} // one run at the simulator default (GOMAXPROCS)
+	}
 	var rows []Result
 	for _, name := range w.Algos {
-		row, err := runAlgo(g, w, name, opts)
-		if err != nil {
-			return nil, fmt.Errorf("algo %s: %w", name, err)
-		}
-		row.Workload = w.Name
-		row.Experiment = w.Experiment
-		row.Algo = name
-		row.N = g.N()
-		row.M = g.M()
-		rows = append(rows, row)
-		if cfg.Progress != nil {
-			cfg.Progress(fmt.Sprintf("%s/%s: rounds=%d words=%d wall=%.1fms",
-				w.Name, name, row.Rounds, row.Words, row.WallMS))
+		baseWall := 0.0 // wall-clock of the p=1 row, the speedup denominator
+		for _, p := range levels {
+			o := opts
+			o.Parallelism = p
+			row, err := runAlgo(g, w, name, o)
+			if err != nil {
+				return nil, fmt.Errorf("algo %s (parallelism %d): %w", name, p, err)
+			}
+			row.Workload = w.Name
+			row.Experiment = w.Experiment
+			row.Algo = name
+			row.N = g.N()
+			row.M = g.M()
+			row.Parallelism = p
+			if p == 1 {
+				baseWall = row.WallMS
+			} else if p > 1 && baseWall > 0 && row.WallMS > 0 {
+				row.SpeedupX = baseWall / row.WallMS
+			}
+			rows = append(rows, row)
+			if cfg.Progress != nil {
+				cfg.Progress(fmt.Sprintf("%s: rounds=%d words=%d wall=%.1fms",
+					row.Key(), row.Rounds, row.Words, row.WallMS))
+			}
 		}
 	}
 	return rows, nil

@@ -30,6 +30,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/rulingset/mprs/internal/mpc"
 	"github.com/rulingset/mprs/internal/trace"
@@ -71,6 +72,11 @@ type Config struct {
 	// in-memory router. A failed exchange aborts the round cleanly with a
 	// *TransportError.
 	Transport mpc.Transport
+	// Parallelism bounds the worker pool executing node step closures within
+	// one round: 0 (the default) means GOMAXPROCS, 1 forces the serial
+	// reference path (every node runs on the calling goroutine, in node
+	// order). Outputs, Stats and traces are bit-identical at every level.
+	Parallelism int
 }
 
 // Violation records a bandwidth breach.
@@ -164,18 +170,22 @@ type Cluster struct {
 	n       int
 	stats   Stats
 	inboxes [][]Message
+
+	// mu guards the sticky late-send error; message sends never touch it
+	// (each worker buffers its block's sends in its own stepOutbox).
 	mu      sync.Mutex
-	outbox  [][]Message // indexed by destination
+	lateErr error
 
 	// fired records crash events already injected, so the re-executed round
 	// does not crash again (a fault fires once per (round, node)).
 	fired map[[2]int]struct{}
 
-	// Observability state: the registered tracer, the active span label, and
-	// reusable per-node scratch buffers so skew accounting allocates nothing
-	// per round.
+	// Observability state: the registered tracer, the active span label
+	// (atomic: drivers may switch spans while a round's workers still run —
+	// each barrier pins the label once, see step), and reusable per-node
+	// scratch buffers so skew accounting allocates nothing per round.
 	tracer  trace.Tracer
-	span    string
+	span    atomic.Pointer[string]
 	sentW   []int
 	recvW   []int
 	sortBuf []int
@@ -192,17 +202,29 @@ func NewCluster(cfg Config, n int) (*Cluster, error) {
 	if cfg.PairWords < 0 {
 		return nil, fmt.Errorf("clique: pair bandwidth %d < 0", cfg.PairWords)
 	}
-	return &Cluster{
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("clique: parallelism %d < 0", cfg.Parallelism)
+	}
+	c := &Cluster{
 		cfg:     cfg,
 		n:       n,
 		inboxes: make([][]Message, n),
-		outbox:  make([][]Message, n),
 		tracer:  cfg.Tracer,
-		span:    "setup",
 		sentW:   make([]int, n),
 		recvW:   make([]int, n),
 		sortBuf: make([]int, n),
-	}, nil
+	}
+	setup := "setup"
+	c.span.Store(&setup)
+	return c, nil
+}
+
+// parallelism resolves the configured worker-pool size: 0 means GOMAXPROCS.
+func (c *Cluster) parallelism() int {
+	if p := c.cfg.Parallelism; p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // SetTracer registers (or, with nil, removes) the round tracer.
@@ -213,15 +235,19 @@ func (c *Cluster) SetTracer(t trace.Tracer) { c.tracer = t }
 // simulator: "sparsify", "seed-search", "gather", "finish"; default "setup").
 // A tracer implementing trace.SpanObserver is notified immediately, so live
 // introspection sees the phase change before its first round commits.
+//
+// Safe to call concurrently with a running step: the label is stored
+// atomically and pinned once per barrier, so a mid-step switch attributes
+// the in-flight round entirely to the old label.
 func (c *Cluster) Span(name string) {
-	c.span = name
+	c.span.Store(&name)
 	if o, ok := c.tracer.(trace.SpanObserver); ok {
 		o.SpanChange(name)
 	}
 }
 
 // CurrentSpan returns the active trace-span label.
-func (c *Cluster) CurrentSpan() string { return c.span }
+func (c *Cluster) CurrentSpan() string { return *c.span.Load() }
 
 // N returns the node count.
 func (c *Cluster) N() int { return c.n }
@@ -239,39 +265,41 @@ func (c *Cluster) Stats() Stats {
 
 // ChargeRounds accounts for k analytically modeled rounds.
 func (c *Cluster) ChargeRounds(k int) {
+	span := c.CurrentSpan()
 	for i := 0; i < k; i++ {
 		c.stats.Rounds++
-		c.bumpSpan(1, 0, 0, 0, 0, 0, 0)
+		c.bumpSpan(span, 1, 0, 0, 0, 0, 0, 0)
 		if c.tracer != nil {
 			c.tracer.Superstep(trace.Event{
 				Round:   c.stats.Rounds,
 				Step:    "charged",
-				Span:    c.span,
+				Span:    span,
 				Charged: true,
 			})
 		}
 	}
 }
 
-// findSpan returns the (possibly new) aggregate for the active span; the
+// findSpan returns the (possibly new) aggregate for the named span; the
 // last entry is checked first so consecutive rounds in one phase are O(1).
-func (c *Cluster) findSpan() *mpc.SpanStat {
-	if n := len(c.stats.Spans); n > 0 && c.stats.Spans[n-1].Span == c.span {
+func (c *Cluster) findSpan(span string) *mpc.SpanStat {
+	if n := len(c.stats.Spans); n > 0 && c.stats.Spans[n-1].Span == span {
 		return &c.stats.Spans[n-1]
 	}
 	for i := range c.stats.Spans {
-		if c.stats.Spans[i].Span == c.span {
+		if c.stats.Spans[i].Span == span {
 			return &c.stats.Spans[i]
 		}
 	}
-	c.stats.Spans = append(c.stats.Spans, mpc.SpanStat{Span: c.span})
+	c.stats.Spans = append(c.stats.Spans, mpc.SpanStat{Span: span})
 	return &c.stats.Spans[len(c.stats.Spans)-1]
 }
 
 // bumpSpan folds one committed round (or several, for Lenzen-routed and
-// charged steps) into the active span's aggregate.
-func (c *Cluster) bumpSpan(rounds int, messages, words int64, maxSent, maxRecv int, giniSent, giniRecv float64) {
-	sp := c.findSpan()
+// charged steps) into the named span's aggregate. Runs single-threaded at
+// the barrier, with the span label pinned by the caller.
+func (c *Cluster) bumpSpan(span string, rounds int, messages, words int64, maxSent, maxRecv int, giniSent, giniRecv float64) {
+	sp := c.findSpan(span)
 	sp.Rounds += rounds
 	sp.Messages += messages
 	sp.Words += words
@@ -290,15 +318,33 @@ func (c *Cluster) bumpSpan(rounds int, messages, words int64, maxSent, maxRecv i
 }
 
 // Ctx is one node's view within a step.
+//
+// A Ctx is valid only for the duration of its step: once the step commits
+// (or aborts) the context is invalidated, and late Send calls are dropped
+// and surfaced as an error (wrapping mpc.ErrStaleCtx) from the next step,
+// instead of corrupting the next round's traffic.
 type Ctx struct {
 	Node int
 
 	c     *Cluster
+	round int
 	inbox []Message
+	ob    *stepOutbox
 
 	crashed  bool
 	panicked any
 	stack    []byte
+}
+
+// stepOutbox buffers the sends of one worker's contiguous node block during
+// one round attempt — the same per-worker buffering-and-merge discipline as
+// the MPC simulator (see mpc.Cluster and DESIGN.md §8). The mutex serves
+// step closures that spawn their own joined sender goroutines, and the seal
+// at the barrier, which turns late sends into mpc.ErrStaleCtx.
+type stepOutbox struct {
+	mu     sync.Mutex
+	sealed bool
+	boxes  [][]Message // indexed by destination node
 }
 
 // Inbox returns the messages delivered at the end of the previous step,
@@ -306,13 +352,41 @@ type Ctx struct {
 func (x *Ctx) Inbox() []Message { return x.inbox }
 
 // Send queues payload words to node dst for delivery at the end of the
-// step. The payload is copied.
+// step. The payload is copied. Sending on an invalidated context (after its
+// step completed) drops the payload and records mpc.ErrStaleCtx, returned by
+// the cluster's next step.
 func (x *Ctx) Send(dst int, payload ...uint64) {
 	cp := make([]uint64, len(payload))
 	copy(cp, payload)
-	x.c.mu.Lock()
-	x.c.outbox[dst] = append(x.c.outbox[dst], Message{Src: x.Node, Payload: cp})
-	x.c.mu.Unlock()
+	ob := x.ob
+	ob.mu.Lock()
+	if ob.sealed {
+		ob.mu.Unlock()
+		x.c.noteLateSend(x.Node, x.round, len(cp))
+		return
+	}
+	ob.boxes[dst] = append(ob.boxes[dst], Message{Src: x.Node, Payload: cp})
+	ob.mu.Unlock()
+}
+
+// noteLateSend records the sticky stale-context error surfaced by the next
+// step.
+func (c *Cluster) noteLateSend(node, round, words int) {
+	c.mu.Lock()
+	if c.lateErr == nil {
+		c.lateErr = fmt.Errorf("clique: node %d sent %d words after its round (%d) completed: %w",
+			node, words, round, mpc.ErrStaleCtx)
+	}
+	c.mu.Unlock()
+}
+
+// takeLateErr returns and clears the sticky late-send error.
+func (c *Cluster) takeLateErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.lateErr
+	c.lateErr = nil
+	return err
 }
 
 // Step executes one synchronous round under the per-pair bandwidth budget.
@@ -343,31 +417,83 @@ func (c *Cluster) crashNow(round, v int) bool {
 	return true
 }
 
-// discardOutbox throws away everything queued during an aborted round
-// attempt, optionally charging the discarded words to ReplayedWords (re-sent
-// on the re-execution).
-func (c *Cluster) discardOutbox(charge bool) {
-	for dst := range c.outbox {
-		if charge {
-			for _, msg := range c.outbox[dst] {
+// attempt is the transient state of one round execution attempt: the
+// per-node contexts and the per-worker outbox buffers they fed. The buffers
+// live and die with the attempt, so an aborted attempt can never leak
+// traffic into the next round.
+type attempt struct {
+	ctxs    []*Ctx
+	outs    []*stepOutbox // one per worker, in ascending node-block order
+	crashed []int
+	merr    *mpc.MachineError
+}
+
+// seal closes every outbox of a finished (or aborted) attempt so late sends
+// error instead of leaking into the next round.
+func (at *attempt) seal() {
+	for _, ob := range at.outs {
+		ob.mu.Lock()
+		ob.sealed = true
+		ob.mu.Unlock()
+	}
+}
+
+// mergeOutboxes concatenates the per-worker buffers destination by
+// destination, workers in ascending node-block order — the canonical
+// (sender id, send order) sequence at every parallelism level, identical to
+// what the serial path produces. The order is verified (and, for step
+// closures whose joined goroutines interleaved sends across nodes of one
+// block, restored by a stable sort) before the boxes reach the transport,
+// which assumes it.
+func (at *attempt) mergeOutboxes(n int) [][]Message {
+	boxes := make([][]Message, n)
+	for dst := 0; dst < n; dst++ {
+		total := 0
+		for _, ob := range at.outs {
+			total += len(ob.boxes[dst])
+		}
+		if total == 0 {
+			continue
+		}
+		box := make([]Message, 0, total)
+		for _, ob := range at.outs {
+			box = append(box, ob.boxes[dst]...)
+		}
+		for i := 1; i < len(box); i++ {
+			if box[i].Src < box[i-1].Src {
+				sort.SliceStable(box, func(i, j int) bool { return box[i].Src < box[j].Src })
+				break
+			}
+		}
+		boxes[dst] = box
+	}
+	return boxes
+}
+
+// chargeDiscarded charges the aborted attempt's buffered traffic to
+// ReplayedWords (it is re-sent by the re-execution).
+func (at *attempt) chargeDiscarded(c *Cluster) {
+	for _, ob := range at.outs {
+		for _, box := range ob.boxes {
+			for _, msg := range box {
 				c.stats.ReplayedWords += int64(len(msg.Payload))
 			}
 		}
-		c.outbox[dst] = nil
 	}
 }
 
 // runAttempt executes one attempt of a round: f runs on every non-crashed
-// node via a bounded worker pool, panics recovered per node. Returns the
-// nodes crashed by the fault plan and the lowest-node MachineError if any
-// node's f panicked.
-func (c *Cluster) runAttempt(round int, f func(x *Ctx)) (crashed []int, merr *mpc.MachineError) {
-	ctxs := make([]*Ctx, c.n)
+// node via a bounded worker pool (Config.Parallelism workers; 1 runs every
+// node inline on the calling goroutine, in node order), panics recovered per
+// node. Crash decisions (which consume once-only fault events) are taken
+// sequentially before any worker starts.
+func (c *Cluster) runAttempt(round int, f func(x *Ctx)) *attempt {
+	at := &attempt{ctxs: make([]*Ctx, c.n)}
 	for v := 0; v < c.n; v++ {
-		ctxs[v] = &Ctx{Node: v, c: c, inbox: c.inboxes[v]}
+		at.ctxs[v] = &Ctx{Node: v, c: c, round: round, inbox: c.inboxes[v]}
 		if c.crashNow(round, v) {
-			ctxs[v].crashed = true
-			crashed = append(crashed, v)
+			at.ctxs[v].crashed = true
+			at.crashed = append(at.crashed, v)
 		}
 	}
 	run := func(x *Ctx) {
@@ -380,45 +506,60 @@ func (c *Cluster) runAttempt(round int, f func(x *Ctx)) (crashed []int, merr *mp
 		f(x)
 	}
 	// Bounded worker pool: n can be thousands of nodes.
-	workers := runtime.GOMAXPROCS(0)
+	workers := c.parallelism()
 	if workers > c.n {
 		workers = c.n
 	}
 	var wg sync.WaitGroup
 	per := (c.n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	for w := 0; w*per < c.n; w++ {
 		lo, hi := w*per, (w+1)*per
 		if hi > c.n {
 			hi = c.n
 		}
-		if lo >= hi {
-			break
+		ob := &stepOutbox{boxes: make([][]Message, c.n)}
+		at.outs = append(at.outs, ob)
+		for v := lo; v < hi; v++ {
+			at.ctxs[v].ob = ob
+		}
+		block := func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if !at.ctxs[v].crashed {
+					run(at.ctxs[v])
+				}
+			}
+		}
+		if workers == 1 {
+			block(lo, hi)
+			continue
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				if !ctxs[v].crashed {
-					run(ctxs[v])
-				}
-			}
+			block(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
 	for v := 0; v < c.n; v++ {
-		if ctxs[v].panicked != nil {
-			merr = &mpc.MachineError{Machine: v, Round: round, Panic: ctxs[v].panicked, Stack: ctxs[v].stack}
+		if at.ctxs[v].panicked != nil {
+			at.merr = &mpc.MachineError{Machine: v, Round: round, Panic: at.ctxs[v].panicked, Stack: at.ctxs[v].stack}
 			break
 		}
 	}
-	return crashed, merr
+	return at
 }
 
 func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
+	if err := c.takeLateErr(); err != nil {
+		return err
+	}
 	if err := c.barrierErr(); err != nil {
 		return err
 	}
 	round := c.stats.Rounds + 1
+	// Pin the span label once per barrier: a driver switching spans while
+	// workers still run attributes this round entirely to the old label.
+	span := c.CurrentSpan()
 	preCrashes := c.stats.RecoveredCrashes
 	preRecovery := c.stats.RecoveryRounds
 	preReplayed := c.stats.ReplayedWords
@@ -427,22 +568,24 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 	preStalls := c.stats.StallRounds
 	preMsgs := c.stats.Messages
 	preWords := c.stats.Words
+	var at *attempt
 	for {
-		crashed, merr := c.runAttempt(round, f)
-		if merr != nil {
-			c.discardOutbox(false)
-			return merr
+		at = c.runAttempt(round, f)
+		at.seal()
+		if at.merr != nil {
+			return at.merr
 		}
-		if len(crashed) == 0 {
+		if len(at.crashed) == 0 {
 			break
 		}
 		// Crashed nodes restart from the barrier-committed state of the
 		// previous round and the round re-executes (node computation is
 		// deterministic, so the re-execution reproduces the fault-free
-		// messages exactly).
-		c.stats.RecoveredCrashes += len(crashed)
+		// messages exactly). The aborted attempt's buffers die with it;
+		// their word count is charged as replay.
+		c.stats.RecoveredCrashes += len(at.crashed)
 		c.stats.RecoveryRounds++
-		c.discardOutbox(true)
+		at.chargeDiscarded(c)
 	}
 	if p := c.cfg.Faults; p != nil {
 		for v := 0; v < c.n; v++ {
@@ -452,16 +595,12 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 		}
 	}
 
-	// Canonicalize the exchange: sort every destination box by sender
-	// (appends happened under a mutex in nondeterministic order) and, when a
-	// transport is configured, hand all boxes to it before any accounting —
-	// exactly the MPC simulator's contract, so one transport implementation
-	// serves both models. A failed exchange aborts before the round commits.
-	boxes := c.outbox
-	c.outbox = make([][]Message, c.n)
-	for dst := 0; dst < c.n; dst++ {
-		sort.SliceStable(boxes[dst], func(i, j int) bool { return boxes[dst][i].Src < boxes[dst][j].Src })
-	}
+	// Canonicalize the exchange: merge the per-worker buffers in fixed node
+	// order (see mergeOutboxes) and, when a transport is configured, hand
+	// all boxes to it before any accounting — exactly the MPC simulator's
+	// contract, so one transport implementation serves both models. A failed
+	// exchange aborts before the round commits.
+	boxes := at.mergeOutboxes(c.n)
 	if c.cfg.Transport != nil {
 		exchanged, err := c.cfg.Transport.Exchange(round, boxes)
 		if err != nil {
@@ -589,14 +728,14 @@ func (c *Cluster) step(name string, f func(x *Ctx), routed bool) error {
 	if routed {
 		charged = LenzenRounds
 	}
-	c.bumpSpan(charged, roundMsgs, roundWords, maxSent, maxRecv, giniSent, giniRecv)
+	c.bumpSpan(span, charged, roundMsgs, roundWords, maxSent, maxRecv, giniSent, giniRecv)
 	if c.tracer != nil {
 		// Event slices are freshly allocated: sinks may retain them. The
 		// clique model has no memory budget, so Resident stays nil.
 		c.tracer.Superstep(trace.Event{
 			Round:          c.stats.Rounds,
 			Step:           name,
-			Span:           c.span,
+			Span:           span,
 			Sent:           append([]int(nil), sentByNode...),
 			Recv:           append([]int(nil), c.recvW...),
 			Messages:       int(roundMsgs),

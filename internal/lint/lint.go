@@ -35,6 +35,12 @@
 //	floatorder — float32/float64 accumulation inside the body of a map range:
 //	             FP addition is not associative, so the randomized iteration
 //	             order changes the bits of the result.
+//	sharedwrite — writes to captured state inside Step/RouteStep closures,
+//	             which the simulators execute concurrently on a worker pool:
+//	             a captured-variable write races between machine closures and
+//	             commits in scheduling order. Machine-indexed slice writes and
+//	             single-writer `if x.Machine == k` guards are recognized as
+//	             deterministic and stay silent.
 //
 // A finding is suppressible only by an annotation on the same line or the
 // line directly above:
@@ -139,7 +145,7 @@ func (p *Pass) criticalCallee(fn *types.Func) bool {
 
 // Analyzers returns the full analyzer set in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{maporderAnalyzer, wallclockAnalyzer, globalrandAnalyzer, errdropAnalyzer, floatorderAnalyzer}
+	return []*Analyzer{maporderAnalyzer, wallclockAnalyzer, globalrandAnalyzer, errdropAnalyzer, floatorderAnalyzer, sharedwriteAnalyzer}
 }
 
 // criticalPkgs are the module-relative package directories whose code must

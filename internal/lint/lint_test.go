@@ -123,6 +123,10 @@ func TestFloatorderFixture(t *testing.T) {
 	checkWants(t, "floatorder", runFixture(t, "floatorder", "floatorder"))
 }
 
+func TestSharedwriteFixture(t *testing.T) {
+	checkWants(t, "sharedwrite", runFixture(t, "sharedwrite", "sharedwrite"))
+}
+
 func TestCleanFixtureHasZeroFindings(t *testing.T) {
 	if diags := runFixture(t, "clean"); len(diags) != 0 {
 		t.Errorf("clean fixture produced findings under the full analyzer set:\n%s", formatDiags(diags))

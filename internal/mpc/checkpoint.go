@@ -189,15 +189,17 @@ func (c *Cluster) applyResume(r *ResumeState) error {
 // attempt of the given round: their state is restored through the
 // Snapshot/Restore hooks (see Checkpointer), the replay distance back to the
 // last checkpoint is charged to RecoveryRounds, and the restored state plus
-// the aborted attempt's discarded traffic are charged to ReplayedWords.
-func (c *Cluster) recoverCrashes(round int, crashed []int) {
-	c.stats.RecoveredCrashes += len(crashed)
+// the aborted attempt's discarded traffic are charged to ReplayedWords. The
+// attempt's buffered outboxes die with the attempt; only their word count
+// survives, as the replay charge.
+func (c *Cluster) recoverCrashes(round int, at *attempt) {
+	c.stats.RecoveredCrashes += len(at.crashed)
 	replay := 1
 	if c.ckpt != nil && c.cfg.CheckpointEvery > 0 {
 		if d := round - c.ckptRound; d > replay {
 			replay = d
 		}
-		for _, m := range crashed {
+		for _, m := range at.crashed {
 			if c.snapshots != nil && c.snapshots[m] != nil {
 				c.stats.ReplayedWords += int64(len(c.snapshots[m]))
 			}
@@ -205,19 +207,5 @@ func (c *Cluster) recoverCrashes(round int, crashed []int) {
 		}
 	}
 	c.stats.RecoveryRounds += replay
-	c.discardOutboxes(true)
-}
-
-// discardOutboxes throws away everything queued during an aborted superstep
-// attempt, optionally charging the discarded words to ReplayedWords (re-sent
-// on the retry).
-func (c *Cluster) discardOutboxes(charge bool) {
-	for m := range c.outboxes {
-		if charge {
-			for _, msg := range c.outboxes[m] {
-				c.stats.ReplayedWords += int64(len(msg.Payload))
-			}
-		}
-		c.outboxes[m] = nil
-	}
+	at.chargeDiscarded(c)
 }

@@ -3,14 +3,19 @@
 // rounds in which every machine sends and receives at most S words.
 //
 // The simulator is the substrate the reproduced paper assumes but that has no
-// open-source implementation: it executes machine-local computation in
-// parallel goroutines, routes messages between rounds, and — crucially for a
-// theory reproduction — meters the quantities the theorems bound: rounds,
-// words sent/received per machine per round, and peak resident memory per
-// machine, checking them against the regime's budget S.
+// open-source implementation: it executes machine-local computation on a
+// worker pool (sized by Config.Parallelism, default GOMAXPROCS), routes
+// messages between rounds, and — crucially for a theory reproduction — meters
+// the quantities the theorems bound: rounds, words sent/received per machine
+// per round, and peak resident memory per machine, checking them against the
+// regime's budget S.
 //
-// Execution is bit-for-bit deterministic regardless of goroutine scheduling:
-// inboxes are ordered by sender, and senders emit messages sequentially.
+// Execution is bit-for-bit deterministic regardless of goroutine scheduling
+// and of the parallelism level: each worker buffers the sends of its
+// contiguous machine block locally, the buffers are merged in fixed machine
+// order at the superstep barrier, and every stat/violation reduction runs
+// single-threaded at the barrier in machine order (see DESIGN.md §8,
+// "Parallel commit discipline").
 package mpc
 
 import (
@@ -18,10 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"runtime/debug"
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/rulingset/mprs/internal/trace"
 )
@@ -108,6 +115,13 @@ type Config struct {
 	// the in-memory router. A failed exchange aborts the step cleanly with
 	// a *TransportError.
 	Transport Transport
+	// Parallelism bounds the worker pool executing machine step closures
+	// within one superstep: 0 (the default) means GOMAXPROCS, 1 forces the
+	// serial reference path (every machine runs on the calling goroutine, in
+	// machine order). Outputs, Stats, traces and checkpoint bytes are
+	// bit-identical at every level — parallelism is a throughput knob, never
+	// a semantic one.
+	Parallelism int
 }
 
 // Violation records a budget breach observed during the simulation.
@@ -242,13 +256,18 @@ type Cluster struct {
 	stats   Stats
 	inboxes [][]Message
 
-	// mu guards outbox appends, resident-memory accounting and the
-	// late-send error during a step (all reachable from concurrent machine
-	// code).
+	// mu guards resident-memory accounting and the late-send error during a
+	// step (both reachable from concurrent machine code). Message sends do
+	// not touch it: each worker buffers sends in its own stepOutbox.
 	mu       sync.Mutex
-	outboxes [][]Message
 	resident []int
 	lateErr  error
+	// inStep is true while a step attempt is executing; resident-budget
+	// violations observed then are buffered per machine in pendingViol and
+	// flushed into stats.Violations in machine order at the barrier, so their
+	// order is independent of goroutine scheduling.
+	inStep      bool
+	pendingViol [][]Violation
 
 	// Superstep recovery state (see fault.go and checkpoint.go).
 	ckpt          Checkpointer
@@ -257,11 +276,13 @@ type Cluster struct {
 	fired         map[uint64]struct{}
 	resumeApplied bool
 
-	// Observability state: the registered tracer, the active span label, and
-	// reusable per-machine scratch buffers so the skew accounting adds no
-	// allocations to the superstep path.
+	// Observability state: the registered tracer, the active span label
+	// (atomic: drivers may switch spans while a step's workers still run —
+	// each barrier pins the label once, see Step), and reusable per-machine
+	// scratch buffers so the skew accounting adds no allocations to the
+	// superstep path.
 	tracer  trace.Tracer
-	span    string
+	span    atomic.Pointer[string]
 	sentW   []int
 	recvW   []int
 	sortBuf []int
@@ -302,6 +323,9 @@ func NewCluster(cfg Config, n int) (*Cluster, error) {
 	default:
 		return nil, fmt.Errorf("mpc: unknown regime %v", cfg.Regime)
 	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("mpc: parallelism %d < 0", cfg.Parallelism)
+	}
 	if r := cfg.Resume; r != nil {
 		if cfg.CheckpointEvery <= 0 {
 			return nil, fmt.Errorf("mpc: Resume requires CheckpointEvery > 0 (checkpoint barriers must recur at the cadence the checkpoint was taken at)")
@@ -313,19 +337,28 @@ func NewCluster(cfg Config, n int) (*Cluster, error) {
 			return nil, fmt.Errorf("mpc: Resume state has %d machines, cluster has %d", len(r.State), cfg.Machines)
 		}
 	}
-	return &Cluster{
+	c := &Cluster{
 		cfg:      cfg,
 		n:        n,
 		budget:   budget,
 		resident: make([]int, cfg.Machines),
 		inboxes:  make([][]Message, cfg.Machines),
-		outboxes: make([][]Message, cfg.Machines),
 		tracer:   cfg.Tracer,
-		span:     "setup",
 		sentW:    make([]int, cfg.Machines),
 		recvW:    make([]int, cfg.Machines),
 		sortBuf:  make([]int, cfg.Machines),
-	}, nil
+	}
+	setup := "setup"
+	c.span.Store(&setup)
+	return c, nil
+}
+
+// parallelism resolves the configured worker-pool size: 0 means GOMAXPROCS.
+func (c *Cluster) parallelism() int {
+	if p := c.cfg.Parallelism; p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // SetTracer registers (or, with nil, removes) the superstep tracer.
@@ -337,8 +370,13 @@ func (c *Cluster) SetTracer(t trace.Tracer) { c.tracer = t }
 // "gather" and "finish"; rounds before the first Span call land in "setup".
 // A tracer implementing trace.SpanObserver is notified immediately, so live
 // introspection sees the phase change before its first round commits.
+//
+// Safe to call concurrently with a running step: the label is stored
+// atomically, and every barrier pins it exactly once before executing, so a
+// mid-step switch attributes the in-flight round entirely to the old label
+// and takes effect from the next round.
 func (c *Cluster) Span(name string) {
-	c.span = name
+	c.span.Store(&name)
 	if o, ok := c.tracer.(trace.SpanObserver); ok {
 		o.SpanChange(name)
 	}
@@ -346,7 +384,7 @@ func (c *Cluster) Span(name string) {
 
 // CurrentSpan returns the active trace-span label (so helpers like the
 // derandomizer can set a span and restore the caller's afterwards).
-func (c *Cluster) CurrentSpan() string { return c.span }
+func (c *Cluster) CurrentSpan() string { return *c.span.Load() }
 
 // Machines returns the machine count M.
 func (c *Cluster) Machines() int { return c.cfg.Machines }
@@ -402,15 +440,54 @@ func (c *Cluster) setResidentLocked(m, words int) error {
 		c.stats.PeakResident = words
 	}
 	if words > c.budget {
-		return c.violate(Violation{
+		v := Violation{
 			Round:   c.stats.Rounds,
 			Machine: m,
 			Kind:    "resident",
 			Words:   words,
 			Budget:  c.budget,
-		})
+		}
+		if c.inStep {
+			// Concurrent machine code: buffer the violation per machine and
+			// flush in machine order at the barrier, so stats.Violations is
+			// independent of goroutine scheduling. The strict error still
+			// surfaces to the caller immediately.
+			if c.pendingViol == nil {
+				c.pendingViol = make([][]Violation, len(c.resident))
+			}
+			c.pendingViol[m] = append(c.pendingViol[m], v)
+			if c.cfg.Strict {
+				return fmt.Errorf("%w: %s", ErrBudget, v)
+			}
+			return nil
+		}
+		return c.violate(v)
 	}
 	return nil
+}
+
+// setInStep toggles step-attempt mode: resident violations observed while set
+// are buffered instead of appended directly (see setResidentLocked).
+func (c *Cluster) setInStep(v bool) {
+	c.mu.Lock()
+	c.inStep = v
+	c.mu.Unlock()
+}
+
+// flushResidentViolations moves violations buffered during a step attempt
+// into stats.Violations in machine order. Runs single-threaded at the
+// barrier; flushed on commit, abort and crash recovery alike, so every
+// attempt's observations are recorded exactly as the serial path would.
+func (c *Cluster) flushResidentViolations() {
+	c.mu.Lock()
+	pending := c.pendingViol
+	c.pendingViol = nil
+	c.mu.Unlock()
+	for m := range pending {
+		for _, v := range pending[m] {
+			c.stats.Violations = append(c.stats.Violations, v)
+		}
+	}
 }
 
 // AddResident adjusts machine m's resident memory by delta words. Safe to
@@ -471,16 +548,17 @@ func (c *Cluster) ChargeRounds(name string, k int) error {
 			Budget:  0,
 		})
 	}
+	span := c.CurrentSpan()
 	for i := 0; i < k; i++ {
 		c.stats.Rounds++
-		info := RoundInfo{Name: name, Span: c.span}
+		info := RoundInfo{Name: name, Span: span}
 		c.stats.Log = append(c.stats.Log, info)
 		c.bumpSpan(info)
 		if c.tracer != nil {
 			c.tracer.Superstep(trace.Event{
 				Round:   c.stats.Rounds,
 				Step:    name,
-				Span:    c.span,
+				Span:    span,
 				Charged: true,
 			})
 		}
@@ -612,10 +690,23 @@ type Ctx struct {
 	round int
 	inbox []Message
 	sent  int
+	ob    *stepOutbox
 
-	done     bool // guarded by c.mu
+	crashed  bool
 	panicked any
 	stack    []byte
+}
+
+// stepOutbox buffers the sends of one worker's contiguous machine block
+// during one step attempt. Workers never share a buffer, so appends are
+// uncontended in the common case; the mutex exists for step closures that
+// spawn their own sender goroutines (documented as legal as long as they are
+// joined before the closure returns) and for the seal at the barrier, which
+// turns late sends into ErrStaleCtx instead of next-round corruption.
+type stepOutbox struct {
+	mu     sync.Mutex
+	sealed bool
+	boxes  [][]Message // indexed by destination machine
 }
 
 // Inbox returns the messages delivered to this machine at the end of the
@@ -634,18 +725,26 @@ func (x *Ctx) Send(dst int, payload ...uint64) {
 // Sending on an invalidated context (after its step completed) drops the
 // payload and records ErrStaleCtx, returned by the cluster's next Step.
 func (x *Ctx) SendOwned(dst int, payload []uint64) {
-	x.c.mu.Lock()
-	if x.done {
-		if x.c.lateErr == nil {
-			x.c.lateErr = fmt.Errorf("mpc: machine %d sent %d words after its step (round %d) completed: %w",
-				x.Machine, len(payload), x.round, ErrStaleCtx)
-		}
-		x.c.mu.Unlock()
+	ob := x.ob
+	ob.mu.Lock()
+	if ob.sealed {
+		ob.mu.Unlock()
+		x.c.noteLateSend(x.Machine, x.round, len(payload))
 		return
 	}
 	x.sent += len(payload)
-	x.c.outboxes[dst] = append(x.c.outboxes[dst], Message{Src: x.Machine, Payload: payload})
-	x.c.mu.Unlock()
+	ob.boxes[dst] = append(ob.boxes[dst], Message{Src: x.Machine, Payload: payload})
+	ob.mu.Unlock()
+}
+
+// noteLateSend records the sticky ErrStaleCtx surfaced by the next Step.
+func (c *Cluster) noteLateSend(machine, round, words int) {
+	c.mu.Lock()
+	if c.lateErr == nil {
+		c.lateErr = fmt.Errorf("mpc: machine %d sent %d words after its step (round %d) completed: %w",
+			machine, words, round, ErrStaleCtx)
+	}
+	c.mu.Unlock()
 }
 
 // ErrStaleCtx is wrapped by the error recorded when a machine sends on a Ctx
@@ -662,16 +761,74 @@ func (c *Cluster) takeLateErr() error {
 	return err
 }
 
-// invalidate marks every context of a finished (or aborted) step attempt so
-// late sends error instead of leaking into the next round.
-func (c *Cluster) invalidate(ctxs []*Ctx) {
-	c.mu.Lock()
-	for _, x := range ctxs {
-		if x != nil {
-			x.done = true
+// attempt is the transient state of one superstep execution attempt: the
+// per-machine contexts and the per-worker outbox buffers they fed. The
+// buffers live and die with the attempt — a crash retry starts from fresh
+// ones — so an aborted attempt can never leak traffic into the next round.
+type attempt struct {
+	ctxs    []*Ctx
+	outs    []*stepOutbox // one per worker, in ascending machine-block order
+	crashed []int
+	merr    *MachineError
+}
+
+// seal closes every outbox of a finished (or aborted) attempt so late sends
+// error (ErrStaleCtx) instead of leaking into the next round. Sealing takes
+// each buffer's mutex, which also publishes all pre-seal sends (and the
+// per-context sent counters they bumped) to the committing goroutine.
+func (at *attempt) seal() {
+	for _, ob := range at.outs {
+		ob.mu.Lock()
+		ob.sealed = true
+		ob.mu.Unlock()
+	}
+}
+
+// mergeOutboxes concatenates the per-worker buffers destination by
+// destination, workers in ascending machine-block order. Each worker runs its
+// block sequentially and blocks ascend with worker index, so the
+// concatenation is already in the canonical total order — by sender id, then
+// per-sender send order — for every parallelism level, with no sort and no
+// comparison against a shared structure. The order is verified (and, for the
+// pathological-but-legal case of a step closure whose joined goroutines
+// interleaved sends across machines of one block, restored) before the boxes
+// are handed to the transport, which assumes it.
+func (at *attempt) mergeOutboxes(M int) [][]Message {
+	boxes := make([][]Message, M)
+	for dst := 0; dst < M; dst++ {
+		total := 0
+		for _, ob := range at.outs {
+			total += len(ob.boxes[dst])
+		}
+		if total == 0 {
+			continue
+		}
+		box := make([]Message, 0, total)
+		for _, ob := range at.outs {
+			box = append(box, ob.boxes[dst]...)
+		}
+		for i := 1; i < len(box); i++ {
+			if box[i].Src < box[i-1].Src {
+				stableSortBySrc(box)
+				break
+			}
+		}
+		boxes[dst] = box
+	}
+	return boxes
+}
+
+// chargeDiscarded charges the aborted attempt's buffered traffic to
+// ReplayedWords (it is re-sent by the retry). The buffers themselves are
+// simply dropped with the attempt.
+func (at *attempt) chargeDiscarded(c *Cluster) {
+	for _, ob := range at.outs {
+		for _, box := range ob.boxes {
+			for _, msg := range box {
+				c.stats.ReplayedWords += int64(len(msg.Payload))
+			}
 		}
 	}
-	c.mu.Unlock()
 }
 
 // crashNow consumes one injected crash for (round, m); a fault fires only
@@ -691,41 +848,75 @@ func (c *Cluster) crashNow(round, m int) bool {
 	return true
 }
 
-// runAttempt executes one attempt of a superstep: f runs concurrently on
-// every non-crashed machine with panics recovered per machine. It returns
-// the attempt's contexts, the machines crashed by the fault plan, and the
-// lowest-machine MachineError if any step function panicked.
-func (c *Cluster) runAttempt(round int, f func(x *Ctx)) (ctxs []*Ctx, crashed []int, merr *MachineError) {
+// runAttempt executes one attempt of a superstep: f runs on every non-crashed
+// machine via a bounded worker pool (Config.Parallelism workers; 1 runs every
+// machine inline on the calling goroutine, in machine order), with panics
+// recovered per machine. Crash decisions (which consume once-only fault
+// events) are taken sequentially before any worker starts. The returned
+// attempt carries the contexts, the per-worker outboxes, the machines crashed
+// by the fault plan, and the lowest-machine MachineError if any step function
+// panicked.
+func (c *Cluster) runAttempt(round int, f func(x *Ctx)) *attempt {
 	M := c.cfg.Machines
-	ctxs = make([]*Ctx, M)
-	var wg sync.WaitGroup
+	at := &attempt{ctxs: make([]*Ctx, M)}
 	for m := 0; m < M; m++ {
 		lo, hi := c.Range(m)
-		ctxs[m] = &Ctx{Machine: m, Lo: lo, Hi: hi, c: c, round: round, inbox: c.inboxes[m]}
+		at.ctxs[m] = &Ctx{Machine: m, Lo: lo, Hi: hi, c: c, round: round, inbox: c.inboxes[m]}
 		if c.crashNow(round, m) {
-			crashed = append(crashed, m)
+			at.ctxs[m].crashed = true
+			at.crashed = append(at.crashed, m)
+		}
+	}
+	run := func(x *Ctx) {
+		defer func() {
+			if r := recover(); r != nil {
+				x.panicked = r
+				x.stack = debug.Stack()
+			}
+		}()
+		f(x)
+	}
+	P := c.parallelism()
+	if P > M {
+		P = M
+	}
+	per := (M + P - 1) / P
+	var wg sync.WaitGroup
+	for w := 0; w*per < M; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > M {
+			hi = M
+		}
+		ob := &stepOutbox{boxes: make([][]Message, M)}
+		at.outs = append(at.outs, ob)
+		for m := lo; m < hi; m++ {
+			at.ctxs[m].ob = ob
+		}
+		block := func(lo, hi int) {
+			for m := lo; m < hi; m++ {
+				if !at.ctxs[m].crashed {
+					run(at.ctxs[m])
+				}
+			}
+		}
+		if P == 1 {
+			block(lo, hi)
 			continue
 		}
 		wg.Add(1)
-		go func(x *Ctx) {
+		go func(lo, hi int) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					x.panicked = r
-					x.stack = debug.Stack()
-				}
-			}()
-			f(x)
-		}(ctxs[m])
+			block(lo, hi)
+		}(lo, hi)
 	}
 	wg.Wait()
 	for m := 0; m < M; m++ {
-		if ctxs[m].panicked != nil {
-			merr = &MachineError{Machine: m, Round: round, Panic: ctxs[m].panicked, Stack: ctxs[m].stack}
+		if at.ctxs[m].panicked != nil {
+			at.merr = &MachineError{Machine: m, Round: round, Panic: at.ctxs[m].panicked, Stack: at.ctxs[m].stack}
 			break
 		}
 	}
-	return ctxs, crashed, merr
+	return at
 }
 
 // Step executes one synchronous round: f runs concurrently on every machine
@@ -754,30 +945,32 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 	}
 	M := c.cfg.Machines
 	round := c.stats.Rounds + 1
+	// Pin the span label once per barrier: a driver switching spans while
+	// workers still run attributes this round entirely to the old label.
+	span := c.CurrentSpan()
 	pre := c.snapshotRecovery()
 	if err := c.maybeCheckpoint(round); err != nil {
 		return err
 	}
 
-	var ctxs []*Ctx
+	c.setInStep(true)
+	var at *attempt
 	for {
-		var (
-			crashed []int
-			merr    *MachineError
-		)
-		ctxs, crashed, merr = c.runAttempt(round, f)
-		if merr != nil {
-			c.discardOutboxes(false)
-			c.invalidate(ctxs)
-			return merr
+		at = c.runAttempt(round, f)
+		at.seal()
+		if at.merr != nil {
+			c.flushResidentViolations()
+			c.setInStep(false)
+			return at.merr
 		}
-		if len(crashed) == 0 {
+		if len(at.crashed) == 0 {
 			break
 		}
-		c.invalidate(ctxs)
-		c.recoverCrashes(round, crashed)
+		c.flushResidentViolations()
+		c.recoverCrashes(round, at)
 	}
-	c.invalidate(ctxs)
+	c.flushResidentViolations()
+	c.setInStep(false)
 	if p := c.cfg.Faults; p != nil {
 		for m := 0; m < M; m++ {
 			if p.StallsAt(round, m) {
@@ -786,17 +979,12 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 		}
 	}
 
-	// Outboxes were appended under a mutex in nondeterministic order;
-	// restore determinism by stable-sorting on sender (messages from one
-	// sender were appended in its sequential send order, and sorting
-	// stability preserves that order). Transport faults are decided on the
-	// sorted order, so they too are schedule-independent.
-	boxes := c.outboxes
-	c.outboxes = make([][]Message, M)
-	for m := 0; m < M; m++ {
-		stableSortBySrc(boxes[m])
-	}
-	// The sorted boxes are the canonical exchange: hand them to the
+	// Merge the per-worker outboxes in fixed machine order — the canonical
+	// (sender id, send order) sequence at every parallelism level, identical
+	// to what the serial path produces. Transport faults are decided on this
+	// order, so they too are schedule-independent.
+	boxes := at.mergeOutboxes(M)
+	// The merged boxes are the canonical exchange: hand them to the
 	// configured transport (the multi-process backend ships and verifies
 	// them here); the nil transport delivers them as-is. A failed exchange
 	// aborts before the round commits — nothing below has run, so the
@@ -810,10 +998,10 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 	}
 
 	c.stats.Rounds++
-	info := RoundInfo{Name: name, Span: c.span}
+	info := RoundInfo{Name: name, Span: span}
 	var firstErr error
 	for m := 0; m < M; m++ {
-		sent := ctxs[m].sent
+		sent := at.ctxs[m].sent
 		c.sentW[m] = sent
 		if sent > info.MaxSent {
 			info.MaxSent = sent
@@ -876,7 +1064,7 @@ func (c *Cluster) Step(name string, f func(x *Ctx)) error {
 		c.tracer.Superstep(trace.Event{
 			Round:          c.stats.Rounds,
 			Step:           name,
-			Span:           c.span,
+			Span:           span,
 			Sent:           slices.Clone(c.sentW),
 			Recv:           slices.Clone(c.recvW),
 			Resident:       slices.Clone(c.resident),
@@ -932,7 +1120,15 @@ func (c *Cluster) transportFaults(round, dst int, box []Message, dropped *bool) 
 	}
 }
 
-// stableSortBySrc sorts messages by sender id, preserving per-sender order.
+// stableSortBySrc restores one destination box to the canonical total order:
+// ascending sender id, ties broken by per-sender send sequence. The
+// comparator keys on Src alone, so totality rests on two guarantees that
+// must both hold: sort.SliceStable never reorders equal elements, and every
+// producer appends one sender's messages in that sender's send order (a
+// worker runs its machines sequentially; in-closure sender goroutines must
+// be joined before the closure returns). TestDuplicateSrcFanIn pins the
+// combination — it would flake under a non-stable sort or an unordered
+// producer.
 func stableSortBySrc(box []Message) {
 	sort.SliceStable(box, func(i, j int) bool { return box[i].Src < box[j].Src })
 }

@@ -84,11 +84,10 @@ func TestStepDeliversMessagesDeterministically(t *testing.T) {
 		}
 		var seen []uint64
 		err = c.Step("recv", func(x *Ctx) {
-			if x.Machine != 0 {
-				return
-			}
-			for _, msg := range x.Inbox() {
-				seen = append(seen, msg.Payload...)
+			if x.Machine == 0 {
+				for _, msg := range x.Inbox() {
+					seen = append(seen, msg.Payload...)
+				}
 			}
 		})
 		if err != nil {

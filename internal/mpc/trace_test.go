@@ -226,8 +226,11 @@ func TestMergeStatsCoversEveryField(t *testing.T) {
 		PeakSent: 7, PeakRecv: 9, PeakResident: 30,
 		Violations: []Violation{{Round: 1, Kind: "send"}},
 		Log:        []RoundInfo{{Name: "a1"}, {Name: "a2"}},
-		Spans:      []SpanStat{{Span: "setup", Rounds: 2, Words: 100, MaxSent: 7, GiniSent: 0.25}},
-		SkewSent:   1.5, SkewRecv: 2.5, GiniSent: 0.25, GiniRecv: 0.5,
+		Spans: []SpanStat{{
+			Span: "setup", Rounds: 2, Messages: 4, Words: 100,
+			MaxSent: 7, MaxRecv: 3, GiniSent: 0.25, GiniRecv: 0.5,
+		}},
+		SkewSent: 1.5, SkewRecv: 2.5, GiniSent: 0.25, GiniRecv: 0.5,
 		RecoveredCrashes: 1, RecoveryRounds: 2, ReplayedWords: 3,
 		CheckpointWords: 4, DroppedMessages: 5, DupMessages: 6, StallRounds: 7,
 		CheckpointBytes: 8, ResumeReplayRounds: 9,
@@ -238,7 +241,10 @@ func TestMergeStatsCoversEveryField(t *testing.T) {
 		Violations: []Violation{{Round: 2, Kind: "recv"}},
 		Log:        []RoundInfo{{Name: "b1"}, {Name: "b2"}, {Name: "b3"}},
 		Spans: []SpanStat{
-			{Span: "setup", Rounds: 1, Words: 20, MaxSent: 9, GiniSent: 0.125},
+			{
+				Span: "setup", Rounds: 1, Messages: 6, Words: 20,
+				MaxSent: 9, MaxRecv: 8, GiniSent: 0.125, GiniRecv: 0.375,
+			},
 			{Span: "finish", Rounds: 2, Words: 30},
 		},
 		SkewSent: 1.25, SkewRecv: 3.5, GiniSent: 0.75, GiniRecv: 0.25,
@@ -265,9 +271,6 @@ func TestMergeStatsCoversEveryField(t *testing.T) {
 		"Log": func() bool { return len(m.Log) == 5 && m.Log[2].Name == "b1" },
 		"Spans": func() bool {
 			return len(m.Spans) == 2 &&
-				m.Spans[0].Span == "setup" && m.Spans[0].Rounds == 3 &&
-				m.Spans[0].Words == 120 && m.Spans[0].MaxSent == 9 &&
-				m.Spans[0].GiniSent == 0.25 &&
 				m.Spans[1].Span == "finish" && m.Spans[1].Rounds == 2
 		},
 		"SkewSent":           func() bool { return m.SkewSent == 1.5 },
@@ -284,27 +287,47 @@ func TestMergeStatsCoversEveryField(t *testing.T) {
 		"CheckpointBytes":    func() bool { return m.CheckpointBytes == 88 },
 		"ResumeReplayRounds": func() bool { return m.ResumeReplayRounds == 99 },
 	}
-	st := reflect.TypeOf(Stats{})
-	for i := 0; i < st.NumField(); i++ {
-		name := st.Field(i).Name
-		check, ok := checks[name]
-		if !ok {
-			t.Errorf("Stats.%s has no merge rule: extend MergeStats and this test", name)
-			continue
+	// The matched "setup" span exercises every SpanStat field: counters add,
+	// max-valued fields (MaxSent/MaxRecv and the worst-imbalance Gini
+	// coefficients) take the maximum — never the sum. Its own reflection
+	// sweep below makes a SpanStat field without a rule here a failure, the
+	// same guard Stats has.
+	setup := m.Spans[0]
+	spanChecks := map[string]func() bool{
+		"Span":     func() bool { return setup.Span == "setup" },
+		"Rounds":   func() bool { return setup.Rounds == 3 },
+		"Messages": func() bool { return setup.Messages == 10 },
+		"Words":    func() bool { return setup.Words == 120 },
+		"MaxSent":  func() bool { return setup.MaxSent == 9 },
+		"MaxRecv":  func() bool { return setup.MaxRecv == 8 },
+		"GiniSent": func() bool { return setup.GiniSent == 0.25 },
+		"GiniRecv": func() bool { return setup.GiniRecv == 0.5 },
+	}
+	sweep := func(typ reflect.Type, rules map[string]func() bool) {
+		t.Helper()
+		for i := 0; i < typ.NumField(); i++ {
+			name := typ.Field(i).Name
+			check, ok := rules[name]
+			if !ok {
+				t.Errorf("%s.%s has no merge rule: extend MergeStats/mergeSpans and this test", typ.Name(), name)
+				continue
+			}
+			if !check() {
+				t.Errorf("%s.%s merged wrong (merged value in %+v)", typ.Name(), name, m)
+			}
+			delete(rules, name)
 		}
-		if !check() {
-			t.Errorf("Stats.%s merged wrong (merged value in %+v)", name, m)
+		leftover := make([]string, 0, len(rules))
+		for name := range rules {
+			leftover = append(leftover, name)
 		}
-		delete(checks, name)
+		sort.Strings(leftover)
+		for _, name := range leftover {
+			t.Errorf("check %q matches no %s field (renamed?)", name, typ.Name())
+		}
 	}
-	leftover := make([]string, 0, len(checks))
-	for name := range checks {
-		leftover = append(leftover, name)
-	}
-	sort.Strings(leftover)
-	for _, name := range leftover {
-		t.Errorf("check %q matches no Stats field (renamed?)", name)
-	}
+	sweep(reflect.TypeOf(Stats{}), checks)
+	sweep(reflect.TypeOf(SpanStat{}), spanChecks)
 }
 
 // TestMergeStatsEqualsSingleRun merges per-segment stats of a run split

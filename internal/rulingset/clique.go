@@ -58,7 +58,7 @@ func cliqueRuling2(g *graph.Graph, o Options, deterministic bool) (CliqueResult,
 	if err := o.durableUnsupported("CliqueRuling2"); err != nil {
 		return CliqueResult{}, err
 	}
-	c, err := clique.NewCluster(clique.Config{Strict: o.Strict, Faults: o.Faults, Tracer: o.Tracer, Context: o.Context, Transport: o.Transport}, n)
+	c, err := clique.NewCluster(clique.Config{Strict: o.Strict, Faults: o.Faults, Tracer: o.Tracer, Context: o.Context, Transport: o.Transport, Parallelism: o.Parallelism}, n)
 	if err != nil {
 		return CliqueResult{}, err
 	}

@@ -119,6 +119,13 @@ type Options struct {
 	// congested-clique drivers hand the same transport to their clique
 	// cluster (the simulators share one message shape).
 	Transport mpc.Transport
+	// Parallelism bounds the worker pool that executes machine (or clique
+	// node) step closures within one superstep: 0 means GOMAXPROCS, 1 forces
+	// the serial reference path. Results, Stats, traces and checkpoint bytes
+	// are bit-identical at every level (see mpc.Config.Parallelism), which is
+	// why it is not part of any run fingerprint: checkpoints and traces are
+	// portable across parallelism levels.
+	Parallelism int
 }
 
 // SeedPolicy selects how a deterministic phase fixes its hash seed.
@@ -204,6 +211,7 @@ func (o Options) cluster(n int) (*mpc.Cluster, error) {
 		Sink:            o.CheckpointSink,
 		Resume:          o.Resume,
 		Transport:       o.Transport,
+		Parallelism:     o.Parallelism,
 	}, n)
 }
 

@@ -77,6 +77,13 @@ type JobSpec struct {
 	// TraceFile, when set, receives the deterministic JSONL superstep trace,
 	// written by worker 0 only (the replicas would write identical bytes).
 	TraceFile string `json:"trace_file,omitempty"`
+
+	// Parallelism is the per-worker step execution pool size (0 =
+	// GOMAXPROCS, 1 = serial); every worker inherits it. Deliberately NOT
+	// part of Fingerprint: outputs, traces and checkpoint bytes are
+	// bit-identical at every level, so durable checkpoints are portable
+	// across parallelism settings.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // SupportedAlgo reports whether algo can run on the multi-process backend.
@@ -110,6 +117,9 @@ func (s JobSpec) Validate() error {
 	}
 	if s.CheckpointDir != "" && s.CheckpointEvery <= 0 {
 		return fmt.Errorf("supervise: CheckpointDir requires CheckpointEvery > 0")
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("supervise: parallelism %d < 0", s.Parallelism)
 	}
 	return nil
 }
@@ -158,6 +168,7 @@ func (s JobSpec) options() (rulingset.Options, error) {
 		Strict:          s.Strict,
 		Faults:          plan,
 		CheckpointEvery: s.CheckpointEvery,
+		Parallelism:     s.Parallelism,
 	}, nil
 }
 

@@ -81,12 +81,16 @@ func TestJobSpecValidate(t *testing.T) {
 
 // TestMultiProcEquivalence is the backend bit-identity contract: for each
 // supported algorithm, the multi-process backend's Members, canonical Stats
-// and trace bytes equal the in-process backend's exactly.
+// and trace bytes equal the in-process backend's exactly. The in-process
+// reference runs on the serial step path (Parallelism 1) while the workers
+// run with a parallelism-4 step pool, so the comparison spans backends AND
+// parallelism levels at once.
 func TestMultiProcEquivalence(t *testing.T) {
 	for _, algo := range []string{"det2", "luby"} {
 		t.Run(algo, func(t *testing.T) {
 			dir := t.TempDir()
 			inSpec := testSpec(t, algo)
+			inSpec.Parallelism = 1
 			inSpec.TraceFile = filepath.Join(dir, "in.trace")
 			inRes, err := InProc{}.Run(inSpec)
 			if err != nil {
@@ -94,6 +98,7 @@ func TestMultiProcEquivalence(t *testing.T) {
 			}
 
 			mpSpec := testSpec(t, algo)
+			mpSpec.Parallelism = 4
 			mpSpec.TraceFile = filepath.Join(dir, "mp.trace")
 			mpRes, err := MultiProc{Config: testConfig(3)}.Run(mpSpec)
 			if err != nil {
