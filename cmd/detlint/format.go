@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/rulingset/mprs/internal/lint"
+)
+
+// jsonSchema versions the machine-readable output contract. Consumers pin
+// this string; any breaking change to field names or semantics bumps it.
+const jsonSchema = "detlint/1"
+
+// jsonFinding is one diagnostic in -format json output. Field order is part
+// of the contract: encoding/json emits struct fields in declaration order,
+// so the document layout is stable across runs and Go versions.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Schema   string        `json:"schema"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	rep := jsonReport{Schema: jsonSchema, Findings: []jsonFinding{}}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return writeIndented(w, rep)
+}
+
+type jsonSuppression struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	Stale    bool   `json:"stale"`
+}
+
+type jsonAudit struct {
+	Schema       string            `json:"schema"`
+	Suppressions []jsonSuppression `json:"suppressions"`
+}
+
+func writeAuditJSON(w io.Writer, sups []lint.Suppression) error {
+	rep := jsonAudit{Schema: jsonSchema, Suppressions: []jsonSuppression{}}
+	for _, s := range sups {
+		rep.Suppressions = append(rep.Suppressions, jsonSuppression{
+			File:     s.File,
+			Line:     s.Line,
+			Analyzer: s.Analyzer,
+			Reason:   s.Reason,
+			Stale:    s.Stale,
+		})
+	}
+	return writeIndented(w, rep)
+}
+
+func writeIndented(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}
+
+// SARIF 2.1.0 output, the subset GitHub code scanning ingests: one run, one
+// rule per analyzer, one result per finding.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name    string      `json:"name"`
+	Version string      `json:"version"`
+	Rules   []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+func writeSARIF(w io.Writer, diags []lint.Diagnostic, version string) error {
+	driver := sarifDriver{Name: "detlint", Version: version}
+	ruleIndex := make(map[string]int)
+	addRule := func(id, doc string) {
+		ruleIndex[id] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRule{ID: id, ShortDescription: sarifText{Text: doc}})
+	}
+	for _, a := range lint.Analyzers() {
+		addRule(a.Name, a.Doc)
+	}
+	// The reserved "detlint" analyzer carries annotation-misuse findings.
+	addRule("detlint", "malformed //detlint:ok annotation")
+	results := []sarifResult{}
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			return fmt.Errorf("finding from unknown analyzer %q", d.Analyzer)
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifText{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: d.Pos.Filename},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	return writeIndented(w, sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	})
+}

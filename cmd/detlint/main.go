@@ -8,11 +8,18 @@
 //
 //	go run ./cmd/detlint ./...
 //
-// Exit status is 0 when the tree is clean, 1 when there are findings, and
-// 2 when the run itself fails (bad pattern, type error).
+// Findings print as text by default; -format json emits the schema-versioned
+// detlint/1 document and -format sarif emits SARIF 2.1.0 for code-scanning
+// upload. -audit lists every //detlint:ok suppression with its justification
+// and flags stale ones (the named analyzer no longer fires at the site).
+//
+// Exit status is 0 when the tree is clean, 1 when there are findings (or, in
+// -audit mode, stale suppressions), and 2 when the run itself fails (bad
+// pattern, type error).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +42,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		all       = fs.Bool("all", false, "treat every scanned package as determinism-critical (used on lint fixtures)")
 		skipTests = fs.Bool("skip-tests", false, "exclude _test.go files from analysis")
 		analyzers = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		format    = fs.String("format", "text", "output format: text, json or sarif")
+		audit     = fs.Bool("audit", false, "list //detlint:ok suppressions instead of findings; exit 1 if any is stale")
 		list      = fs.Bool("list", false, "list analyzers and exit")
 		version   = fs.Bool("version", false, "print version and exit")
 	)
@@ -43,6 +52,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "detlint: unknown -format %q (text, json or sarif)\n", *format)
 		return 2
 	}
 	if *version {
@@ -64,16 +82,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *analyzers != "" {
 		cfg.Analyzers = strings.Split(*analyzers, ",")
 	}
+	if *audit {
+		return runAudit(cfg, *format, stdout, stderr)
+	}
 	diags, err := lint.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "detlint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	switch *format {
+	case "json":
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "detlint:", err)
+			return 2
+		}
+	case "sarif":
+		if err := writeSARIF(stdout, diags, buildinfo.Get().Version); err != nil {
+			fmt.Fprintln(stderr, "detlint:", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "detlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// runAudit implements -audit: every suppression with its justification, stale
+// ones marked; any stale suppression fails the run.
+func runAudit(cfg lint.Config, format string, stdout, stderr io.Writer) int {
+	if format == "sarif" {
+		fmt.Fprintln(stderr, "detlint: -audit supports -format text or json")
+		return 2
+	}
+	sups, err := lint.Audit(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 2
+	}
+	stale := 0
+	for _, s := range sups {
+		if s.Stale {
+			stale++
+		}
+	}
+	if format == "json" {
+		if err := writeAuditJSON(stdout, sups); err != nil {
+			fmt.Fprintln(stderr, "detlint:", err)
+			return 2
+		}
+	} else {
+		for _, s := range sups {
+			mark := ""
+			if s.Stale {
+				mark = " [STALE]"
+			}
+			fmt.Fprintf(stdout, "%s:%d: [%s]%s %s\n", s.File, s.Line, s.Analyzer, mark, s.Reason)
+		}
+		fmt.Fprintf(stderr, "detlint: %d suppression(s), %d stale\n", len(sups), stale)
+	}
+	if stale > 0 {
 		return 1
 	}
 	return 0

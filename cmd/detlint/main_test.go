@@ -2,9 +2,38 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against the named golden file, rewriting it under
+// -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (run go test -update after intentional changes)\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
 
 // TestTreeIsClean is the same gate CI runs: the whole module must lint
 // clean, with every finding either fixed or carrying a justified
@@ -47,9 +76,194 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, want 0", code)
 	}
-	for _, name := range []string{"maporder", "wallclock", "globalrand", "errdrop", "floatorder"} {
+	for _, name := range []string{"maporder", "wallclock", "globalrand", "errdrop", "floatorder", "detflow", "nondetencode", "ptrformat"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestUsageGolden pins the -h text: the flag surface is CLI contract, and a
+// silently added or renamed flag must show up as a reviewed golden diff.
+func TestUsageGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	checkGolden(t, "usage.golden", stderr.String())
+}
+
+// TestJSONGolden pins the detlint/1 document byte-for-byte on the maporder
+// fixture: schema string, field order and indentation are all contract.
+func TestJSONGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-dir", "../..", "-all", "-analyzers", "maporder", "-format", "json", "internal/lint/testdata/src/maporder"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var rep struct {
+		Schema   string `json:"schema"`
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("-format json produced invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Schema != "detlint/1" {
+		t.Errorf("schema = %q, want detlint/1", rep.Schema)
+	}
+	if len(rep.Findings) == 0 {
+		t.Error("no findings in JSON document")
+	}
+	checkGolden(t, "findings_json.golden", stdout.String())
+}
+
+// TestJSONEmptyFindingsIsArray pins the zero-findings shape: an empty array,
+// not null, so jq pipelines never hit a type error.
+func TestJSONEmptyFindingsIsArray(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-dir", "../..", "-format", "json", "internal/lint/testdata/src/clean"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"findings": []`) {
+		t.Errorf("zero findings should serialize as an empty array:\n%s", stdout.String())
+	}
+}
+
+// TestSARIFOutput checks the structure GitHub code scanning ingests.
+func TestSARIFOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-dir", "../..", "-all", "-analyzers", "maporder", "-format", "sarif", "internal/lint/testdata/src/maporder"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("-format sarif produced invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs; want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "detlint" {
+		t.Errorf("driver name = %q", run0.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run0.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"maporder", "detflow", "nondetencode", "ptrformat", "detlint"} {
+		if !ruleIDs[want] {
+			t.Errorf("rules missing %q", want)
+		}
+	}
+	if len(run0.Results) == 0 {
+		t.Fatal("no results in SARIF document")
+	}
+	for _, res := range run0.Results {
+		if res.RuleID != "maporder" {
+			t.Errorf("result ruleId = %q, want maporder", res.RuleID)
+		}
+		if len(res.Locations) != 1 || !strings.HasPrefix(res.Locations[0].PhysicalLocation.ArtifactLocation.URI, "internal/lint/testdata/") {
+			t.Errorf("result location malformed: %+v", res.Locations)
+		}
+	}
+}
+
+// TestAuditFlag drives -audit over the staleok fixture: both suppressions
+// listed, the stale one marked, exit status 1.
+func TestAuditFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-dir", "../..", "-all", "-audit", "internal/lint/testdata/src/staleok"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("-audit exited %d, want 1 (stale suppression present)\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if strings.Count(out, "[maporder]") != 2 {
+		t.Errorf("expected 2 audited suppressions:\n%s", out)
+	}
+	if strings.Count(out, "[STALE]") != 1 {
+		t.Errorf("expected exactly 1 stale mark:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "2 suppression(s), 1 stale") {
+		t.Errorf("summary missing from stderr:\n%s", stderr.String())
+	}
+}
+
+// TestAuditJSON checks the machine-readable audit document.
+func TestAuditJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-dir", "../..", "-all", "-audit", "-format", "json", "internal/lint/testdata/src/staleok"}
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("-audit -format json exited %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var rep struct {
+		Schema       string `json:"schema"`
+		Suppressions []struct {
+			Analyzer string `json:"analyzer"`
+			Reason   string `json:"reason"`
+			Stale    bool   `json:"stale"`
+		} `json:"suppressions"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Schema != "detlint/1" {
+		t.Errorf("schema = %q, want detlint/1", rep.Schema)
+	}
+	stale := 0
+	for _, s := range rep.Suppressions {
+		if s.Stale {
+			stale++
+		}
+	}
+	if len(rep.Suppressions) != 2 || stale != 1 {
+		t.Errorf("got %d suppressions (%d stale), want 2 with 1 stale:\n%s", len(rep.Suppressions), stale, stdout.String())
+	}
+}
+
+// TestAuditTreeHasNoStaleSuppressions is the advisory CI gate run blocking
+// here: every //detlint:ok in the real tree must still be earning its keep.
+func TestAuditTreeHasNoStaleSuppressions(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dir", "../..", "-audit"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("stale suppressions in the tree (exit %d):\n%s", code, stdout.String())
+	}
+}
+
+func TestUnknownFormatExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-format", "yaml"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown -format") {
+		t.Errorf("stderr should name the bad format:\n%s", stderr.String())
 	}
 }

@@ -146,7 +146,7 @@ func (s *Store) Persist(round int, state [][]uint64) (int64, error) {
 	if err != nil {
 		// Best-effort cleanup of the torn temp file; the write error is the
 		// one worth reporting.
-		_ = os.Remove(tmp) //detlint:ok errdrop -- cleanup after a failed write; the original error is returned
+		_ = os.Remove(tmp)
 		return 0, fmt.Errorf("durable: writing %s: %w", name, err)
 	}
 	if err := os.Rename(tmp, final); err != nil {

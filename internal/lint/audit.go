@@ -1,0 +1,68 @@
+package lint
+
+import "sort"
+
+// Suppression is one audited //detlint:ok entry: where it is, which analyzer
+// it silences, the written justification, and whether it has gone stale —
+// the named analyzer no longer reports anything at that site, so the
+// annotation documents a hazard that no longer exists and should be removed
+// before it misleads a reader (or quietly silences a future, different
+// finding on the same line).
+type Suppression struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+	Stale    bool
+}
+
+// Audit runs the full analyzer set over cfg's patterns and returns every
+// well-formed //detlint:ok annotation with its staleness verdict, sorted by
+// position. Malformed annotations are ordinary Run findings, not audit
+// entries. The configured analyzer subset is ignored: staleness is only
+// meaningful against the analyzers the annotation could suppress.
+func Audit(cfg Config) ([]Suppression, error) {
+	cfg.Analyzers = nil
+	diags, anns, err := analyze(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Index pre-suppression findings by file/analyzer for the staleness
+	// check: an annotation is live if its analyzer reports on its own line
+	// or the line below — the exact rule applySuppressions matches with.
+	type key struct {
+		file     string
+		analyzer string
+		line     int
+	}
+	fired := make(map[key]bool, len(diags))
+	for _, d := range diags {
+		fired[key{d.Pos.Filename, d.Analyzer, d.Pos.Line}] = true
+	}
+	var out []Suppression
+	for file, fileAnns := range anns {
+		for _, a := range fileAnns {
+			for _, name := range a.analyzers {
+				out = append(out, Suppression{
+					File:     file,
+					Line:     a.line,
+					Analyzer: name,
+					Reason:   a.reason,
+					Stale: !fired[key{file, name, a.line}] &&
+						!fired[key{file, name, a.line + 1}],
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -142,12 +142,27 @@ func (p *Pass) durabilityCallee(fn *types.Func) bool {
 // callee resolves the called function or method, or nil for builtins,
 // conversions and indirect calls through function values.
 func (p *Pass) callee(call *ast.CallExpr) *types.Func {
+	return calleeFunc(p.Info, call)
+}
+
+// calleeFunc resolves a call's target function or method, unwrapping
+// explicit generic instantiation (f[T](…) parses as a call whose Fun is an
+// IndexExpr/IndexListExpr) — without the unwrap, every instantiated generic
+// call would silently escape analysis.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
 	var obj types.Object
-	switch fun := ast.Unparen(call.Fun).(type) {
+	switch fun := fun.(type) {
 	case *ast.Ident:
-		obj = p.Info.Uses[fun]
+		obj = info.Uses[fun]
 	case *ast.SelectorExpr:
-		obj = p.Info.Uses[fun.Sel]
+		obj = info.Uses[fun.Sel]
 	default:
 		return nil
 	}

@@ -96,11 +96,17 @@ type Config struct {
 }
 
 // Analyzer is one invariant checker. Run inspects a fully typechecked
-// package and reports findings through the pass.
+// package and reports findings through the pass; analyzers with a nil Run
+// (detflow, ptrformat) report through the module-wide taint engine instead.
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass)
+	// ModuleWide analyzers apply to every scanned package, not only the
+	// determinism-critical set: their findings are anchored on critical-API
+	// sinks (or byte-stream encodes), so running them everywhere is what
+	// catches the helper-package flows the critical-only analyzers miss.
+	ModuleWide bool
 }
 
 // Pass hands one typechecked package (or test variant of a package) to an
@@ -145,7 +151,11 @@ func (p *Pass) criticalCallee(fn *types.Func) bool {
 
 // Analyzers returns the full analyzer set in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{maporderAnalyzer, wallclockAnalyzer, globalrandAnalyzer, errdropAnalyzer, floatorderAnalyzer, sharedwriteAnalyzer}
+	return []*Analyzer{
+		maporderAnalyzer, wallclockAnalyzer, globalrandAnalyzer, errdropAnalyzer,
+		floatorderAnalyzer, sharedwriteAnalyzer,
+		detflowAnalyzer, nondetencodeAnalyzer, ptrformatAnalyzer,
+	}
 }
 
 // criticalPkgs are the module-relative package directories whose code must
@@ -185,30 +195,55 @@ func wallclockExempt(rel string) bool {
 		rel == "examples" || strings.HasPrefix(rel, "examples/")
 }
 
+// checkedUnit is one fully typechecked analysis unit, collected before any
+// analyzer runs so the interprocedural taint engine can see the whole
+// pattern set at once.
+type checkedUnit struct {
+	rel      string // module-root-relative package directory
+	critical bool
+	path     string
+	files    []*ast.File
+	pkg      *types.Package
+	info     *types.Info
+}
+
 // Run executes the configured analyzers and returns the surviving findings
 // (annotation-suppressed ones removed, annotation misuse added), sorted by
 // position. A non-nil error means the run itself failed (parse or type
 // error, bad pattern) — distinct from “findings exist”.
 func Run(cfg Config) ([]Diagnostic, error) {
-	selected, err := selectAnalyzers(cfg.Analyzers)
+	diags, anns, err := analyze(cfg)
 	if err != nil {
 		return nil, err
+	}
+	diags = applySuppressions(diags, anns)
+	sortDiags(diags)
+	return diags, nil
+}
+
+// analyze runs the full pipeline and returns pre-suppression diagnostics
+// together with the parsed annotations — the raw material both Run and the
+// suppression audit work from.
+func analyze(cfg Config) ([]Diagnostic, map[string][]annotation, error) {
+	selected, err := selectAnalyzers(cfg.Analyzers)
+	if err != nil {
+		return nil, nil, err
 	}
 	ld, err := newLoader(cfg.Dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	dirs, err := ld.expand(cfg.Patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
-	var diags []Diagnostic
-	anns := make(map[string][]annotation) // module-relative filename → annotations
+	// Phase 1: parse and typecheck every unit up front.
+	var units []*checkedUnit
 	for _, dir := range dirs {
 		df, err := ld.parseDir(dir)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if df == nil {
 			continue
@@ -216,48 +251,83 @@ func Run(cfg Config) ([]Diagnostic, error) {
 		for _, unit := range df.units(cfg.SkipTests) {
 			pkg, info, err := ld.check(unit.path, unit.files)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			critical := cfg.AllCritical || criticalPkgs[df.rel]
-			for _, a := range selected {
-				if !analyzerApplies(a, df.rel, critical) {
-					continue
-				}
-				pass := &Pass{
-					Fset:     ld.fset,
-					Files:    unit.files,
-					Pkg:      pkg,
-					Info:     info,
-					Critical: critical,
-					analyzer: a,
-					diags:    &diags,
-					relPos:   ld.relPos,
-					isCriticalImport: func(path string) bool {
-						rel, ok := ld.moduleRel(path)
-						if !ok {
-							return false
-						}
-						return criticalPkgs[rel] || cfg.AllCritical
-					},
-				}
-				a.Run(pass)
-			}
-			// Annotations are collected from every scanned file — including
-			// packages no analyzer ran on — so a malformed annotation can
-			// never hide anywhere in the tree.
-			for _, f := range unit.files {
-				name := ld.relPos(f.Package).Filename
-				if _, done := anns[name]; done {
-					continue
-				}
-				fileAnns, annDiags := parseAnnotations(ld.fset, f, ld.relPos)
-				anns[name] = fileAnns
-				diags = append(diags, annDiags...)
+			units = append(units, &checkedUnit{
+				rel:      df.rel,
+				critical: cfg.AllCritical || criticalPkgs[df.rel],
+				path:     unit.path,
+				files:    unit.files,
+				pkg:      pkg,
+				info:     info,
+			})
+		}
+	}
+
+	var diags []Diagnostic
+	anns := make(map[string][]annotation) // module-relative filename → annotations
+
+	// Phase 2: the module-wide taint engine, when a flow analyzer is
+	// selected. Its findings are anchored at sinks and attributed to the
+	// analyzer each source belongs to.
+	selectedNames := make(map[string]bool, len(selected))
+	needFlow := false
+	for _, a := range selected {
+		selectedNames[a.Name] = true
+		if a.Run == nil {
+			needFlow = true
+		}
+	}
+	if needFlow {
+		world := buildFlowWorld(units, ld, cfg)
+		for _, d := range world.findings {
+			if selectedNames[d.Analyzer] {
+				diags = append(diags, d)
 			}
 		}
 	}
 
-	diags = applySuppressions(diags, anns)
+	// Phase 3: the per-package analyzers, plus annotation collection from
+	// every scanned file — including packages no analyzer ran on — so a
+	// malformed annotation can never hide anywhere in the tree.
+	for _, u := range units {
+		for _, a := range selected {
+			if a.Run == nil || !analyzerApplies(a, u.rel, u.critical) {
+				continue
+			}
+			pass := &Pass{
+				Fset:     ld.fset,
+				Files:    u.files,
+				Pkg:      u.pkg,
+				Info:     u.info,
+				Critical: u.critical,
+				analyzer: a,
+				diags:    &diags,
+				relPos:   ld.relPos,
+				isCriticalImport: func(path string) bool {
+					rel, ok := ld.moduleRel(path)
+					if !ok {
+						return false
+					}
+					return criticalPkgs[rel] || cfg.AllCritical
+				},
+			}
+			a.Run(pass)
+		}
+		for _, f := range u.files {
+			name := ld.relPos(f.Package).Filename
+			if _, done := anns[name]; done {
+				continue
+			}
+			fileAnns, annDiags := parseAnnotations(ld.fset, f, ld.relPos)
+			anns[name] = fileAnns
+			diags = append(diags, annDiags...)
+		}
+	}
+	return diags, anns, nil
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -271,15 +341,18 @@ func Run(cfg Config) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }
 
 // analyzerApplies implements the scoping rules: wallclock runs everywhere
-// except the measurement-exempt packages; every other analyzer runs only in
-// determinism-critical packages.
+// except the measurement-exempt packages; module-wide analyzers (their
+// findings anchor on critical-API sinks) run everywhere; every other
+// analyzer runs only in determinism-critical packages.
 func analyzerApplies(a *Analyzer, rel string, critical bool) bool {
 	if a.Name == "wallclock" {
 		return !wallclockExempt(rel)
+	}
+	if a.ModuleWide {
+		return true
 	}
 	return critical
 }

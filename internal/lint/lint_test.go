@@ -127,6 +127,109 @@ func TestSharedwriteFixture(t *testing.T) {
 	checkWants(t, "sharedwrite", runFixture(t, "sharedwrite", "sharedwrite"))
 }
 
+// TestDetflowFixture drives the interprocedural engine over the two-package
+// fixture (consumer + tainted helper): the recursive pattern scans both, so
+// the helper's summaries exist when the consumer's sinks are checked.
+func TestDetflowFixture(t *testing.T) {
+	diags, err := Run(Config{
+		Dir:         ".",
+		Patterns:    []string{"testdata/src/detflow/..."},
+		Analyzers:   []string{"detflow"},
+		AllCritical: true,
+	})
+	if err != nil {
+		t.Fatalf("Run(detflow): %v", err)
+	}
+	checkWants(t, "detflow", diags)
+}
+
+// TestDetflowCatchesWhatIntraproceduralAnalyzersCannot is the seeded-flow
+// acceptance check: the consumer package contains no nondeterminism of its
+// own — every source lives in the helper package — so the whole original
+// analyzer set stays silent on it even when forced critical, while detflow
+// reports the cross-package flows (pinned line-by-line by TestDetflowFixture).
+func TestDetflowCatchesWhatIntraproceduralAnalyzersCannot(t *testing.T) {
+	intra := []string{"maporder", "wallclock", "globalrand", "errdrop", "floatorder", "sharedwrite"}
+	diags, err := Run(Config{
+		Dir:         ".",
+		Patterns:    []string{filepath.Join("testdata", "src", "detflow")},
+		Analyzers:   intra,
+		AllCritical: true,
+	})
+	if err != nil {
+		t.Fatalf("Run(detflow, intra-procedural set): %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("intra-procedural analyzers report on the detflow consumer; the fixture no longer isolates cross-package flows:\n%s", formatDiags(diags))
+	}
+	flows, err := Run(Config{
+		Dir:         ".",
+		Patterns:    []string{"testdata/src/detflow/..."},
+		Analyzers:   []string{"detflow"},
+		AllCritical: true,
+	})
+	if err != nil {
+		t.Fatalf("Run(detflow): %v", err)
+	}
+	if len(flows) == 0 {
+		t.Error("detflow reports nothing on its own fixture")
+	}
+}
+
+func TestPtrformatFixture(t *testing.T) {
+	checkWants(t, "ptrformat", runFixture(t, "ptrformat", "ptrformat"))
+}
+
+func TestNondetencodeFixture(t *testing.T) {
+	checkWants(t, "nondetencode", runFixture(t, "nondetencode", "nondetencode"))
+}
+
+// TestGenericsFixture pins type-parameter coverage: generic code typechecks
+// under the stdlib-only loader, maporder sees through generic method bodies,
+// and detflow resolves explicitly instantiated calls (IndexExpr and
+// IndexListExpr callees).
+func TestGenericsFixture(t *testing.T) {
+	checkWants(t, "generics", runFixture(t, "generics", "maporder", "detflow"))
+}
+
+// TestAuditStaleness pins the suppression audit on the staleok fixture: the
+// annotation covering a real map range is live, the one left on a rewritten
+// slice loop is stale.
+func TestAuditStaleness(t *testing.T) {
+	sups, err := Audit(Config{
+		Dir:         ".",
+		Patterns:    []string{filepath.Join("testdata", "src", "staleok")},
+		AllCritical: true,
+	})
+	if err != nil {
+		t.Fatalf("Audit(staleok): %v", err)
+	}
+	if len(sups) != 2 {
+		t.Fatalf("want 2 suppressions, got %d: %+v", len(sups), sups)
+	}
+	live, stale := sups[0], sups[1]
+	if live.Line >= stale.Line {
+		t.Fatalf("suppressions not sorted by line: %+v", sups)
+	}
+	for _, s := range sups {
+		if s.Analyzer != "maporder" {
+			t.Errorf("suppression analyzer = %q, want maporder", s.Analyzer)
+		}
+		if !strings.Contains(s.Reason, "commutative") {
+			t.Errorf("suppression reason %q lost its justification", s.Reason)
+		}
+		if !strings.HasSuffix(s.File, "staleok/staleok.go") {
+			t.Errorf("suppression file %q is not module-relative to the fixture", s.File)
+		}
+	}
+	if live.Stale {
+		t.Error("the suppression over a live map range was marked stale")
+	}
+	if !stale.Stale {
+		t.Error("the suppression over a slice loop was not marked stale")
+	}
+}
+
 func TestCleanFixtureHasZeroFindings(t *testing.T) {
 	if diags := runFixture(t, "clean"); len(diags) != 0 {
 		t.Errorf("clean fixture produced findings under the full analyzer set:\n%s", formatDiags(diags))

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nondetencode flags serialization of map-containing values through
+// encoders whose byte output depends on map iteration order. encoding/gob
+// walks maps in range order, so two gob encodings of the same map value are
+// different byte streams — poison for anything fingerprinted, checkpointed,
+// or diffed byte-for-byte in CI. (encoding/json is exempt: it sorts map
+// keys.) The analyzer is module-wide: nondeterministic bytes produced in a
+// helper package are just as fatal once they reach a checkpoint or a trace
+// artifact, and a byte stream's destination is rarely visible at the encode
+// site.
+var nondetencodeAnalyzer = &Analyzer{
+	Name:       "nondetencode",
+	Doc:        "flag gob/unsorted-map serialization into byte streams",
+	Run:        runNondetencode,
+	ModuleWide: true,
+}
+
+func runNondetencode(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/gob" {
+				return true
+			}
+			if name := fn.Name(); name != "Encode" && name != "EncodeValue" {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			t := p.Info.TypeOf(call.Args[0])
+			if t == nil {
+				return true
+			}
+			if fn.Name() == "EncodeValue" {
+				// reflect.Value hides the static type; the encoded value may
+				// contain a map, and the linter cannot prove otherwise.
+				p.Reportf(call.Pos(), "gob.EncodeValue hides the encoded type from static analysis; use Encode with a concrete type, or annotate with //detlint:ok nondetencode -- <reason>")
+				return true
+			}
+			if mapT := containedMapType(t); mapT != nil {
+				p.Reportf(call.Pos(), "gob encoding of %s serializes map %s in nondeterministic iteration order; encode sorted key/value slices instead, or annotate with //detlint:ok nondetencode -- <reason>",
+					t.String(), mapT.String())
+			}
+			return true
+		})
+	}
+}
+
+// containedMapType returns a map type reachable from t through struct
+// fields, pointers, slices and arrays (the shapes gob serializes), or nil.
+func containedMapType(t types.Type) types.Type {
+	return findMap(t, make(map[types.Type]bool))
+}
+
+func findMap(t types.Type, seen map[types.Type]bool) types.Type {
+	if t == nil || seen[t] {
+		return nil
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		return t
+	case *types.Pointer:
+		return findMap(u.Elem(), seen)
+	case *types.Slice:
+		return findMap(u.Elem(), seen)
+	case *types.Array:
+		return findMap(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if f := u.Field(i); f.Exported() { // gob only encodes exported fields
+				if m := findMap(f.Type(), seen); m != nil {
+					return m
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package detflow is the negative fixture for the interprocedural taint
+// engine: nondeterminism minted in the sibling helper package (standing in
+// for a non-critical utility package) crosses the package boundary through
+// return values and parameters and lands in deterministic sinks. None of
+// the intra-procedural analyzers can see these flows — the sources are in
+// another package — so every finding here is detflow's alone.
+package detflow
+
+import (
+	"sort"
+
+	"github.com/rulingset/mprs/internal/lint/testdata/src/detflow/helper"
+)
+
+// Ctx mimics the simulator context; Send is a deterministic sink by the
+// critical-package API contract.
+type Ctx struct{ out []uint64 }
+
+// Send appends to the message payload stream.
+func (x *Ctx) Send(dst int, payload ...uint64) {
+	_ = dst
+	x.out = append(x.out, payload...)
+}
+
+// Stats mimics the simulator's deterministic columns.
+type Stats struct {
+	Rounds int
+	Words  uint64
+}
+
+// crossPackageClock: a wall-clock stamp crosses the package boundary
+// through a return value into a Send payload.
+func crossPackageClock(x *Ctx) {
+	stamp := helper.Stamp()
+	x.Send(1, stamp) // want `wall-clock read \(time\.Now\).*helper\.go.*via helper\.Stamp.*flows into the Ctx\.Send message payload`
+}
+
+// crossPackagePid: process identity reaches the payload via an intermediate
+// arithmetic expression.
+func crossPackagePid(x *Ctx) {
+	v := helper.Pid()*2 + 1
+	x.Send(2, v) // want `process environment/identity \(os\.Getpid\).*via helper\.Pid.*flows into the Ctx\.Send message payload`
+}
+
+// crossPackageMapOrder: keys collected in map-range order are sent without
+// sorting — the order taint survives the package boundary.
+func crossPackageMapOrder(x *Ctx, m map[int]bool) {
+	for _, k := range helper.UnsortedKeys(m) {
+		x.Send(3, uint64(k)) // want `map iteration order.*via helper\.UnsortedKeys.*flows into the Ctx\.Send message payload`
+	}
+}
+
+// sortedLaundering: sorting the collected keys is the sanctioned fix, so
+// the same flow with a sort stays clean.
+func sortedLaundering(x *Ctx, m map[int]bool) {
+	keys := helper.UnsortedKeys(m)
+	sort.Ints(keys)
+	for _, k := range keys {
+		x.Send(4, uint64(k))
+	}
+}
+
+// emit forwards its argument to the sink: its summary records that
+// parameter v reaches the Send payload.
+func emit(x *Ctx, v uint64) {
+	x.Send(5, v)
+}
+
+// indirectFlow: the tainted value enters the sink through emit — the
+// finding lands at the call that injects the taint, naming the chain.
+func indirectFlow(x *Ctx) {
+	emit(x, helper.Draw()) // want `global math/rand source \(rand\.Intn\).*via helper\.Draw.*flows into the Ctx\.Send message payload \(via detflow\.emit\)`
+}
+
+// relayedFlow: taint survives a pass-through helper in the other package
+// (parameter → return propagation in helper.Relay's summary).
+func relayedFlow(x *Ctx) {
+	x.Send(6, helper.Relay(helper.Stamp())) // want `wall-clock read \(time\.Now\).*flows into the Ctx\.Send message payload`
+}
+
+// selectArm: a value assigned in a multi-case select commits in whichever
+// order the runtime picked.
+func selectArm(x *Ctx, a, b chan uint64) {
+	var v uint64
+	select {
+	case v = <-a:
+	case v = <-b:
+	}
+	x.Send(7, v) // want `multi-case select arm.*flows into the Ctx\.Send message payload`
+}
+
+// statsColumn: a tainted value written into a deterministic Stats column.
+func statsColumn(st *Stats) {
+	st.Words = helper.Draw() // want `global math/rand source \(rand\.Intn\).*via helper\.Draw.*flows into the detflow\.Stats field Words`
+}
+
+// seededClean: the seeded draw is the sanctioned route; no finding.
+func seededClean(x *Ctx) {
+	x.Send(8, helper.SeededDraw(42))
+}
+
+// constClean: untainted data flows freely.
+func constClean(x *Ctx, st *Stats) {
+	x.Send(9, 7)
+	st.Rounds = 3
+}

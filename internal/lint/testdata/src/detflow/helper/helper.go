@@ -1,0 +1,48 @@
+// Package helper plays the role of a non-critical utility package
+// (internal/metrics, internal/gen, …): none of the critical-only analyzers
+// ever look at it, so nondeterminism produced here is invisible until it
+// crosses a package boundary into a deterministic sink — exactly the flow
+// the detflow engine exists to catch.
+package helper
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp returns a wall-clock-derived word: tainted.
+func Stamp() uint64 {
+	return uint64(time.Now().UnixNano())
+}
+
+// Pid returns the process id: tainted.
+func Pid() uint64 {
+	return uint64(os.Getpid())
+}
+
+// Draw samples the global math/rand source: tainted.
+func Draw() uint64 {
+	return uint64(rand.Intn(1 << 20))
+}
+
+// UnsortedKeys collects map keys in range order: order-tainted.
+func UnsortedKeys(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SeededDraw threads an explicitly seeded generator: clean.
+func SeededDraw(seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Uint64()
+}
+
+// Relay returns its argument unchanged: taint passes through the summary's
+// parameter flow, not from an intrinsic source.
+func Relay(v uint64) uint64 {
+	return v
+}

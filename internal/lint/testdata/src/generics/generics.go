@@ -1,0 +1,78 @@
+// Package generics pins the analyzers' type-parameter coverage: generic
+// declarations must typecheck under the stdlib-only loader, intra-procedural
+// analyzers must see through generic method bodies, and the detflow engine
+// must resolve explicitly instantiated calls — f[T](…) parses as a call
+// whose Fun is an IndexExpr/IndexListExpr, and an unwrapping bug makes every
+// such call invisible to taint propagation.
+package generics
+
+import (
+	"cmp"
+	"slices"
+	"time"
+)
+
+// Ctx mimics the simulator context; Send is a deterministic sink.
+type Ctx struct{ out []uint64 }
+
+// Send appends to the message payload stream.
+func (x *Ctx) Send(dst int, payload ...uint64) {
+	_ = dst
+	x.out = append(x.out, payload...)
+}
+
+// Set is a map-backed generic set.
+type Set[K comparable] struct{ m map[K]bool }
+
+// NewSet returns an empty set.
+func NewSet[K comparable]() *Set[K] { return &Set[K]{m: make(map[K]bool)} }
+
+// Add inserts k.
+func (s *Set[K]) Add(k K) { s.m[k] = true }
+
+// Items leaks map range order through a generic method body.
+func (s *Set[K]) Items() []K {
+	var out []K
+	for k := range s.m { // want `range over map\[K\]bool: map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned generic shape: collect, then sort.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	var keys []K
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// Identity is a generic passthrough: its summary carries parameter taint to
+// the return value.
+func Identity[T any](v T) T { return v }
+
+// First returns its first operand; the explicit two-parameter instantiation
+// parses as an IndexListExpr.
+func First[A any, B any](a A, b B) A {
+	_ = b
+	return a
+}
+
+// flowThroughGeneric: the wall-clock read flows through an explicitly
+// instantiated generic call into the payload.
+func flowThroughGeneric(x *Ctx) {
+	x.Send(1, Identity[uint64](uint64(time.Now().UnixNano()))) // want `wall-clock read \(time\.Now\).*flows into the Ctx\.Send message payload`
+}
+
+// flowThroughTwoParams: same, through an IndexListExpr instantiation.
+func flowThroughTwoParams(x *Ctx) {
+	x.Send(2, First[uint64, int](uint64(time.Now().UnixNano()), 3)) // want `wall-clock read \(time\.Now\).*flows into the Ctx\.Send message payload`
+}
+
+// cleanGeneric: untainted data through the same generic calls.
+func cleanGeneric(x *Ctx) {
+	x.Send(3, Identity[uint64](42))
+	x.Send(4, First[uint64, int](7, 3))
+}

@@ -1,0 +1,57 @@
+// Package nondetencode is the fixture for the gob map-order analyzer:
+// encoding/gob walks maps in range order, so gob bytes of a map-bearing
+// value differ between runs of the same deterministic computation —
+// poison for fingerprints, checkpoints, and byte-diffed artifacts.
+// encoding/json sorts map keys and stays clean.
+package nondetencode
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"reflect"
+)
+
+// payload has an exported map field: gob serializes it in range order.
+type payload struct {
+	Name  string
+	Attrs map[string]int
+}
+
+// hidden keeps its map unexported: gob never encodes it.
+type hidden struct {
+	Name  string
+	attrs map[string]int
+}
+
+func directMap(buf *bytes.Buffer, m map[string]int) error {
+	return gob.NewEncoder(buf).Encode(m) // want `gob encoding of map\[string\]int serializes map map\[string\]int in nondeterministic iteration order`
+}
+
+func structWithMapField(buf *bytes.Buffer, p payload) error {
+	return gob.NewEncoder(buf).Encode(p) // want `serializes map map\[string\]int in nondeterministic iteration order`
+}
+
+func pointerToStruct(buf *bytes.Buffer, p *payload) error {
+	return gob.NewEncoder(buf).Encode(p) // want `serializes map map\[string\]int in nondeterministic iteration order`
+}
+
+func reflectedValue(buf *bytes.Buffer, v reflect.Value) error {
+	return gob.NewEncoder(buf).EncodeValue(v) // want `gob\.EncodeValue hides the encoded type from static analysis`
+}
+
+// cleanSlice: no map anywhere in the encoded shape.
+func cleanSlice(buf *bytes.Buffer, xs []int) error {
+	return gob.NewEncoder(buf).Encode(xs)
+}
+
+// cleanUnexported: gob only encodes exported fields, so the unexported map
+// never reaches the byte stream.
+func cleanUnexported(buf *bytes.Buffer, h hidden) error {
+	return gob.NewEncoder(buf).Encode(h)
+}
+
+// cleanJSON: encoding/json sorts map keys; its bytes are deterministic.
+func cleanJSON(m map[string]int) ([]byte, error) {
+	return json.Marshal(m)
+}

@@ -1,0 +1,86 @@
+// Package ptrformat is the fixture for the pointer-identity formatting
+// analyzer, which reports through the detflow engine: a %p verb, or a %v /
+// fmt.Sprint rendering whose output embeds a runtime address, produces a
+// string that differs between runs of the same deterministic computation.
+// The analyzer is flow-gated — formatting a pointer is only a finding when
+// the string reaches a deterministic sink.
+package ptrformat
+
+import "fmt"
+
+// Ctx mimics the simulator context; Send is a deterministic sink.
+type Ctx struct{ out []string }
+
+// Send appends to the message payload stream.
+func (x *Ctx) Send(dst int, payload string) {
+	_ = dst
+	x.out = append(x.out, payload)
+}
+
+// Event mimics the trace event record; its fields are deterministic columns.
+type Event struct {
+	Step  int
+	Label string
+}
+
+// node carries a nested pointer field: fmt prints the top-level &{…}, but
+// the nested next field renders as a hex address.
+type node struct {
+	id   int
+	next *node
+}
+
+// flat is pointer-free: %v output is run-stable.
+type flat struct{ X, Y int }
+
+// named has a String method: fmt defers to it, so no address leaks.
+type named struct{ v int }
+
+func (n named) String() string { return "named" }
+
+// verbP: the %p verb is pointer identity by definition.
+func verbP(x *Ctx, n *node) {
+	x.Send(1, fmt.Sprintf("node=%p", n)) // want `pointer identity formatted with %p.*flows into the Ctx\.Send message payload`
+}
+
+// verbVScalarPtr: %v of a pointer to a scalar prints a hex address.
+func verbVScalarPtr(x *Ctx, ip *int) {
+	x.Send(2, fmt.Sprintf("at %v", ip)) // want `pointer-identity %v/Sprint formatting of \*int.*flows into the Ctx\.Send message payload`
+}
+
+// sprintMap: unformatted printing of a map whose values are pointers embeds
+// one address per entry.
+func sprintMap(x *Ctx, m map[string]*node) {
+	x.Send(3, fmt.Sprint(m)) // want `map formatting with pointer-identity keys or values.*flows into the Ctx\.Send message payload`
+}
+
+// eventLabel: the formatted pointer lands in a trace-event column.
+func eventLabel(ch chan int) Event {
+	return Event{
+		Step:  1,
+		Label: fmt.Sprintf("%p", ch), // want `pointer identity formatted with %p.*flows into the ptrformat\.Event field Label`
+	}
+}
+
+// nestedPtrField: the top-level pointer renders as &{…}, but the nested
+// next field inside prints its address.
+func nestedPtrField(x *Ctx, n *node) {
+	x.Send(4, fmt.Sprintf("%v", n)) // want `pointer-identity %v/Sprint formatting of .*ptrformat\.node.*flows into the Ctx\.Send message payload`
+}
+
+// cleanVerbs: numeric verbs, pointer-free composites, the &{…} top-level
+// special case, and Stringer types all produce run-stable strings.
+func cleanVerbs(x *Ctx, n *node, f flat) {
+	x.Send(5, fmt.Sprintf("%d items", len(x.out)))
+	x.Send(6, fmt.Sprintf("%v", f))
+	x.Send(7, fmt.Sprintf("%v", &flat{1, 2}))
+	x.Send(8, fmt.Sprintf("%v", named{3}))
+	x.Send(9, fmt.Sprintf("%d", n.id))
+}
+
+// cleanNoSink: formatting a pointer is only a finding when the string
+// reaches a deterministic surface; a local debug string is not one.
+func cleanNoSink(n *node) int {
+	s := fmt.Sprintf("%p", n)
+	return len(s)
+}

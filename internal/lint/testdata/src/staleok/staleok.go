@@ -1,0 +1,25 @@
+// Package staleok is the audit fixture: one justified suppression that
+// still silences a live finding, and one left behind after the code it
+// excused was rewritten — the annotated line no longer triggers its
+// analyzer, so the audit must flag the suppression as stale.
+package staleok
+
+// live: the map range is a genuine maporder violation; the trailing
+// annotation suppresses it and the audit lists it as live.
+func live(m map[int]int) int {
+	s := 0
+	for _, v := range m { //detlint:ok maporder -- commutative integer sum, order cannot leak
+		s += v
+	}
+	return s
+}
+
+// stale: the loop was rewritten from a map to a slice, but the annotation
+// was never removed; maporder no longer fires here.
+func stale(xs []int) int {
+	s := 0
+	for _, v := range xs { //detlint:ok maporder -- commutative integer sum, order cannot leak
+		s += v
+	}
+	return s
+}
