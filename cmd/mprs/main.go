@@ -12,8 +12,13 @@
 //	          [-rounds]          print the per-round communication log
 //	          [-spans]           print the per-span (algorithm phase) skew table
 //	          [-trace file.jsonl] write the superstep trace as JSONL (with run header)
-//	          [-profile prefix]  capture CPU/heap profiles
-//	          [-debug-addr host:port] serve live run state (expvar + pprof) over HTTP
+//	          [-profile prefix]  capture CPU/heap profiles (inproc only)
+//	          [-debug-addr host:port] serve live telemetry over HTTP: /metrics
+//	                             (Prometheus text), /telemetry.json, expvar, pprof;
+//	                             on -backend multiproc the supervisor serves the
+//	                             merged per-worker fleet view
+//	          [-flight-dir dir]  write mprs-flight/1 crash post-mortems (recent
+//	                             supersteps of a failed run or killed worker)
 //	          [-faults crash=0.02,drop=0.01,crash@3:1] [-fault-seed 1] [-checkpoint-every 4]
 //	          [-checkpoint-dir dir]  persist durable checkpoints for crash-restart resume
 //	          [-resume]          resume from the newest valid checkpoint in -checkpoint-dir
@@ -51,7 +56,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime/pprof"
@@ -68,6 +73,7 @@ import (
 	"github.com/rulingset/mprs/internal/mpc"
 	"github.com/rulingset/mprs/internal/rulingset"
 	"github.com/rulingset/mprs/internal/supervise"
+	"github.com/rulingset/mprs/internal/telemetry"
 	"github.com/rulingset/mprs/internal/trace"
 )
 
@@ -210,7 +216,8 @@ func cmdRun(args []string) (retErr error) {
 
 		traceFile = fs.String("trace", "", "write a deterministic JSONL superstep trace to this file")
 		profile   = fs.String("profile", "", "capture CPU and heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
-		debugAddr = fs.String("debug-addr", "", "serve live run state (expvar mprs var, net/http/pprof) on this host:port")
+		debugAddr = fs.String("debug-addr", "", "serve live telemetry (/metrics, /telemetry.json, expvar, pprof) on this host:port; on -backend multiproc the supervisor serves the merged fleet view")
+		flightDir = fs.String("flight-dir", "", "write mprs-flight/1 crash post-mortems (the recent supersteps of a failed run or killed worker) into this directory")
 
 		faults = fs.String("faults", "", "fault spec, e.g. crash=0.02,drop=0.01,dup=0.005,stall=0.05,crash@3:1 (empty = off)")
 		fseed  = fs.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
@@ -271,8 +278,8 @@ func cmdRun(args []string) (retErr error) {
 			return fmt.Errorf("-backend multiproc: -resume is owned by the supervisor (it restarts crashed workers from their checkpoints itself)")
 		case *dieAt > 0:
 			return fmt.Errorf("-backend multiproc: use -kill-worker w@r instead of -die-at")
-		case *profile != "" || *debugAddr != "":
-			return fmt.Errorf("-backend multiproc: -profile and -debug-addr observe a single process; run them on -backend inproc")
+		case *profile != "":
+			return fmt.Errorf("-backend multiproc: -profile captures one process's CPU/heap and would miss the workers; run it on -backend inproc (-debug-addr works here: the supervisor serves the fleet view)")
 		}
 		ckptEvery := opts.CheckpointEvery
 		if *ckptDir != "" && ckptEvery <= 0 {
@@ -306,6 +313,8 @@ func cmdRun(args []string) (retErr error) {
 			jobTimeout:  *jobTimeout,
 			killWorker:  *killWorker,
 			lifecycle:   *lifecycle,
+			debugAddr:   *debugAddr,
+			flightDir:   *flightDir,
 		}, runReport{
 			algo:       *algo,
 			title:      fmt.Sprintf("%s on %v (%d machines, %s regime, %d workers)", *algo, g, *machines, *regime, *workers),
@@ -404,15 +413,46 @@ func cmdRun(args []string) (retErr error) {
 	if *dieAt > 0 {
 		sinks = append(sinks, dieAtSink{round: *dieAt})
 	}
+	// Telemetry is observer-only: the collector feeds the -debug-addr
+	// endpoints and the -flight-dir post-mortem, and the run's deterministic
+	// outputs (members, canonical stats, trace and checkpoint bytes) are
+	// bit-identical with or without it — pinned by test.
+	var col *telemetry.Collector
+	if *debugAddr != "" || *flightDir != "" {
+		col = telemetry.NewCollector(telemetry.CollectorOptions{})
+		sinks = append(sinks, col)
+		if opts.CheckpointSink != nil {
+			opts.CheckpointSink = col.WrapCheckpointSink(opts.CheckpointSink)
+		}
+	}
+	if *flightDir != "" {
+		dir := *flightDir
+		defer func() {
+			if retErr == nil {
+				return // flights are post-mortems; successful runs leave none
+			}
+			evs := col.Recent()
+			round := 0
+			if len(evs) > 0 {
+				round = evs[len(evs)-1].Round
+			}
+			if _, err := telemetry.WriteFlightFile(dir, telemetry.FlightHeader{
+				Worker: -1, Round: round, Kind: "error", Reason: retErr.Error(),
+				Algo: *algo, Spec: src.describe(),
+			}, evs); err != nil {
+				fmt.Fprintf(os.Stderr, "mprs: flight recorder: %v\n", err)
+			}
+		}()
+	}
 	if *debugAddr != "" {
 		live := trace.NewLive()
 		sinks = append(sinks, live)
-		ln, err := startDebugServer(*debugAddr, live)
+		ln, err := startDebugServer(*debugAddr, live, col)
 		if err != nil {
 			return err
 		}
 		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars (pprof under /debug/pprof/)\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/metrics (also /telemetry.json, /debug/vars, /debug/pprof/)\n", ln.Addr())
 	}
 	if len(sinks) > 0 {
 		opts.Tracer = sinks
@@ -568,11 +608,15 @@ var (
 	publishOnce sync.Once
 )
 
-// startDebugServer exposes the live run state over HTTP: expvar (including
-// the "mprs" variable with the tracer's current round/span/counters) under
-// /debug/vars and net/http/pprof under /debug/pprof/. It returns the bound
-// listener so callers can report the address (and tests can use port 0).
-func startDebugServer(addr string, live *trace.Live) (net.Listener, error) {
+// startDebugServer exposes the live run state over HTTP: Prometheus metrics
+// under /metrics and the JSON snapshot under /telemetry.json (from g), expvar
+// — including the "mprs" variable with the tracer's current round/span/
+// counters — under /debug/vars, and net/http/pprof under /debug/pprof/. live
+// may be nil (multiproc: the fleet gatherer carries the state instead). It
+// returns the bound listener so callers can report the address (and tests can
+// use port 0). Each run gets a fresh mux, so repeated runs in one process
+// never fight over global handler registration.
+func startDebugServer(addr string, live *trace.Live, g telemetry.Gatherer) (net.Listener, error) {
 	liveState.Store(live)
 	publishOnce.Do(func() {
 		expvar.Publish("mprs", expvar.Func(func() any {
@@ -582,12 +626,18 @@ func startDebugServer(addr string, live *trace.Live) (net.Listener, error) {
 			return nil
 		}))
 	})
+	mux := telemetry.Handler(g)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	// expvar and net/http/pprof register their handlers on the default mux.
-	go http.Serve(ln, nil) //nolint — lifetime is the process; Close unblocks it
+	go http.Serve(ln, mux) //nolint — lifetime is the process; Close unblocks it
 	return ln, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/rulingset/mprs/internal/telemetry"
 	"github.com/rulingset/mprs/internal/trace"
 )
 
@@ -231,7 +232,7 @@ func TestRunUsageGolden(t *testing.T) {
 	// Every flag named in the command doc's usage block must exist; spot-check
 	// the ones the doc calls out explicitly.
 	for _, flagName := range []string{"-phases", "-rounds", "-spans", "-slack", "-trace", "-debug-addr", "-algo-seed",
-		"-checkpoint-dir", "-resume", "-checkpoint-retain", "-members-out", "-die-at"} {
+		"-checkpoint-dir", "-resume", "-checkpoint-retain", "-members-out", "-die-at", "-flight-dir"} {
 		if !strings.Contains(got, "\n  "+flagName) {
 			t.Errorf("usage output missing %s", flagName)
 		}
@@ -296,8 +297,11 @@ func TestDebugServer(t *testing.T) {
 	}
 	live := trace.NewLive()
 	live.SpanChange("sparsify")
-	live.Superstep(trace.Event{Round: 3, Step: "mark", Span: "sparsify", Words: 12, Sent: []int{12}, Recv: []int{12}})
-	ln, err := startDebugServer("127.0.0.1:0", live)
+	ev := trace.Event{Round: 3, Step: "mark", Span: "sparsify", Words: 12, Sent: []int{12}, Recv: []int{12}}
+	live.Superstep(ev)
+	col := telemetry.NewCollector(telemetry.CollectorOptions{})
+	col.Superstep(ev)
+	ln, err := startDebugServer("127.0.0.1:0", live, col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,11 +314,19 @@ func TestDebugServer(t *testing.T) {
 	if idx := get(base + "/debug/pprof/"); !strings.Contains(idx, "goroutine") {
 		t.Errorf("pprof index not served:\n%s", idx)
 	}
+	if prom := get(base + "/metrics"); !strings.Contains(prom, "mprs_committed_round 3") ||
+		!strings.Contains(prom, "# TYPE mprs_words_total counter") {
+		t.Errorf("prometheus exposition missing series:\n%s", prom)
+	}
+	if snap := get(base + "/telemetry.json"); !strings.Contains(snap, `"schema":"mprs-telemetry/1"`) ||
+		!strings.Contains(snap, `"mprs_committed_round"`) {
+		t.Errorf("telemetry snapshot missing series:\n%s", snap)
+	}
 
 	// A second run in the same process re-points the published variable.
 	live2 := trace.NewLive()
 	live2.Superstep(trace.Event{Round: 9, Span: "gather", Words: 1, Sent: []int{1}, Recv: []int{1}})
-	ln2, err := startDebugServer("127.0.0.1:0", live2)
+	ln2, err := startDebugServer("127.0.0.1:0", live2, telemetry.NewCollector(telemetry.CollectorOptions{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,5 +346,109 @@ func TestRunDebugAddrFlag(t *testing.T) {
 	})
 	if !strings.Contains(errOut, "debug server on http://127.0.0.1:") {
 		t.Errorf("debug address not reported on stderr: %q", errOut)
+	}
+}
+
+// TestRunTelemetryObserverEquivalence is the in-process observer contract:
+// a run with telemetry fully enabled (-debug-addr wires the collector into
+// the tracer fan-out and meters the checkpoint sink) produces bit-identical
+// members, canonical stats, trace bytes and checkpoint files to a run
+// without it.
+func TestRunTelemetryObserverEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	artifacts := func(sub string, extra ...string) (members, stats, trace, ckpt string) {
+		base := filepath.Join(dir, sub)
+		members = base + ".members"
+		stats = base + ".stats.json"
+		trace = base + ".trace"
+		ckpt = base + ".ck"
+		args := []string{"run", "-algo", "det2", "-spec", "gnp:n=400,p=0.01",
+			"-chunk", "4", "-verify=false",
+			"-members-out", members, "-stats-out", stats, "-trace", trace,
+			"-checkpoint-dir", ckpt, "-checkpoint-every", "4"}
+		args = append(args, extra...)
+		errOut := captureStderr(t, func() {
+			if err := run(args); err != nil {
+				t.Errorf("run %s: %v", sub, err)
+			}
+		})
+		_ = errOut
+		return
+	}
+	offM, offS, offT, offCk := artifacts("off")
+	onM, onS, onT, onCk := artifacts("on", "-debug-addr", "127.0.0.1:0", "-flight-dir", filepath.Join(dir, "flights"))
+
+	for _, pair := range [][2]string{{offM, onM}, {offS, onS}, {offT, onT}} {
+		a, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s empty", pair[0])
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s and %s differ: telemetry perturbed a deterministic artifact", pair[0], pair[1])
+		}
+	}
+	// Checkpoint files must match name-for-name, byte-for-byte.
+	offFiles, err := os.ReadDir(offCk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offFiles) == 0 {
+		t.Fatal("no checkpoints written")
+	}
+	for _, f := range offFiles {
+		a, err := os.ReadFile(filepath.Join(offCk, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(onCk, f.Name()))
+		if err != nil {
+			t.Fatalf("checkpoint %s missing with telemetry on: %v", f.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("checkpoint %s differs with telemetry on", f.Name())
+		}
+	}
+	// A successful run leaves no post-mortem.
+	if entries, err := os.ReadDir(filepath.Join(dir, "flights")); err == nil && len(entries) > 0 {
+		t.Errorf("successful run wrote flight artifacts: %v", entries)
+	}
+}
+
+// TestRunFlightDirWritesPostMortem drives the in-process flight recorder: a
+// failing run (budget violations) with -flight-dir must leave a parseable
+// mprs-flight/1 artifact holding the last supersteps before the failure.
+func TestRunFlightDirWritesPostMortem(t *testing.T) {
+	flights := filepath.Join(t.TempDir(), "flights")
+	var runErr error
+	captureStderr(t, func() {
+		runErr = run([]string{"run", "-algo", "rand2", "-spec", "gnp:n=2000,p=0.004",
+			"-regime", "sublinear", "-epsilon", "0.5", "-verify=false", "-flight-dir", flights})
+	})
+	if runErr == nil {
+		t.Fatal("violating run must fail")
+	}
+	path := filepath.Join(flights, "flight-w-1-a0.jsonl")
+	hdr, evs, err := telemetry.ReadFlightFile(path)
+	if err != nil {
+		t.Fatalf("flight artifact: %v", err)
+	}
+	if hdr.Kind != "error" || hdr.Worker != -1 {
+		t.Errorf("flight header = %+v", hdr)
+	}
+	if !strings.Contains(hdr.Reason, "budget violation") {
+		t.Errorf("flight reason %q does not carry the failure", hdr.Reason)
+	}
+	if len(evs) == 0 {
+		t.Error("flight artifact holds no supersteps")
+	}
+	if hdr.Round == 0 || hdr.Round != evs[len(evs)-1].Round {
+		t.Errorf("flight round %d does not match last event %d", hdr.Round, evs[len(evs)-1].Round)
 	}
 }

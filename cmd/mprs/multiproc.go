@@ -16,6 +16,7 @@ import (
 	"github.com/rulingset/mprs/internal/mpc"
 	"github.com/rulingset/mprs/internal/rulingset"
 	"github.com/rulingset/mprs/internal/supervise"
+	"github.com/rulingset/mprs/internal/telemetry"
 )
 
 // cmdWorker is the hidden `mprs worker` subcommand: the supervisor re-executes
@@ -45,6 +46,8 @@ type multiProcFlags struct {
 	jobTimeout  time.Duration
 	killWorker  string
 	lifecycle   string
+	debugAddr   string
+	flightDir   string
 }
 
 // runMultiProc is the `mprs run -backend multiproc` path: build the
@@ -61,6 +64,7 @@ func runMultiProc(spec supervise.JobSpec, mp multiProcFlags, rep runReport) erro
 		MaxRestarts: mp.maxRestarts,
 		Timeout:     mp.jobTimeout,
 		KillAt:      kills,
+		FlightDir:   mp.flightDir,
 		Spawn:       supervise.SelfExec("worker"),
 	}
 	if mp.lifecycle != "" {
@@ -70,6 +74,19 @@ func runMultiProc(spec supervise.JobSpec, mp multiProcFlags, rep runReport) erro
 		}
 		defer f.Close()
 		cfg.Lifecycle = f
+	}
+	if mp.debugAddr != "" {
+		// The supervisor serves the fleet: every worker's telemetry snapshot
+		// (heartbeat-delivered, labeled worker="<id>") merged with the
+		// supervisor's own lifecycle gauges.
+		fleet := telemetry.NewFleet()
+		cfg.Telemetry = fleet
+		ln, err := startDebugServer(mp.debugAddr, nil, fleet)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/metrics (fleet view; also /telemetry.json, /debug/pprof/)\n", ln.Addr())
 	}
 	start := time.Now()
 	res, err := supervise.Run(spec, cfg)

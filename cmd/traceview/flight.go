@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/rulingset/mprs/internal/metrics"
+	"github.com/rulingset/mprs/internal/telemetry"
+	"github.com/rulingset/mprs/internal/trace"
+)
+
+// FlightReport is the analysis of one flight-recorder artifact: the crash
+// header plus the retained supersteps leading up to it.
+type FlightReport struct {
+	Header telemetry.FlightHeader `json:"header"`
+	Events []trace.Event          `json:"events"`
+}
+
+// readFlight loads a flight artifact.
+func readFlight(path string) (FlightReport, error) {
+	hdr, evs, err := telemetry.ReadFlightFile(path)
+	if err != nil {
+		return FlightReport{}, err
+	}
+	return FlightReport{Header: hdr, Events: evs}, nil
+}
+
+// renderFlight prints the post-mortem: who died, why, and the last
+// supersteps the worker reported before the supervisor lost it.
+func renderFlight(w io.Writer, rep FlightReport) error {
+	h := rep.Header
+	who := fmt.Sprintf("worker %d (attempt %d)", h.Worker, h.Attempt)
+	if h.Worker < 0 {
+		who = "in-process run"
+	}
+	fmt.Fprintf(w, "%s: %s of %s at round %d: %s\n", h.Schema, h.Kind, who, h.Round, h.Reason)
+	if h.Algo != "" {
+		fmt.Fprintf(w, "job: %s on %s\n", h.Algo, h.Spec)
+	}
+	if len(rep.Events) == 0 {
+		fmt.Fprintln(w, "no supersteps retained (the worker died before reporting any)")
+		return nil
+	}
+	fmt.Fprintf(w, "last %d supersteps before the crash:\n\n", len(rep.Events))
+	tb := metrics.NewTable("flight recorder",
+		"round", "step", "span", "messages", "words", "max sent", "max recv", "gini sent")
+	for _, ev := range rep.Events {
+		tb.AddRow(ev.Round, ev.Step, ev.Span, ev.Messages, ev.Words, ev.MaxSent, ev.MaxRecv, ev.GiniSent)
+	}
+	return tb.Render(w)
+}

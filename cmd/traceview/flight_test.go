@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// flightFixture is a representative post-mortem: a worker SIGKILLed at round
+// 12 with three supersteps retained on its last heartbeat.
+const flightFixture = `{"schema":"mprs-flight/1","worker":1,"attempt":1,"round":12,"kind":"crash","reason":"injected kill of worker 1 at round 12","algo":"det2","spec":"gnp:n=512,p=0.03","events":3}
+{"round":10,"step":"mark","span":"sparsify","messages":40,"words":160,"max_sent":30,"max_recv":28,"gini_sent":0.4,"gini_recv":0.3}
+{"round":11,"step":"gather","span":"gather","messages":12,"words":48,"max_sent":10,"max_recv":9,"gini_sent":0.2,"gini_recv":0.2}
+{"round":12,"step":"gather","span":"gather","messages":8,"words":32,"max_sent":6,"max_recv":7,"gini_sent":0.1,"gini_recv":0.15}
+`
+
+func writeFlightFixture(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "flight-w1-a1.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFlightReport: a flight artifact is auto-detected by schema and
+// rendered as the crash post-mortem rather than a superstep report.
+func TestFlightReport(t *testing.T) {
+	var b bytes.Buffer
+	if err := run([]string{writeFlightFixture(t, flightFixture)}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"mprs-flight/1: crash of worker 1 (attempt 1) at round 12",
+		"injected kill of worker 1 at round 12",
+		"job: det2 on gnp:n=512,p=0.03",
+		"last 3 supersteps before the crash",
+		"flight recorder",
+		"sparsify",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("post-mortem missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFlightJSON checks the machine-readable post-mortem.
+func TestFlightJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := run([]string{"-json", writeFlightFixture(t, flightFixture)}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var rep FlightReport
+	if err := json.Unmarshal(b.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Header.Worker != 1 || rep.Header.Kind != "crash" || len(rep.Events) != 3 {
+		t.Fatalf("report shape: %+v (%d events)", rep.Header, len(rep.Events))
+	}
+	if rep.Events[2].Round != 12 || rep.Events[0].Span != "sparsify" {
+		t.Errorf("events decoded wrong: %+v", rep.Events)
+	}
+}
+
+// TestFlightEmptyAndInProcess: an artifact with no retained events renders
+// the died-too-early note, and a negative worker id reads as an in-process
+// run.
+func TestFlightEmptyAndInProcess(t *testing.T) {
+	fixture := `{"schema":"mprs-flight/1","worker":-1,"attempt":0,"round":0,"kind":"error","reason":"3 budget violation(s)","events":0}` + "\n"
+	var b bytes.Buffer
+	if err := run([]string{writeFlightFixture(t, fixture)}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "error of in-process run") {
+		t.Errorf("in-process header not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "no supersteps retained") {
+		t.Errorf("empty-ring note missing:\n%s", out)
+	}
+}

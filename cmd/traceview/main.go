@@ -22,6 +22,7 @@ import (
 	"github.com/rulingset/mprs/internal/buildinfo"
 	"github.com/rulingset/mprs/internal/metrics"
 	"github.com/rulingset/mprs/internal/supervise"
+	"github.com/rulingset/mprs/internal/telemetry"
 	"github.com/rulingset/mprs/internal/trace"
 )
 
@@ -49,10 +50,12 @@ func run(args []string, out io.Writer) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: traceview [-json] [-top k] trace.jsonl")
 	}
-	// A supervisor lifecycle stream gets the restart-timeline report; anything
-	// else goes down the superstep-trace path (whose reader validates the
-	// schema itself).
-	if schema, err := sniffSchema(fs.Arg(0)); err == nil && schema == supervise.LifecycleSchema {
+	// A supervisor lifecycle stream gets the restart-timeline report and a
+	// flight-recorder artifact gets the crash post-mortem; anything else goes
+	// down the superstep-trace path (whose reader validates the schema
+	// itself).
+	switch schema, _ := sniffSchema(fs.Arg(0)); schema {
+	case supervise.LifecycleSchema:
 		rep, err := readLifecycle(fs.Arg(0))
 		if err != nil {
 			return err
@@ -63,6 +66,17 @@ func run(args []string, out io.Writer) error {
 			return enc.Encode(rep)
 		}
 		return renderLifecycle(out, rep)
+	case telemetry.FlightSchema:
+		rep, err := readFlight(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		return renderFlight(out, rep)
 	}
 	hdr, evs, err := trace.ReadFile(fs.Arg(0))
 	if err != nil {

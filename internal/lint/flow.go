@@ -222,6 +222,7 @@ const maxViaChain = 6
 type flowWorld struct {
 	summaries   map[string]*funcSummary
 	criticalPkg func(pkg *types.Package) bool
+	observerPkg func(pkg *types.Package) bool
 	relPos      func(token.Pos) token.Position
 	findings    []Diagnostic
 }
@@ -231,6 +232,20 @@ func (w *flowWorld) critical(fn *types.Func) bool {
 		return false
 	}
 	return w.criticalPkg(fn.Pkg())
+}
+
+// observer reports whether fn lives in a telemetry-style observer package.
+// Observer encoders (Superstep, Persist, Wire, Encode*) export advisory
+// wall-clock measurements — feeding them timing data is their job, not a
+// determinism leak — so they are never detflow sinks, even under
+// AllCritical. The exclusion is one-directional: data flowing OUT of an
+// observer into a real sink (a simulator Stats, the trace event stream)
+// still carries its taint and is still reported.
+func (w *flowWorld) observer(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	return w.observerPkg(fn.Pkg())
 }
 
 type flowFunc struct {
@@ -252,6 +267,13 @@ func buildFlowWorld(units []*checkedUnit, ld *loader, cfg Config) *flowWorld {
 				return false
 			}
 			return cfg.AllCritical || criticalPkgs[rel]
+		},
+		observerPkg: func(pkg *types.Package) bool {
+			rel, ok := ld.moduleRel(strings.TrimSuffix(pkg.Path(), "_test"))
+			if !ok {
+				return false
+			}
+			return rel == "internal/telemetry" || strings.HasSuffix(rel, "/telemetry")
 		},
 	}
 	var fns []flowFunc
@@ -858,7 +880,7 @@ func (ff *funcFlow) collectSinks(report sinkReport) {
 // surface: message payloads, the trace event stream, durable bytes, or
 // fingerprint inputs — all identified by critical-package APIs.
 func (ff *funcFlow) sinkCallee(fn *types.Func) (string, bool) {
-	if !ff.w.critical(fn) {
+	if !ff.w.critical(fn) || ff.w.observer(fn) {
 		return "", false
 	}
 	switch name := fn.Name(); name {
@@ -899,7 +921,7 @@ func (ff *funcFlow) sinkStruct(t types.Type) (string, []string, bool) {
 	if name := obj.Name(); name != "Event" && name != "Stats" {
 		return "", nil, false
 	}
-	if !ff.w.criticalPkg(obj.Pkg()) {
+	if !ff.w.criticalPkg(obj.Pkg()) || ff.w.observerPkg(obj.Pkg()) {
 		return "", nil, false
 	}
 	st, ok := named.Underlying().(*types.Struct)

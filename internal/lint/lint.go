@@ -184,13 +184,17 @@ var criticalPkgs = map[string]bool{
 // determinism contract of its other measurements. internal/supervise is
 // exempt because failure detection is wall-clock by nature (heartbeat
 // deadlines, restart backoff); its timers only decide WHEN workers run, never
-// WHAT they compute, so committed outputs stay bit-deterministic. The
-// transport wire layer gets no exemption: framing and exchange must be
-// timing-free.
+// WHAT they compute, so committed outputs stay bit-deterministic.
+// internal/telemetry is exempt because it is a pure observer: it measures
+// wall-clock span latencies for the /metrics endpoint but exports nothing the
+// deterministic core reads back (detflow still sweeps it to prove that — see
+// the observer-package rule in flow.go). The transport wire layer gets no
+// exemption: framing and exchange must be timing-free.
 func wallclockExempt(rel string) bool {
 	return rel == "internal/experiments" ||
 		rel == "internal/bench" ||
 		rel == "internal/supervise" ||
+		rel == "internal/telemetry" ||
 		rel == "cmd" || strings.HasPrefix(rel, "cmd/") ||
 		rel == "examples" || strings.HasPrefix(rel, "examples/")
 }

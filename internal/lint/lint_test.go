@@ -143,6 +143,55 @@ func TestDetflowFixture(t *testing.T) {
 	checkWants(t, "detflow", diags)
 }
 
+// TestTelemetryObserverFixture pins the observer-package rule: feeding
+// wall-clock measurements INTO telemetry encoders stays clean even when
+// every package is forced critical (the encoders share the sinks' names on
+// purpose), while telemetry measurements flowing BACK into a deterministic
+// Stats column or message payload are reported.
+func TestTelemetryObserverFixture(t *testing.T) {
+	diags, err := Run(Config{
+		Dir:         ".",
+		Patterns:    []string{"testdata/src/telemetryflow/..."},
+		Analyzers:   []string{"detflow"},
+		AllCritical: true,
+	})
+	if err != nil {
+		t.Fatalf("Run(telemetryflow): %v", err)
+	}
+	checkWants(t, "telemetryflow", diags)
+}
+
+// TestTelemetryObserverCoverage pins internal/telemetry's lint posture: it
+// is NOT determinism-critical (its output is advisory), it may read the wall
+// clock (span latencies are its purpose), and the real package lints clean
+// under the full analyzer set — with a non-vacuity check that it genuinely
+// calls time.Now, so the silence proves the exemption.
+func TestTelemetryObserverCoverage(t *testing.T) {
+	if criticalPkgs["internal/telemetry"] {
+		t.Error(`criticalPkgs["internal/telemetry"] = true; the observer must not be a sink package`)
+	}
+	if !wallclockExempt("internal/telemetry") {
+		t.Error(`wallclockExempt("internal/telemetry") = false; span latency measurement would be findings`)
+	}
+	diags, err := Run(Config{
+		Dir:      "../..",
+		Patterns: []string{"internal/telemetry"},
+	})
+	if err != nil {
+		t.Fatalf("Run(internal/telemetry): %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("findings in internal/telemetry:\n%s", formatDiags(diags))
+	}
+	src, err := os.ReadFile(filepath.Join("..", "telemetry", "collector.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "time.Now") {
+		t.Fatal("internal/telemetry no longer reads the wall clock; exemption test proves nothing")
+	}
+}
+
 // TestDetflowCatchesWhatIntraproceduralAnalyzersCannot is the seeded-flow
 // acceptance check: the consumer package contains no nondeterminism of its
 // own — every source lives in the helper package — so the whole original
@@ -367,7 +416,7 @@ func TestTransportSuperviseCoverage(t *testing.T) {
 // one declared host-dependent column), so the wallclock analyzer must stay
 // silent there — and the exemption must not be vacuous.
 func TestBenchWallclockExemption(t *testing.T) {
-	for _, rel := range []string{"internal/bench", "cmd/mprs-bench", "cmd/traceview"} {
+	for _, rel := range []string{"internal/bench", "cmd/mprs-bench", "cmd/traceview", "internal/telemetry"} {
 		if !wallclockExempt(rel) {
 			t.Errorf("wallclockExempt(%q) = false", rel)
 		}

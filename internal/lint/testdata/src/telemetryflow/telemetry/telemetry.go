@@ -1,0 +1,39 @@
+// Package telemetry plays the role of an observer package
+// (internal/telemetry): it measures wall-clock latencies and exports them as
+// advisory series. Its encoders share method names with the deterministic
+// sinks (Superstep, Encode) on purpose — the observer-package rule must keep
+// them out of the sink set even when every package is forced critical.
+package telemetry
+
+import "time"
+
+// series is the exported measurement stream — advisory, never read back by
+// the deterministic core.
+var series []float64
+
+// Collector mimics the observer's trace hook.
+type Collector struct{ last float64 }
+
+// Superstep has the deterministic trace sink's name and shape; in an
+// observer package it records a wall-clock timestamp instead.
+func (c *Collector) Superstep(round int) {
+	_ = round
+	c.last = float64(time.Now().UnixNano())
+}
+
+// Encode has the durable sink's name; here it serializes the advisory
+// snapshot.
+func (c *Collector) Encode(buf []byte) []byte {
+	return append(buf, byte(len(series)))
+}
+
+// Observe appends one measurement to the advisory stream.
+func Observe(v float64) {
+	series = append(series, v)
+}
+
+// Elapsed returns a wall-clock-derived measurement: tainted data leaving
+// the observer.
+func Elapsed() float64 {
+	return float64(time.Now().UnixNano())
+}

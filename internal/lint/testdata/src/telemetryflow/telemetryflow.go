@@ -1,0 +1,60 @@
+// Package telemetryflow pins the one-directional observer contract: the
+// deterministic core may hand wall-clock measurements TO the telemetry
+// observer (that is the observer's whole job, so no findings), but telemetry
+// measurements flowing BACK into a deterministic record — a Stats column or
+// a message payload — are detflow findings. The run forces every package
+// critical, so the silence on the forward direction is the observer-package
+// rule working, not a scoping accident.
+package telemetryflow
+
+import (
+	"time"
+
+	"github.com/rulingset/mprs/internal/lint/testdata/src/telemetryflow/telemetry"
+)
+
+// Ctx mimics the simulator context; Send is a deterministic sink by the
+// critical-package API contract.
+type Ctx struct{ out []uint64 }
+
+// Send appends to the message payload stream.
+func (x *Ctx) Send(dst int, payload ...uint64) {
+	_ = dst
+	x.out = append(x.out, payload...)
+}
+
+// Stats mimics the simulator's deterministic columns.
+type Stats struct {
+	Rounds int
+	Words  uint64
+}
+
+// observeClean: handing a wall-clock measurement to the observer's
+// registry is the sanctioned direction — no finding even under AllCritical.
+func observeClean() {
+	telemetry.Observe(float64(time.Now().UnixNano()))
+}
+
+// collectorClean: Collector.Superstep shares the trace sink's name, and the
+// argument is wall-clock tainted; the observer-package rule keeps it out of
+// the sink set.
+func collectorClean(c *telemetry.Collector) {
+	c.Superstep(int(telemetry.Elapsed()))
+}
+
+// encodeClean: same for the Encode name — the observer's serializer is not
+// the durable byte stream.
+func encodeClean(c *telemetry.Collector) {
+	_ = c.Encode(nil)
+}
+
+// statsBackflow: a telemetry measurement written into a deterministic Stats
+// column is the forbidden direction.
+func statsBackflow(st *Stats) {
+	st.Words = uint64(telemetry.Elapsed()) // want `wall-clock read \(time\.Now\).*via telemetry\.Elapsed.*flows into the telemetryflow\.Stats field Words`
+}
+
+// payloadBackflow: the same measurement reaching a message payload.
+func payloadBackflow(x *Ctx) {
+	x.Send(1, uint64(telemetry.Elapsed())) // want `wall-clock read \(time\.Now\).*via telemetry\.Elapsed.*flows into the Ctx\.Send message payload`
+}

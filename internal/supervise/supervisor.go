@@ -12,6 +12,7 @@ import (
 
 	"github.com/rulingset/mprs/internal/mpc"
 	"github.com/rulingset/mprs/internal/rulingset"
+	"github.com/rulingset/mprs/internal/telemetry"
 	"github.com/rulingset/mprs/internal/transport"
 )
 
@@ -75,6 +76,19 @@ type Config struct {
 	// Lifecycle, when non-nil, receives the JSONL lifecycle stream (see
 	// LifecycleSchema).
 	Lifecycle io.Writer
+	// Telemetry, when non-nil, receives the fleet view: workers attach
+	// telemetry snapshots to their heartbeat frames and the supervisor
+	// merges them (plus its own lifecycle gauges) into this Fleet — the
+	// source behind the CLI's -debug-addr endpoints on the multi-process
+	// backend. Purely observational: enabling it changes no deterministic
+	// output.
+	Telemetry *telemetry.Fleet
+	// FlightDir, when set, receives one mprs-flight/1 JSONL artifact per
+	// killed or lost worker: the worker's last-reported ring of recent
+	// superstep events (carried on its heartbeats), flushed by the
+	// supervisor at the moment it declares the worker dead — the
+	// post-mortem a SIGKILL would otherwise destroy.
+	FlightDir string
 	// Spawn builds worker commands; required (use SelfExec).
 	Spawn SpawnFunc
 }
@@ -158,6 +172,14 @@ type supervisor struct {
 	spec JobSpec
 	cfg  Config
 	life *lifecycleWriter
+	// fleet merges worker heartbeat telemetry; non-nil whenever the run
+	// serves telemetry (cfg.Telemetry) or records flights (cfg.FlightDir —
+	// the flight events ride on the same heartbeat payloads).
+	fleet *telemetry.Fleet
+	// flightErr retains the first flight-artifact write failure, surfaced
+	// at Run's end like lifecycle errors: observability failures must not
+	// interrupt supervision mid-job.
+	flightErr error
 
 	events chan event
 	procs  []*proc
@@ -194,9 +216,14 @@ func Run(spec JobSpec, cfg Config) (rulingset.Result, error) {
 	if cfg.Spawn == nil {
 		return rulingset.Result{}, fmt.Errorf("supervise: Config.Spawn is required (see SelfExec)")
 	}
+	fleet := cfg.Telemetry
+	if fleet == nil && cfg.FlightDir != "" {
+		fleet = telemetry.NewFleet()
+	}
 	s := &supervisor{
 		spec:          spec,
 		cfg:           cfg,
+		fleet:         fleet,
 		life:          newLifecycleWriter(cfg.Lifecycle, LifecycleHeader{Workers: cfg.Workers, HeartbeatMS: cfg.Heartbeat.Milliseconds(), MaxRestarts: cfg.MaxRestarts}),
 		events:        make(chan event, 32*cfg.Workers),
 		procs:         make([]*proc, cfg.Workers),
@@ -234,6 +261,9 @@ func Run(spec JobSpec, cfg Config) (rulingset.Result, error) {
 			if err == nil && s.life.err != nil {
 				err = s.life.err
 			}
+			if err == nil && s.flightErr != nil {
+				err = s.flightErr
+			}
 			return res, err
 		}
 	}
@@ -248,6 +278,7 @@ func (s *supervisor) spawn(p *proc, joinAfter int, resume bool) error {
 		JoinAfter:   joinAfter,
 		Resume:      resume,
 		HeartbeatMS: s.cfg.Heartbeat.Milliseconds(),
+		Telemetry:   s.fleet != nil,
 	}
 	cmd, err := s.cfg.Spawn(env)
 	if err != nil {
@@ -279,6 +310,10 @@ func (s *supervisor) spawn(p *proc, joinAfter int, resume bool) error {
 		kind = "restart"
 	}
 	s.life.emit(LifecycleEvent{Kind: kind, Worker: p.id, Round: joinAfter, Attempt: p.attempts})
+	if s.fleet != nil {
+		s.fleet.SetLifecycle(p.id, telemetry.WorkerRunning, p.attempts, 0)
+		s.fleet.SetRound(p.id, joinAfter)
+	}
 
 	// Writer: drains the outbound queue onto the worker's stdin. A
 	// dedicated goroutine per worker so one slow or wedged pipe can never
@@ -372,9 +407,20 @@ func (s *supervisor) handle(ev event, now time.Time) {
 		if f.Round > p.lastRound {
 			p.lastRound = f.Round
 		}
+		if s.fleet != nil {
+			s.fleet.SetRound(p.id, f.Round)
+			if hb, err := transport.DecodeHeartbeat(f.Payload); err == nil && len(hb.Telemetry) > 0 {
+				if err := s.fleet.UpdateTelemetry(p.id, hb.Telemetry); err != nil {
+					_ = err // foreign-schema payload: keep the previous snapshot, liveness already counted
+				}
+			}
+		}
 	case transport.FrameMessages:
 		if f.Round > p.lastRound {
 			p.lastRound = f.Round
+		}
+		if s.fleet != nil {
+			s.fleet.SetRound(p.id, f.Round)
 		}
 		p.sentRound = f.Round
 		s.retained[p.id] = f.Payload
@@ -389,6 +435,10 @@ func (s *supervisor) handle(ev event, now time.Time) {
 		p.result = f.Payload
 		p.state = procDone
 		s.life.emit(LifecycleEvent{Kind: "result", Worker: p.id, Round: f.Round, Attempt: p.attempts})
+		if s.fleet != nil {
+			s.fleet.SetLifecycle(p.id, telemetry.WorkerDone, p.attempts, 0)
+			s.fleet.SetRound(p.id, f.Round)
+		}
 	case transport.FrameError:
 		var we workerError
 		if err := json.Unmarshal(f.Payload, &we); err != nil {
@@ -434,8 +484,12 @@ func (s *supervisor) crash(p *proc, cause error, kind string) {
 	}
 	s.stop(p)
 	s.life.emit(LifecycleEvent{Kind: kind, Worker: p.id, Round: p.sentRound, Attempt: p.attempts, Note: cause.Error()})
+	s.flushFlight(p, kind, cause)
 	if p.attempts >= s.cfg.MaxRestarts {
 		p.state = procDead
+		if s.fleet != nil {
+			s.fleet.SetLifecycle(p.id, telemetry.WorkerDead, p.attempts, 0)
+		}
 		s.beginAbort(p, cause, nil)
 		return
 	}
@@ -447,6 +501,33 @@ func (s *supervisor) crash(p *proc, cause error, kind string) {
 	p.state = procWaiting
 	p.restartAt = time.Now().Add(backoff)
 	s.life.emit(LifecycleEvent{Kind: "backoff", Worker: p.id, Round: p.sentRound, Attempt: p.attempts, BackoffMS: backoff.Milliseconds()})
+	if s.fleet != nil {
+		s.fleet.SetLifecycle(p.id, telemetry.WorkerBackoff, p.attempts, backoff.Milliseconds())
+	}
+}
+
+// flushFlight writes the dying worker's post-mortem: the ring of recent
+// superstep events its heartbeats last reported, under an mprs-flight/1
+// header naming the trigger. Runs at the moment the supervisor declares the
+// worker dead — the worker itself (SIGKILLed or wedged) can flush nothing.
+// Write failures are retained, not fatal: losing a post-mortem must not kill
+// a job that can still restart its worker.
+func (s *supervisor) flushFlight(p *proc, kind string, cause error) {
+	if s.cfg.FlightDir == "" || s.fleet == nil {
+		return
+	}
+	hdr := telemetry.FlightHeader{
+		Worker:  p.id,
+		Attempt: p.attempts,
+		Round:   p.sentRound,
+		Kind:    kind,
+		Reason:  cause.Error(),
+		Algo:    s.spec.Algo,
+		Spec:    s.spec.SpecLabel(),
+	}
+	if _, err := telemetry.WriteFlightFile(s.cfg.FlightDir, hdr, s.fleet.Recent(p.id)); err != nil && s.flightErr == nil {
+		s.flightErr = fmt.Errorf("supervise: flight recorder: %w", err)
+	}
 }
 
 // stop tears down p's process: quit the writer, kill the process group.

@@ -11,6 +11,7 @@ import (
 	"github.com/rulingset/mprs/internal/durable"
 	"github.com/rulingset/mprs/internal/mpc"
 	"github.com/rulingset/mprs/internal/rulingset"
+	"github.com/rulingset/mprs/internal/telemetry"
 	"github.com/rulingset/mprs/internal/trace"
 	"github.com/rulingset/mprs/internal/transport"
 )
@@ -38,6 +39,11 @@ type WorkerEnv struct {
 	// HeartbeatMS is the supervisor's liveness deadline; the worker sends
 	// heartbeats at a quarter of it.
 	HeartbeatMS int64 `json:"heartbeat_ms"`
+	// Telemetry asks the worker to run a telemetry collector and attach its
+	// snapshot (series + flight-recorder ring) to every heartbeat frame.
+	// Observational only: the deterministic outputs are bit-identical either
+	// way, and an older worker binary simply ignores the field.
+	Telemetry bool `json:"telemetry,omitempty"`
 }
 
 // workerError is the Error-frame payload: the failure, structured so the
@@ -109,6 +115,14 @@ func runWorker(env WorkerEnv, conn *transport.Conn) (res rulingset.Result, retEr
 		return rulingset.Result{}, err
 	}
 
+	// Telemetry is observational: the collector rides the same tracer fan-out
+	// as the deterministic sinks and attaches its snapshot to heartbeats, but
+	// nothing it computes flows back into the run.
+	var col *telemetry.Collector
+	if env.Telemetry {
+		col = telemetry.NewCollector(telemetry.CollectorOptions{})
+	}
+
 	// Liveness: a wall-clock ticker reports the newest round entered, so the
 	// supervisor can tell a crashed or wedged process from one computing
 	// between barriers. The ticker lives here, not in the transport — the
@@ -127,7 +141,15 @@ func runWorker(env WorkerEnv, conn *transport.Conn) (res rulingset.Result, retEr
 			case <-stopBeat:
 				return
 			case <-t.C:
-				if err := conn.Write(transport.Frame{Type: transport.FrameHeartbeat, Worker: env.Worker, Round: wt.LastRound()}); err != nil {
+				var payload []byte
+				if col != nil {
+					if wire, werr := col.Wire(); werr == nil {
+						if p, perr := transport.EncodeHeartbeat(transport.Heartbeat{Telemetry: wire}); perr == nil {
+							payload = p
+						}
+					}
+				}
+				if err := conn.Write(transport.Frame{Type: transport.FrameHeartbeat, Worker: env.Worker, Round: wt.LastRound(), Payload: payload}); err != nil {
 					return // pipe gone: the supervisor will notice the silence
 				}
 			}
@@ -140,6 +162,11 @@ func runWorker(env WorkerEnv, conn *transport.Conn) (res rulingset.Result, retEr
 			return rulingset.Result{}, err
 		}
 		opts.CheckpointSink = store
+		if col != nil {
+			// Meter persisted checkpoint bytes without touching them: the
+			// wrapper delegates to the real store byte-for-byte.
+			opts.CheckpointSink = col.WrapCheckpointSink(store)
+		}
 		if env.Resume {
 			meta, state, err := store.LoadLatest()
 			switch {
@@ -157,7 +184,9 @@ func runWorker(env WorkerEnv, conn *transport.Conn) (res rulingset.Result, retEr
 	// Worker 0 writes the job's trace; its replicas would write identical
 	// bytes. On restart os.Create truncates and the deterministic replay
 	// re-emits every committed round, so the finished file is byte-identical
-	// to an uninterrupted run's.
+	// to an uninterrupted run's. The telemetry collector joins the same
+	// fan-out on every worker.
+	var sinks trace.Multi
 	if spec.TraceFile != "" && env.Worker == 0 {
 		f, err := os.Create(spec.TraceFile)
 		if err != nil {
@@ -170,12 +199,18 @@ func runWorker(env WorkerEnv, conn *transport.Conn) (res rulingset.Result, retEr
 			}
 			return rulingset.Result{}, fmt.Errorf("trace %s: %w", spec.TraceFile, err)
 		}
-		opts.Tracer = tr
+		sinks = append(sinks, tr)
 		defer func() {
 			if err := tr.Close(); err != nil && retErr == nil {
 				retErr = fmt.Errorf("trace %s: %w", spec.TraceFile, err)
 			}
 		}()
+	}
+	if col != nil {
+		sinks = append(sinks, col)
+	}
+	if len(sinks) > 0 {
+		opts.Tracer = sinks
 	}
 
 	return runAlgo(spec.Algo, g, opts)

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/rulingset/mprs/internal/trace"
+)
+
+// Fleet is the supervisor-side view of a multi-process run: the newest
+// telemetry payload per worker (delivered on heartbeat frames) plus the
+// lifecycle state the supervisor itself knows (running/backoff/done, restart
+// counts, backoff). Gather merges everything into one labeled series set —
+// each worker's series tagged worker="<id>" plus fleet-level aggregates — so
+// one /metrics scrape shows the whole fleet.
+type Fleet struct {
+	mu      sync.Mutex
+	workers map[int]*fleetWorker
+}
+
+type fleetWorker struct {
+	points    []Point
+	recent    []trace.Event
+	state     string
+	attempts  int
+	backoffMS int64
+	lastRound int
+}
+
+// NewFleet creates an empty fleet view.
+func NewFleet() *Fleet {
+	return &Fleet{workers: make(map[int]*fleetWorker)}
+}
+
+func (f *Fleet) worker(id int) *fleetWorker {
+	w, ok := f.workers[id]
+	if !ok {
+		w = &fleetWorker{}
+		f.workers[id] = w
+	}
+	return w
+}
+
+// UpdateTelemetry stores worker id's newest heartbeat telemetry payload.
+// Undecodable payloads (a diverged build speaking a future schema) are
+// reported but leave the previous snapshot in place.
+func (f *Fleet) UpdateTelemetry(id int, payload []byte) error {
+	p, err := DecodeWire(payload)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	w := f.worker(id)
+	if p.Points != nil {
+		w.points = p.Points
+	}
+	if p.Recent != nil {
+		w.recent = p.Recent
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// SetLifecycle records the supervisor's view of worker id: its state
+// (running, backoff, done, dead), restart count and current backoff.
+func (f *Fleet) SetLifecycle(id int, state string, attempts int, backoffMS int64) {
+	f.mu.Lock()
+	w := f.worker(id)
+	w.state, w.attempts, w.backoffMS = state, attempts, backoffMS
+	f.mu.Unlock()
+}
+
+// SetRound records the newest round worker id is known to have entered.
+func (f *Fleet) SetRound(id, round int) {
+	f.mu.Lock()
+	w := f.worker(id)
+	if round > w.lastRound {
+		w.lastRound = round
+	}
+	f.mu.Unlock()
+}
+
+// Recent returns worker id's last-reported flight-recorder ring (the events
+// flushed into a flight artifact when the supervisor kills or loses the
+// worker).
+func (f *Fleet) Recent(id int) []trace.Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[id]
+	if !ok {
+		return nil
+	}
+	return append([]trace.Event(nil), w.recent...)
+}
+
+// fleet worker states (SetLifecycle's state values).
+const (
+	WorkerRunning = "running"
+	WorkerBackoff = "backoff"
+	WorkerDone    = "done"
+	WorkerDead    = "dead"
+)
+
+// Gather implements Gatherer: fleet aggregates, per-worker lifecycle gauges,
+// and every worker's own series re-labeled with worker="<id>", sorted by
+// (name, labels) like a Registry gather.
+func (f *Fleet) Gather() []Point {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]int, 0, len(f.workers))
+	for id := range f.workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var out []Point
+	running, restarts, committed := 0, 0, 0
+	for _, id := range ids {
+		w := f.workers[id]
+		if w.state == WorkerRunning {
+			running++
+		}
+		restarts += w.attempts
+		if w.lastRound > committed {
+			committed = w.lastRound
+		}
+		wl := Label{Name: "worker", Value: strconv.Itoa(id)}
+		if w.state != "" {
+			out = append(out, Point{Name: "mprs_worker_state", Help: "Supervisor view of the worker (1 on the current state's series).",
+				Kind: KindGauge, Labels: []Label{wl, {Name: "state", Value: w.state}}, Value: 1})
+		}
+		out = append(out,
+			Point{Name: "mprs_worker_restarts_total", Help: "Times the supervisor restarted this worker.",
+				Kind: KindCounter, Labels: []Label{wl}, Value: float64(w.attempts)},
+			Point{Name: "mprs_worker_backoff_ms", Help: "Current restart backoff in milliseconds (0 while running).",
+				Kind: KindGauge, Labels: []Label{wl}, Value: float64(w.backoffMS)},
+			Point{Name: "mprs_worker_last_round", Help: "Newest round the worker reported entering.",
+				Kind: KindGauge, Labels: []Label{wl}, Value: float64(w.lastRound)},
+		)
+		for _, p := range w.points {
+			p.Labels = append(append([]Label(nil), p.Labels...), wl)
+			out = append(out, p)
+		}
+	}
+	out = append(out,
+		Point{Name: "mprs_fleet_workers", Help: "Worker processes the supervisor knows.", Kind: KindGauge, Value: float64(len(ids))},
+		Point{Name: "mprs_fleet_workers_running", Help: "Workers currently in the running state.", Kind: KindGauge, Value: float64(running)},
+		Point{Name: "mprs_fleet_restarts_total", Help: "Worker restarts across the fleet.", Kind: KindCounter, Value: float64(restarts)},
+		Point{Name: "mprs_fleet_committed_round", Help: "Newest round any worker reported entering.", Kind: KindGauge, Value: float64(committed)},
+	)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelKey(out[i].Labels) < labelKey(out[j].Labels)
+	})
+	return out
+}

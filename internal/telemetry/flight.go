@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/rulingset/mprs/internal/trace"
+)
+
+// FlightSchema identifies a flight-recorder artifact: a JSONL file whose
+// first line is a FlightHeader and whose remaining lines are the retained
+// trace.Events, oldest first — the post-mortem a crash leaves behind.
+const FlightSchema = "mprs-flight/1"
+
+// FlightHeader is the first line of a flight artifact.
+type FlightHeader struct {
+	Schema string `json:"schema"`
+	// Worker is the worker the events belong to (-1 for an in-process run).
+	Worker int `json:"worker"`
+	// Attempt is how many times the worker had been restarted before this
+	// crash.
+	Attempt int `json:"attempt"`
+	// Round is the newest committed round known for the worker.
+	Round int `json:"round"`
+	// Kind labels the trigger: crash, stall, or error.
+	Kind string `json:"kind"`
+	// Reason is the human-readable cause.
+	Reason string `json:"reason"`
+	// Algo and Spec identify the job.
+	Algo string `json:"algo,omitempty"`
+	Spec string `json:"spec,omitempty"`
+	// Events is the retained event count (the line count that follows).
+	Events int `json:"events"`
+}
+
+// WriteFlight writes one flight artifact.
+func WriteFlight(w io.Writer, hdr FlightHeader, evs []trace.Event) error {
+	hdr.Schema = FlightSchema
+	hdr.Events = len(evs)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("telemetry: flight header: %w", err)
+	}
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("telemetry: flight event: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFlightFile writes a flight artifact into dir (creating it), named
+// flight-w<worker>-a<attempt>.jsonl so successive restarts of one worker
+// each keep their own post-mortem. It returns the file path.
+func WriteFlightFile(dir string, hdr FlightHeader, evs []trace.Event) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("telemetry: flight dir: %w", err)
+	}
+	name := fmt.Sprintf("flight-w%d-a%d.jsonl", hdr.Worker, hdr.Attempt)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: flight file: %w", err)
+	}
+	if err := WriteFlight(f, hdr, evs); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("telemetry: flight file: %w", err)
+	}
+	return path, nil
+}
+
+// ReadFlight parses a flight artifact.
+func ReadFlight(r io.Reader) (FlightHeader, []trace.Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var hdr FlightHeader
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return hdr, nil, err
+		}
+		return hdr, nil, fmt.Errorf("telemetry: empty flight artifact")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("telemetry: flight header: %w", err)
+	}
+	if hdr.Schema != FlightSchema {
+		return hdr, nil, fmt.Errorf("telemetry: schema %q, want %q", hdr.Schema, FlightSchema)
+	}
+	var evs []trace.Event
+	line := 1
+	for sc.Scan() {
+		line++
+		var ev trace.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return hdr, nil, fmt.Errorf("telemetry: flight line %d: %w", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return hdr, nil, err
+	}
+	return hdr, evs, nil
+}
+
+// ReadFlightFile parses the flight artifact at path.
+func ReadFlightFile(path string) (FlightHeader, []trace.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FlightHeader{}, nil, err
+	}
+	defer f.Close()
+	hdr, evs, err := ReadFlight(f)
+	if err != nil {
+		return hdr, evs, fmt.Errorf("%s: %w", path, err)
+	}
+	return hdr, evs, nil
+}

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/rulingset/mprs/internal/trace"
+)
+
+// TestFlightRoundTrip pins the artifact format: header line plus events,
+// schema and count stamped by the writer.
+func TestFlightRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	evs := []trace.Event{
+		{Round: 7, Step: "route", Span: "gather", Words: 40},
+		{Round: 8, Step: "route", Span: "gather", Words: 44},
+	}
+	hdr := FlightHeader{Worker: 1, Attempt: 2, Round: 8, Kind: "crash", Reason: "heartbeat lost", Algo: "rs2", Spec: "grid:100"}
+	path, err := WriteFlightFile(dir, hdr, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "flight-w1-a2.jsonl"); path != want {
+		t.Errorf("path = %q, want %q", path, want)
+	}
+	got, gotEvs, err := ReadFlightFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != FlightSchema || got.Events != 2 {
+		t.Errorf("header = %+v", got)
+	}
+	if got.Worker != 1 || got.Attempt != 2 || got.Kind != "crash" || got.Reason != "heartbeat lost" {
+		t.Errorf("header fields = %+v", got)
+	}
+	if len(gotEvs) != 2 || gotEvs[0].Round != 7 || gotEvs[1].Words != 44 {
+		t.Errorf("events = %+v", gotEvs)
+	}
+}
+
+// TestFlightEmptyRing is the saddest post-mortem: a worker that died before
+// reporting any superstep still leaves a parseable artifact.
+func TestFlightEmptyRing(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteFlightFile(dir, FlightHeader{Worker: 0, Kind: "stall", Reason: "no progress"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, evs, err := ReadFlightFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Events != 0 || len(evs) != 0 {
+		t.Errorf("empty flight = %+v / %+v", hdr, evs)
+	}
+}
+
+// TestFlightRejectsForeign pins schema validation on read.
+func TestFlightRejectsForeign(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(path, []byte(`{"schema":"mprs-trace/1"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFlightFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("foreign schema error = %v", err)
+	}
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFlightFile(path); err == nil {
+		t.Error("empty artifact accepted")
+	}
+}

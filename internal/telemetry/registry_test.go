@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden pins the full text exposition byte-for-byte:
+// HELP/TYPE once per family, families in name order, series in label-key
+// order within a family, histogram buckets cumulative with the implicit +Inf
+// terminal, and label values escaped per the 0.0.4 spec.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mprs_words_total", "Words delivered.").Add(1234)
+	r.Gauge("mprs_committed_round", "Latest committed round.").Set(7)
+	r.Counter("mprs_worker_restarts_total", "Restarts.", Label{Name: "worker", Value: "0"}).Add(2)
+	r.Counter("mprs_worker_restarts_total", "Restarts.", Label{Name: "worker", Value: "1"}).Add(1)
+	h := r.Histogram("mprs_span_seconds", "Phase residence.", []float64{0.01, 0.1, 1},
+		Label{Name: "span", Value: `odd"name\with` + "\n" + `breaks`})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP mprs_committed_round Latest committed round.
+# TYPE mprs_committed_round gauge
+mprs_committed_round 7
+# HELP mprs_span_seconds Phase residence.
+# TYPE mprs_span_seconds histogram
+mprs_span_seconds_bucket{span="odd\"name\\with\nbreaks",le="0.01"} 1
+mprs_span_seconds_bucket{span="odd\"name\\with\nbreaks",le="0.1"} 2
+mprs_span_seconds_bucket{span="odd\"name\\with\nbreaks",le="1"} 2
+mprs_span_seconds_bucket{span="odd\"name\\with\nbreaks",le="+Inf"} 3
+mprs_span_seconds_sum{span="odd\"name\\with\nbreaks"} 5.055
+mprs_span_seconds_count{span="odd\"name\\with\nbreaks"} 3
+# HELP mprs_words_total Words delivered.
+# TYPE mprs_words_total counter
+mprs_words_total 1234
+# HELP mprs_worker_restarts_total Restarts.
+# TYPE mprs_worker_restarts_total counter
+mprs_worker_restarts_total{worker="0"} 2
+mprs_worker_restarts_total{worker="1"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestGatherStable proves two gathers of identical state render identical
+// documents regardless of registration interleaving.
+func TestGatherStable(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name, "help "+name).Add(1)
+		}
+		var b strings.Builder
+		if err := WritePrometheus(&b, r.Gather()); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := build([]string{"mprs_a_total", "mprs_b_total", "mprs_c_total"})
+	b := build([]string{"mprs_c_total", "mprs_a_total", "mprs_b_total"})
+	if a != b {
+		t.Errorf("gather order depends on registration order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mprs_x_total", "x")
+	c.Add(5)
+	c.Add(-3)
+	c.Inc()
+	pts := r.Gather()
+	if len(pts) != 1 || pts[0].Value != 6 {
+		t.Errorf("counter = %+v, want single point value 6", pts)
+	}
+}
+
+func TestGaugeMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("mprs_peak", "peak")
+	g.Max(3)
+	g.Max(1)
+	if v := r.Gather()[0].Value; v != 3 {
+		t.Errorf("Max gauge = %v, want 3", v)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("mprs_x_total", "x")
+	r.Gauge("mprs_x_total", "x")
+}
+
+// TestSnapshotRoundTrip pins the JSON snapshot document and its
+// version-skew tolerance: unknown fields and a missing schema decode fine;
+// a foreign schema is rejected.
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("mprs_committed_round", "round").Set(9)
+	data, err := EncodeSnapshot(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schema":"mprs-telemetry/1"`) {
+		t.Errorf("snapshot missing schema: %s", data)
+	}
+	s, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 1 || s.Points[0].Name != "mprs_committed_round" || s.Points[0].Value != 9 {
+		t.Errorf("round-trip points = %+v", s.Points)
+	}
+
+	// A future minor version with unknown fields still decodes.
+	future := `{"schema":"mprs-telemetry/9","points":[{"name":"mprs_new","kind":"gauge","value":1,"novel_field":true}],"extra":{}}`
+	if s, err = DecodeSnapshot([]byte(future)); err != nil {
+		t.Errorf("future snapshot rejected: %v", err)
+	} else if len(s.Points) != 1 {
+		t.Errorf("future snapshot points = %+v", s.Points)
+	}
+	// An old peer that never wrote a schema is tolerated.
+	if _, err := DecodeSnapshot([]byte(`{"points":[]}`)); err != nil {
+		t.Errorf("schemaless snapshot rejected: %v", err)
+	}
+	// A document from a different family is not.
+	if _, err := DecodeSnapshot([]byte(`{"schema":"mprs-trace/1"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+	if _, err := DecodeSnapshot([]byte(`{garbage`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerEndpoints pins the two HTTP endpoints: the Prometheus content
+// type and body on /metrics, the snapshot document on /telemetry.json.
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("mprs_committed_round", "Latest committed round.").Set(12)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "mprs_committed_round 12") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/telemetry.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	s, err := DecodeSnapshot(body)
+	if err != nil {
+		t.Fatalf("/telemetry.json did not decode: %v\n%s", err, body)
+	}
+	if len(s.Points) != 1 || s.Points[0].Value != 12 {
+		t.Errorf("/telemetry.json points = %+v", s.Points)
+	}
+}
+
+// TestHandlerNilGatherer: a handler without a gatherer serves empty
+// documents instead of panicking.
+func TestHandlerNilGatherer(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/telemetry.json"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+	}
+}

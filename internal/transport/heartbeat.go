@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Heartbeat is the optional body of a FrameHeartbeat frame. The liveness
+// signal itself is the frame (its Round field reports progress); the body
+// carries side-channel observability data. An empty payload is a complete,
+// valid heartbeat — workers without telemetry enabled, and workers from
+// builds predating this struct, send none — so the field set can grow
+// without breaking mixed-version fleets in either direction: an old
+// supervisor ignores payloads it never reads, a new supervisor treats an
+// empty or partial body as absent fields.
+type Heartbeat struct {
+	// Telemetry is an opaque telemetry snapshot (schema mprs-telemetry/1,
+	// produced and consumed by internal/telemetry). The transport does not
+	// interpret it — observability bytes must never influence framing or
+	// exchange.
+	Telemetry json.RawMessage `json:"telemetry,omitempty"`
+}
+
+// EncodeHeartbeat renders the heartbeat body. An empty heartbeat encodes to
+// nil — no payload bytes on the wire — which keeps telemetry-off runs
+// byte-identical to pre-telemetry builds.
+func EncodeHeartbeat(hb Heartbeat) ([]byte, error) {
+	if len(hb.Telemetry) == 0 {
+		return nil, nil
+	}
+	data, err := json.Marshal(hb)
+	if err != nil {
+		return nil, fmt.Errorf("transport: encode heartbeat: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeHeartbeat parses a heartbeat payload. nil/empty means an empty
+// heartbeat (older peer or telemetry off); unknown fields from newer peers
+// are ignored.
+func DecodeHeartbeat(payload []byte) (Heartbeat, error) {
+	if len(payload) == 0 {
+		return Heartbeat{}, nil
+	}
+	var hb Heartbeat
+	if err := json.Unmarshal(payload, &hb); err != nil {
+		return Heartbeat{}, fmt.Errorf("%w: heartbeat payload: %v", ErrCodec, err)
+	}
+	return hb, nil
+}

@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestHeartbeatRoundTrip pins the telemetry side-channel: a payload survives
+// encode/decode untouched.
+func TestHeartbeatRoundTrip(t *testing.T) {
+	snap := `{"schema":"mprs-telemetry/1","points":[]}`
+	data, err := EncodeHeartbeat(Heartbeat{Telemetry: []byte(snap)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := DecodeHeartbeat(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(hb.Telemetry) != snap {
+		t.Errorf("telemetry = %s, want %s", hb.Telemetry, snap)
+	}
+}
+
+// TestHeartbeatEmptyIsAbsent pins the wire-compatibility contract: an empty
+// heartbeat encodes to nil payload bytes (telemetry-off runs stay
+// byte-identical to pre-telemetry builds), and a nil/empty payload decodes
+// to the zero Heartbeat (a frame from an older worker).
+func TestHeartbeatEmptyIsAbsent(t *testing.T) {
+	data, err := EncodeHeartbeat(Heartbeat{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != nil {
+		t.Errorf("empty heartbeat encoded to %q, want no payload", data)
+	}
+	for _, payload := range [][]byte{nil, {}} {
+		hb, err := DecodeHeartbeat(payload)
+		if err != nil {
+			t.Fatalf("decode %v: %v", payload, err)
+		}
+		if hb.Telemetry != nil {
+			t.Errorf("decode %v = %+v, want zero", payload, hb)
+		}
+	}
+}
+
+// TestHeartbeatVersionSkew pins forward tolerance: a payload from a newer
+// build with fields this build has never heard of still decodes (the known
+// fields survive), while a corrupt payload is an ErrCodec.
+func TestHeartbeatVersionSkew(t *testing.T) {
+	future := `{"telemetry":{"schema":"mprs-telemetry/2"},"load_average":0.7,"novel":{"nested":true}}`
+	hb, err := DecodeHeartbeat([]byte(future))
+	if err != nil {
+		t.Fatalf("future heartbeat rejected: %v", err)
+	}
+	if !strings.Contains(string(hb.Telemetry), "mprs-telemetry/2") {
+		t.Errorf("known field lost across skew: %+v", hb)
+	}
+
+	if _, err := DecodeHeartbeat([]byte(`{truncated`)); !errors.Is(err, ErrCodec) {
+		t.Errorf("corrupt payload error = %v, want ErrCodec", err)
+	}
+}
