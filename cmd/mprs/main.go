@@ -25,6 +25,14 @@
 //	          [-checkpoint-retain k] durable checkpoints kept on disk (0 = default 3)
 //	          [-members-out file] write the ruling-set member ids, one per line
 //	          [-die-at N]        crash-test hook: exit with status 7 once round N commits
+//	          [-chaos plan] [-chaos-seed 1] deterministic substrate fault injection
+//	                             (wire:OP@round:worker, disk:OP@round:worker,
+//	                             proc:OP@round:worker — see internal/chaos); inproc
+//	                             accepts disk: events only
+//	          [-flap-limit 3] [-max-fleet-restarts 0] [-degraded-fallback]
+//	                             multiproc supervision hardening: quarantine flapping
+//	                             workers, cap fleet-wide restarts, and degrade to an
+//	                             in-process run instead of aborting
 //	mprs -version
 //
 // Algorithms: luby, detluby, rand2, det2, randbeta, detbeta, randab, detab,
@@ -66,6 +74,7 @@ import (
 	"time"
 
 	"github.com/rulingset/mprs/internal/buildinfo"
+	"github.com/rulingset/mprs/internal/chaos"
 	"github.com/rulingset/mprs/internal/durable"
 	"github.com/rulingset/mprs/internal/gen"
 	"github.com/rulingset/mprs/internal/graph"
@@ -237,6 +246,12 @@ func cmdRun(args []string) (retErr error) {
 		jobTimeout  = fs.Duration("job-timeout", 0, "multiproc hard wall-clock cap on the whole job (0 = none)")
 		killWorker  = fs.String("kill-worker", "", "multiproc fault injection: kill worker w once its frame for round r arrives, w@r[,w@r...]")
 		lifecycle   = fs.String("lifecycle-trace", "", "write the supervisor lifecycle events (starts, kills, backoffs, restarts) as JSONL to this file")
+
+		chaosSpec        = fs.String("chaos", "", "deterministic substrate fault plan, e.g. wire:corrupt@6:1,disk:torn@8:0,proc:kill@10:1 (empty = off; inproc accepts disk: events only)")
+		chaosSeed        = fs.Int64("chaos-seed", 1, "seed for the deterministic chaos schedule")
+		flapLimit        = fs.Int("flap-limit", supervise.DefaultFlapLimit, "multiproc: quarantine a worker after this many consecutive crashes at one round (negative = never)")
+		maxFleetRestarts = fs.Int("max-fleet-restarts", 0, "multiproc: restart budget across the whole fleet (0 = unlimited)")
+		degraded         = fs.Bool("degraded-fallback", false, "multiproc: when supervision gives up, finish as a single in-process run resumed from the newest checkpoint instead of aborting (still a failing exit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -246,6 +261,10 @@ func cmdRun(args []string) (retErr error) {
 		return err
 	}
 	plan, err := mpc.ParseFaultPlan(*faults, *fseed)
+	if err != nil {
+		return err
+	}
+	chaosPlan, err := chaos.Parse(*chaosSpec, *chaosSeed)
 	if err != nil {
 		return err
 	}
@@ -307,14 +326,18 @@ func cmdRun(args []string) (retErr error) {
 			Parallelism:      *par,
 		}
 		return runMultiProc(spec, multiProcFlags{
-			workers:     *workers,
-			heartbeat:   *heartbeat,
-			maxRestarts: *maxRestarts,
-			jobTimeout:  *jobTimeout,
-			killWorker:  *killWorker,
-			lifecycle:   *lifecycle,
-			debugAddr:   *debugAddr,
-			flightDir:   *flightDir,
+			workers:          *workers,
+			heartbeat:        *heartbeat,
+			maxRestarts:      *maxRestarts,
+			jobTimeout:       *jobTimeout,
+			killWorker:       *killWorker,
+			lifecycle:        *lifecycle,
+			debugAddr:        *debugAddr,
+			flightDir:        *flightDir,
+			chaos:            chaosPlan,
+			flapLimit:        *flapLimit,
+			maxFleetRestarts: *maxFleetRestarts,
+			degradedFallback: *degraded,
 		}, runReport{
 			algo:       *algo,
 			title:      fmt.Sprintf("%s on %v (%d machines, %s regime, %d workers)", *algo, g, *machines, *regime, *workers),
@@ -329,6 +352,15 @@ func cmdRun(args []string) (retErr error) {
 		})
 	} else if *backend != "inproc" {
 		return fmt.Errorf("unknown backend %q (want inproc or multiproc)", *backend)
+	}
+
+	// The in-process backend has no wire or worker processes to attack: only
+	// disk: chaos events (against worker 0's store, the only store) apply.
+	if chaosPlan.Enabled() && (chaosPlan.HasWire() || len(chaosPlan.Proc) > 0 || chaosPlan.MaxWorker() > 0) {
+		return fmt.Errorf("-chaos: backend inproc accepts disk: events for worker 0 only (wire: and proc: need -backend multiproc)")
+	}
+	if chaosPlan.HasDisk(0) && *ckptDir == "" {
+		return fmt.Errorf("-chaos: disk: events need -checkpoint-dir (they attack the durable checkpoint store)")
 	}
 
 	// Cooperative cancellation: an interrupt cancels the run at the next
@@ -356,7 +388,9 @@ func cmdRun(args []string) (retErr error) {
 			opts.CheckpointEvery = defaultCheckpointEvery
 		}
 		fp := runFingerprint(*algo, src.describe(), *src.seed, opts, *faults, *fseed)
-		store, err = durable.Open(*ckptDir, fp, *ckptRetain)
+		// Chaos disk events (if any) interpose at the durable.FS seam; the
+		// in-process run is "worker 0, attempt 0" of the chaos schedule.
+		store, err = durable.OpenFS(*ckptDir, fp, *ckptRetain, chaos.NewDiskFS(chaosPlan, 0, 0))
 		if err != nil {
 			return err
 		}

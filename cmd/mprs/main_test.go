@@ -232,7 +232,8 @@ func TestRunUsageGolden(t *testing.T) {
 	// Every flag named in the command doc's usage block must exist; spot-check
 	// the ones the doc calls out explicitly.
 	for _, flagName := range []string{"-phases", "-rounds", "-spans", "-slack", "-trace", "-debug-addr", "-algo-seed",
-		"-checkpoint-dir", "-resume", "-checkpoint-retain", "-members-out", "-die-at", "-flight-dir"} {
+		"-checkpoint-dir", "-resume", "-checkpoint-retain", "-members-out", "-die-at", "-flight-dir",
+		"-chaos", "-chaos-seed", "-flap-limit", "-max-fleet-restarts", "-degraded-fallback"} {
 		if !strings.Contains(got, "\n  "+flagName) {
 			t.Errorf("usage output missing %s", flagName)
 		}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/rulingset/mprs/internal/chaos"
 	"github.com/rulingset/mprs/internal/clique"
 	"github.com/rulingset/mprs/internal/durable"
 	"github.com/rulingset/mprs/internal/graph"
@@ -48,6 +49,11 @@ type multiProcFlags struct {
 	lifecycle   string
 	debugAddr   string
 	flightDir   string
+
+	chaos            *chaos.Plan
+	flapLimit        int
+	maxFleetRestarts int
+	degradedFallback bool
 }
 
 // runMultiProc is the `mprs run -backend multiproc` path: build the
@@ -59,13 +65,17 @@ func runMultiProc(spec supervise.JobSpec, mp multiProcFlags, rep runReport) erro
 		return err
 	}
 	cfg := supervise.Config{
-		Workers:     mp.workers,
-		Heartbeat:   mp.heartbeat,
-		MaxRestarts: mp.maxRestarts,
-		Timeout:     mp.jobTimeout,
-		KillAt:      kills,
-		FlightDir:   mp.flightDir,
-		Spawn:       supervise.SelfExec("worker"),
+		Workers:          mp.workers,
+		Heartbeat:        mp.heartbeat,
+		MaxRestarts:      mp.maxRestarts,
+		Timeout:          mp.jobTimeout,
+		KillAt:           kills,
+		FlightDir:        mp.flightDir,
+		Chaos:            mp.chaos,
+		FlapLimit:        mp.flapLimit,
+		MaxFleetRestarts: mp.maxFleetRestarts,
+		DegradedFallback: mp.degradedFallback,
+		Spawn:            supervise.SelfExec("worker"),
 	}
 	if mp.lifecycle != "" {
 		f, err := os.Create(mp.lifecycle)
@@ -91,6 +101,21 @@ func runMultiProc(spec supervise.JobSpec, mp multiProcFlags, rep runReport) erro
 	start := time.Now()
 	res, err := supervise.Run(spec, cfg)
 	if err != nil {
+		var derr *supervise.DegradedError
+		if errors.As(err, &derr) {
+			// A degraded run still produced a correct, bit-identical Result:
+			// report it in full (tables, -members-out, -stats-out — the chaos
+			// oracle byte-diffs those artifacts), then fail the exit anyway —
+			// the multi-process contract was not honored.
+			fmt.Fprintf(os.Stderr, "supervisor degraded: worker %d gave out after %d restart(s) (quarantined=%t); resumed in-process from checkpoint round %d\n",
+				derr.Worker, derr.Attempts, derr.Quarantined, derr.ResumedFrom)
+			rep.res = res
+			rep.wall = time.Since(start)
+			if rerr := reportResult(rep); rerr != nil {
+				return errors.Join(err, rerr)
+			}
+			return err
+		}
 		var serr *supervise.SupervisorError
 		if errors.As(err, &serr) {
 			fmt.Fprintf(os.Stderr, "supervisor abort: %d committed rounds, worker %d after %d restart(s)\n",

@@ -42,6 +42,9 @@ type LifecycleReport struct {
 	Header  supervise.LifecycleHeader  `json:"header"`
 	Events  []supervise.LifecycleEvent `json:"events"`
 	Workers []WorkerTimeline           `json:"workers"`
+	// Degraded marks a run the supervisor finished as a single in-process
+	// fallback after giving up on the worker fleet.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // WorkerTimeline summarizes one worker's crash/restart history.
@@ -50,9 +53,11 @@ type WorkerTimeline struct {
 	Crashes      int    `json:"crashes"`
 	Stalls       int    `json:"stalls"`
 	Restarts     int    `json:"restarts"`
+	Chaos        int    `json:"chaos,omitempty"` // injected chaos events that fired against this worker
+	Quarantined  bool   `json:"quarantined,omitempty"`
 	LastJoin     int    `json:"last_join_round"` // join round of the newest restart
 	FinalRound   int    `json:"final_round"`     // round on the result/error event, if any
-	FinalOutcome string `json:"final_outcome"`   // result, error, or "" if the run ended without one
+	FinalOutcome string `json:"final_outcome"`   // result, error, quarantined, or "" if the run ended without one
 }
 
 // readLifecycle loads and analyzes a lifecycle stream.
@@ -107,6 +112,15 @@ func readLifecycle(path string) (LifecycleReport, error) {
 			tl := timeline(ev.Worker)
 			tl.FinalRound = ev.Round
 			tl.FinalOutcome = ev.Kind
+		case "chaos":
+			timeline(ev.Worker).Chaos++
+		case "quarantine":
+			tl := timeline(ev.Worker)
+			tl.Quarantined = true
+			tl.FinalRound = ev.Round
+			tl.FinalOutcome = "quarantined"
+		case "degrade":
+			rep.Degraded = true
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -122,16 +136,20 @@ func readLifecycle(path string) (LifecycleReport, error) {
 // renderLifecycle prints the restart timeline: the per-worker summary, then
 // the full ordered event log.
 func renderLifecycle(w io.Writer, rep LifecycleReport) error {
-	fmt.Fprintf(w, "lifecycle: %s workers=%d heartbeat=%dms max_restarts=%d\n\n",
-		rep.Header.Schema, rep.Header.Workers, rep.Header.HeartbeatMS, rep.Header.MaxRestarts)
+	degraded := ""
+	if rep.Degraded {
+		degraded = " DEGRADED (finished by in-process fallback)"
+	}
+	fmt.Fprintf(w, "lifecycle: %s workers=%d heartbeat=%dms max_restarts=%d%s\n\n",
+		rep.Header.Schema, rep.Header.Workers, rep.Header.HeartbeatMS, rep.Header.MaxRestarts, degraded)
 
-	sum := metrics.NewTable("per-worker", "worker", "crashes", "stalls", "restarts", "last join", "final round", "outcome")
+	sum := metrics.NewTable("per-worker", "worker", "crashes", "stalls", "restarts", "chaos", "last join", "final round", "outcome")
 	for _, tl := range rep.Workers {
 		outcome := tl.FinalOutcome
 		if outcome == "" {
 			outcome = "-"
 		}
-		sum.AddRow(tl.Worker, tl.Crashes, tl.Stalls, tl.Restarts, tl.LastJoin, tl.FinalRound, outcome)
+		sum.AddRow(tl.Worker, tl.Crashes, tl.Stalls, tl.Restarts, tl.Chaos, tl.LastJoin, tl.FinalRound, outcome)
 	}
 	if err := sum.Render(w); err != nil {
 		return err

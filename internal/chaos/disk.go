@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/rulingset/mprs/internal/durable"
+)
+
+// ErrInjected is wrapped by every error a DiskFS fabricates, so tests can
+// tell an injected failure from a real one.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// NewDiskFS returns the durable.FS a worker process should open its
+// checkpoint store through. When the plan has no disk event for this worker
+// — or this is a restarted incarnation (attempt > 0) — the result is the
+// plain OS filesystem: disk chaos models a transient environment failure
+// (full disk, dying device), so a supervisor-driven retry must run clean.
+// That asymmetry is the point of the attempt gate: it proves end-to-end
+// that classifying persist failures as retryable actually recovers the run.
+func NewDiskFS(plan *Plan, worker, attempt int) durable.FS {
+	if !plan.HasDisk(worker) || attempt > 0 {
+		return durable.OSFS{}
+	}
+	return &diskFS{plan: plan, worker: worker, fired: make(map[int]bool), lastCkptRound: -1}
+}
+
+// diskFS interposes on the three write seams Persist crosses: the
+// checkpoint temp file (torn/enospc/fsyncerr), the temp-to-final rename
+// (renamecrash), and the manifest rewrite (manifesttorn). Reads pass
+// through untouched — recovery is the code under test.
+type diskFS struct {
+	durable.OSFS
+	plan   *Plan
+	worker int
+
+	mu            sync.Mutex
+	fired         map[int]bool
+	lastCkptRound int // round of the newest checkpoint temp opened
+}
+
+// claim fires event i once.
+func (d *diskFS) claim(i int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fired[i] {
+		return false
+	}
+	d.fired[i] = true
+	return true
+}
+
+// event finds the first unfired disk event matching (op, round) for this
+// worker and claims it.
+func (d *diskFS) event(op DiskOp, round int) bool {
+	for i, ev := range d.plan.Disk {
+		if ev.Worker == d.worker && ev.Op == op && ev.Round == round && d.claim(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// OpenFile interposes on checkpoint temp-file creation.
+func (d *diskFS) OpenFile(name string, flag int, perm os.FileMode) (durable.File, error) {
+	round, tmp, ok := durable.ParseCheckpointName(filepath.Base(name))
+	if !ok || !tmp {
+		return d.OSFS.OpenFile(name, flag, perm)
+	}
+	d.mu.Lock()
+	d.lastCkptRound = round
+	d.mu.Unlock()
+	f, err := d.OSFS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case d.event(DiskTorn, round):
+		// A torn write reports success all the way through Sync and Close;
+		// only the decode-time CRC can catch it.
+		budget := 8 + int(d.plan.mix(uint64(DiskTorn), uint64(round), uint64(d.worker))%33)
+		return &tornFile{File: f, budget: budget}, nil
+	case d.event(DiskENOSPC, round):
+		return &enospcFile{File: f}, nil
+	case d.event(DiskFsyncErr, round):
+		return &fsyncErrFile{File: f}, nil
+	}
+	return f, nil
+}
+
+// Rename interposes on installing a checkpoint: renamecrash models a
+// process dying between the temp write and the rename, leaving only the
+// temp file behind.
+func (d *diskFS) Rename(oldpath, newpath string) error {
+	if round, tmp, ok := durable.ParseCheckpointName(filepath.Base(newpath)); ok && !tmp && d.event(DiskRenameCrash, round) {
+		return fmt.Errorf("%w: crash before rename of %s", ErrInjected, filepath.Base(newpath))
+	}
+	return d.OSFS.Rename(oldpath, newpath)
+}
+
+// WriteFile interposes on the manifest rewrite that follows installing a
+// checkpoint: manifesttorn silently halves it, leaving an unparseable
+// manifest that the (advisory) load path must shrug off.
+func (d *diskFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if strings.HasPrefix(filepath.Base(name), durable.ManifestName) {
+		d.mu.Lock()
+		round := d.lastCkptRound
+		d.mu.Unlock()
+		if round >= 0 && d.event(DiskManifestTorn, round) {
+			return d.OSFS.WriteFile(name, data[:len(data)/2], perm)
+		}
+	}
+	return d.OSFS.WriteFile(name, data, perm)
+}
+
+// tornFile writes through only the first budget bytes and silently swallows
+// the rest, reporting success for everything including Sync.
+type tornFile struct {
+	durable.File
+	budget int
+}
+
+func (f *tornFile) Write(p []byte) (int, error) {
+	if f.budget > 0 {
+		n := len(p)
+		if n > f.budget {
+			n = f.budget
+		}
+		f.budget -= n
+		if _, err := f.File.Write(p[:n]); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// enospcFile fails every write as a full disk would.
+type enospcFile struct{ durable.File }
+
+func (f *enospcFile) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("%w: no space left on device", ErrInjected)
+}
+
+// fsyncErrFile lets writes land but fails the fsync.
+type fsyncErrFile struct{ durable.File }
+
+func (f *fsyncErrFile) Sync() error {
+	return fmt.Errorf("%w: fsync failed", ErrInjected)
+}

@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/rulingset/mprs/internal/durable"
+)
+
+// diskState builds a recognizable per-machine state for round r.
+func diskState(r int) [][]uint64 {
+	st := make([][]uint64, 4)
+	for m := range st {
+		st[m] = []uint64{uint64(m), uint64(r), 0xc0ffee}
+	}
+	return st
+}
+
+// openChaosStore opens a real durable.Store through the chaos FS.
+func openChaosStore(t *testing.T, dir, spec string, worker, attempt int) *durable.Store {
+	t.Helper()
+	fsys := NewDiskFS(mustPlan(t, spec, 7), worker, attempt)
+	s, err := durable.OpenFS(dir, "fp", 3, fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDiskTornFallsBackOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	s := openChaosStore(t, dir, "disk:torn@8:1", 1, 0)
+	for _, r := range []int{0, 4} {
+		if _, err := s.Persist(r, diskState(r)); err != nil {
+			t.Fatalf("persist %d: %v", r, err)
+		}
+	}
+	// The torn write reports success — exactly like real silent data loss.
+	if _, err := s.Persist(8, diskState(8)); err != nil {
+		t.Fatalf("torn persist must report success, got %v", err)
+	}
+	// A fresh store (clean FS) must fall back past the torn round-8 file.
+	s2, err := durable.Open(dir, "fp", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, state, err := s2.LoadLatest()
+	if err != nil {
+		t.Fatalf("LoadLatest: %v", err)
+	}
+	if meta.Round != 4 || state[0][1] != 4 {
+		t.Fatalf("fell back to round %d, want 4", meta.Round)
+	}
+}
+
+func TestDiskENOSPCIsRetryable(t *testing.T) {
+	dir := t.TempDir()
+	s := openChaosStore(t, dir, "disk:enospc@4:0", 0, 0)
+	if _, err := s.Persist(0, diskState(0)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Persist(4, diskState(4))
+	if !errors.Is(err, durable.ErrPersist) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrPersist wrapping ErrInjected", err)
+	}
+	// A restarted incarnation gets a clean FS and the same Persist succeeds.
+	s2 := openChaosStore(t, dir, "disk:enospc@4:0", 0, 1)
+	if meta, _, err := s2.LoadLatest(); err != nil || meta.Round != 0 {
+		t.Fatalf("resume point: meta=%+v err=%v", meta, err)
+	}
+	if _, err := s2.Persist(4, diskState(4)); err != nil {
+		t.Fatalf("retry on attempt 1: %v", err)
+	}
+}
+
+func TestDiskFsyncErrIsRetryable(t *testing.T) {
+	dir := t.TempDir()
+	s := openChaosStore(t, dir, "disk:fsyncerr@4:0", 0, 0)
+	if _, err := s.Persist(0, diskState(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Persist(4, diskState(4)); !errors.Is(err, durable.ErrPersist) {
+		t.Fatalf("err = %v, want ErrPersist", err)
+	}
+	if meta, _, err := s.LoadLatest(); err != nil || meta.Round != 0 {
+		t.Fatalf("previous checkpoint lost: meta=%+v err=%v", meta, err)
+	}
+}
+
+func TestDiskRenameCrashLeavesTempOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := openChaosStore(t, dir, "disk:renamecrash@4:2", 2, 0)
+	if _, err := s.Persist(0, diskState(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Persist(4, diskState(4)); !errors.Is(err, durable.ErrPersist) {
+		t.Fatal("rename crash must fail the persist")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ckpt-0000000004.ckpt")); err == nil {
+		t.Error("checkpoint installed despite rename crash")
+	}
+	// The orphaned temp file must not confuse a resuming store.
+	s2, err := durable.Open(dir, "fp", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta, _, err := s2.LoadLatest(); err != nil || meta.Round != 0 {
+		t.Fatalf("resume past orphan temp: meta=%+v err=%v", meta, err)
+	}
+}
+
+func TestDiskManifestTornIsSilentAndAdvisory(t *testing.T) {
+	dir := t.TempDir()
+	s := openChaosStore(t, dir, "disk:manifesttorn@4:0", 0, 0)
+	if _, err := s.Persist(0, diskState(0)); err != nil {
+		t.Fatal(err)
+	}
+	// The manifest tear is silent: Persist succeeds, checkpoint installed.
+	if _, err := s.Persist(4, diskState(4)); err != nil {
+		t.Fatalf("manifest tear must be silent: %v", err)
+	}
+	s2, err := durable.Open(dir, "fp", 3)
+	if err != nil {
+		t.Fatalf("open over torn manifest: %v", err)
+	}
+	if meta, _, err := s2.LoadLatest(); err != nil || meta.Round != 4 {
+		t.Fatalf("torn manifest masked a checkpoint: meta=%+v err=%v", meta, err)
+	}
+}
+
+func TestDiskEventsFireOnceAndGateOnAttempt(t *testing.T) {
+	// attempt > 0 gets the plain OS filesystem.
+	if _, ok := NewDiskFS(mustPlan(t, "disk:torn@4:0", 0), 0, 1).(durable.OSFS); !ok {
+		t.Error("attempt 1 not plain OSFS")
+	}
+	// Untargeted workers too.
+	if _, ok := NewDiskFS(mustPlan(t, "disk:torn@4:0", 0), 1, 0).(durable.OSFS); !ok {
+		t.Error("untargeted worker not plain OSFS")
+	}
+	if _, ok := NewDiskFS(nil, 0, 0).(durable.OSFS); !ok {
+		t.Error("nil plan not plain OSFS")
+	}
+	// Within one incarnation an event fires once: re-persisting the same
+	// round after an injected failure succeeds.
+	dir := t.TempDir()
+	s := openChaosStore(t, dir, "disk:enospc@4:0", 0, 0)
+	if _, err := s.Persist(4, diskState(4)); err == nil {
+		t.Fatal("first persist must fail")
+	}
+	if _, err := s.Persist(4, diskState(4)); err != nil {
+		t.Fatalf("second persist of the same round: %v", err)
+	}
+}

@@ -1,0 +1,40 @@
+package chaos
+
+import "testing"
+
+// FuzzParse asserts the plan parser never panics and that accepted specs are
+// stable: re-parsing the canonical Spec yields the same schedule.
+func FuzzParse(f *testing.F) {
+	f.Add("wire:corrupt@8:1,disk:torn@4:0,proc:kill@10:2", int64(42))
+	f.Add("wire:hbdrop@1:0,wire:hbgarble@2:1", int64(0))
+	f.Add("proc:flap@6:1", int64(-1))
+	f.Add("disk:manifesttorn@0:3", int64(7))
+	f.Add("crash=0.02,drop@4:1>2", int64(1))
+	f.Add("wire:@:,::@", int64(3))
+	f.Add("off", int64(0))
+	f.Fuzz(func(t *testing.T, spec string, seed int64) {
+		p, err := Parse(spec, seed)
+		if err != nil {
+			if p != nil {
+				t.Fatal("non-nil plan alongside an error")
+			}
+			return
+		}
+		if p == nil {
+			return // disabled
+		}
+		p2, err := Parse(p.Spec, seed)
+		if err != nil {
+			t.Fatalf("canonical spec %q rejected on re-parse: %v", p.Spec, err)
+		}
+		if len(p2.Wire) != len(p.Wire) || len(p2.Disk) != len(p.Disk) || len(p2.Proc) != len(p.Proc) {
+			t.Fatalf("re-parse of %q changed the schedule: %v vs %v", p.Spec, p2, p)
+		}
+		// Helpers must be total on any accepted plan.
+		_ = p.Enabled()
+		_ = p.String()
+		_ = p.MaxWorker()
+		_ = p.Kills()
+		_ = p.ValidateWorkers(4) //detlint:ok errdrop -- fuzz target only asserts the helper is total (no panic); a validation error is a legitimate outcome
+	})
+}

@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGrammar(t *testing.T) {
+	p, err := Parse("wire:corrupt@8:1, wire:hbdrop@2:0,disk:torn@4:1,disk:manifesttorn@0:2,proc:kill@10:2,proc:flap@6:1", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Enabled() || p.Seed != 42 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if len(p.Wire) != 2 || p.Wire[0] != (WireEvent{WireCorrupt, 8, 1}) || p.Wire[1] != (WireEvent{WireHBDrop, 2, 0}) {
+		t.Fatalf("wire = %+v", p.Wire)
+	}
+	if len(p.Disk) != 2 || p.Disk[0] != (DiskEvent{DiskTorn, 4, 1}) || p.Disk[1] != (DiskEvent{DiskManifestTorn, 0, 2}) {
+		t.Fatalf("disk = %+v", p.Disk)
+	}
+	if len(p.Proc) != 2 || p.Proc[0] != (ProcEvent{ProcKill, 10, 2}) || p.Proc[1] != (ProcEvent{ProcFlap, 6, 1}) {
+		t.Fatalf("proc = %+v", p.Proc)
+	}
+}
+
+func TestParseDisabled(t *testing.T) {
+	for _, spec := range []string{"", "  ", "off", "none", ",,"} {
+		p, err := Parse(spec, 1)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+		}
+		if p.Enabled() {
+			t.Errorf("Parse(%q) enabled", spec)
+		}
+		if p != nil {
+			t.Errorf("Parse(%q) non-nil", spec)
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.Enabled() || nilPlan.HasWire() || nilPlan.HasDisk(0) || nilPlan.FlapsAt(0, 5) ||
+		nilPlan.Kills() != nil || nilPlan.MaxWorker() != -1 || nilPlan.ValidateWorkers(1) != nil {
+		t.Error("nil plan is not inert")
+	}
+	if nilPlan.String() != "chaos(off)" {
+		t.Errorf("nil String = %q", nilPlan.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"crash=0.02", "-faults"},         // unprefixed model fault
+		{"kill@5:1", "-faults"},           // unprefixed proc-ish spelling
+		{"net:drop@5:1", "unknown layer"}, // unknown layer
+		{"wire:zap@5:1", "unknown wire op"},
+		{"disk:melt@5:1", "unknown disk op"},
+		{"proc:pause@5:1", "unknown proc op"},
+		{"wire:corrupt@5", "ROUND:WORKER"}, // missing worker
+		{"wire:corrupt", "@"},              // missing tail
+		{"wire:corrupt@x:1", "bad round"},
+		{"wire:corrupt@5:y", "bad worker"},
+		{"wire:corrupt@-1:1", ">= 0"},
+		{"wire:corrupt@5:-1", ">= 0"},
+		{"proc:kill@0:1", ">= 1"}, // proc rounds are 1-based
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.spec, 0)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) = %v, want mention of %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestPlanHelpers(t *testing.T) {
+	p, err := Parse("wire:dup@6:1,disk:enospc@4:3,proc:kill@10:0,proc:flap@8:2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasWire() || !p.HasDisk(3) || p.HasDisk(1) {
+		t.Error("HasWire/HasDisk wrong")
+	}
+	if kills := p.Kills(); len(kills) != 1 || kills[0] != (ProcEvent{ProcKill, 10, 0}) {
+		t.Errorf("Kills = %+v", p.Kills())
+	}
+	// Flap fires at the target round and every round beyond it, only for its
+	// worker.
+	if p.FlapsAt(2, 7) || !p.FlapsAt(2, 8) || !p.FlapsAt(2, 9) || p.FlapsAt(1, 8) {
+		t.Error("FlapsAt wrong")
+	}
+	if p.MaxWorker() != 3 {
+		t.Errorf("MaxWorker = %d", p.MaxWorker())
+	}
+	if err := p.ValidateWorkers(4); err != nil {
+		t.Errorf("ValidateWorkers(4): %v", err)
+	}
+	if err := p.ValidateWorkers(3); err == nil {
+		t.Error("ValidateWorkers(3) accepted a plan targeting worker 3")
+	}
+	if s := p.String(); !strings.Contains(s, "wire=1") || !strings.Contains(s, "disk=1") || !strings.Contains(s, "proc=2") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	a := &Plan{Seed: 9}
+	b := &Plan{Seed: 9}
+	if a.mix(1, 2, 3) != b.mix(1, 2, 3) {
+		t.Error("mix not deterministic")
+	}
+	if a.mix(1, 2, 3) == a.mix(1, 2, 4) {
+		t.Error("mix ignores worker")
+	}
+	if a.mix(1, 2, 3) == (&Plan{Seed: 10}).mix(1, 2, 3) {
+		t.Error("mix ignores seed")
+	}
+}

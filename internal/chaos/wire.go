@@ -1,0 +1,400 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/rulingset/mprs/internal/transport"
+)
+
+// Wire is the supervisor-side frame interposer. It sits on the byte pipes
+// between the supervisor and its worker processes and applies the plan's
+// wire events: uplinks (worker stdout -> supervisor) are wrapped with a
+// decode/mutate/re-encode pump, downlinks (supervisor -> worker stdin) with
+// a frame-holding writer. Both directions preserve every untargeted frame
+// byte-for-byte (decode followed by re-encode is the identity on valid
+// frames), so a plan with no event for a given frame is invisible.
+//
+// Every event fires at most once per run. The latch lives here, not in the
+// per-connection state, so a worker restart does not replay the fault
+// against the new incarnation: wire chaos models a transient lossy link,
+// and the bit-identity oracle requires retries to run clean.
+type Wire struct {
+	plan   *Plan
+	notify func(worker int, note string)
+
+	mu    sync.Mutex
+	fired map[int]bool // index into plan.Wire
+	hbSeq map[int]int  // worker -> heartbeats seen across generations
+}
+
+// NewWire builds the interposer, or nil when the plan carries no wire
+// events — a nil *Wire is a valid passthrough for every method. notify, if
+// non-nil, is called once per fired event from pipe goroutines and must be
+// safe for concurrent use.
+func NewWire(plan *Plan, notify func(worker int, note string)) *Wire {
+	if !plan.HasWire() {
+		return nil
+	}
+	return &Wire{
+		plan:   plan,
+		notify: notify,
+		fired:  make(map[int]bool),
+		hbSeq:  make(map[int]int),
+	}
+}
+
+// fire claims event i: the first caller wins and reports the event, every
+// later caller (a restarted generation's pump, a duplicate frame) gets
+// false.
+func (w *Wire) fire(i, worker int) bool {
+	w.mu.Lock()
+	if w.fired[i] {
+		w.mu.Unlock()
+		return false
+	}
+	w.fired[i] = true
+	w.mu.Unlock()
+	if w.notify != nil {
+		ev := w.plan.Wire[i]
+		w.notify(worker, fmt.Sprintf("wire:%s@%d:%d", wireOpName(ev.Op), ev.Round, ev.Worker))
+	}
+	return true
+}
+
+// nextHeartbeat returns the 1-based ordinal of the heartbeat a pump just
+// read from worker, counted across restarts so hbdrop@N:W means the N-th
+// heartbeat of the run, not of the current incarnation.
+func (w *Wire) nextHeartbeat(worker int) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.hbSeq[worker]++
+	return w.hbSeq[worker]
+}
+
+func wireOpName(op WireOp) string {
+	switch op {
+	case WireCorrupt:
+		return "corrupt"
+	case WireTrunc:
+		return "trunc"
+	case WireDup:
+		return "dup"
+	case WireDelay:
+		return "delay"
+	case WireReorder:
+		return "reorder"
+	case WireHBDrop:
+		return "hbdrop"
+	case WireHBGarble:
+		return "hbgarble"
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// uplinkEvents returns the indices of plan.Wire events that apply on
+// worker's uplink (everything except reorder, which is a downlink event).
+func (w *Wire) uplinkEvents(worker int) []int {
+	var idx []int
+	for i, ev := range w.plan.Wire {
+		if ev.Worker == worker && ev.Op != WireReorder {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Uplink wraps the supervisor's read side of worker's stdout pipe. When no
+// uplink event targets worker (or w is nil) the reader is returned
+// unchanged; otherwise a pump goroutine decodes frames, applies due events,
+// and re-encodes onto the returned reader. Corrupting events emit the
+// damaged bytes and then sever the link, so the supervisor's frame reader
+// fails with transport.ErrFraming exactly as it would against a real torn
+// stream; the worker's remaining output is drained and discarded so the
+// process never blocks on a full pipe while the supervisor takes it down.
+func (w *Wire) Uplink(worker int, r io.Reader) io.Reader {
+	if w == nil {
+		return r
+	}
+	events := w.uplinkEvents(worker)
+	if len(events) == 0 {
+		return r
+	}
+	pr, pw := io.Pipe()
+	go w.pump(worker, events, r, pw)
+	return pr
+}
+
+// pump is the uplink goroutine: frames in from the worker process, mutated
+// frames out to the supervisor's reader.
+func (w *Wire) pump(worker int, events []int, src io.Reader, pw *io.PipeWriter) {
+	br := bufio.NewReaderSize(src, 1<<16)
+	var held *transport.Frame // delay event in flight
+	flushHeld := func() error {
+		if held == nil {
+			return nil
+		}
+		f := *held
+		held = nil
+		return transport.WriteFrame(pw, f)
+	}
+	sever := func(err error) {
+		pw.CloseWithError(err)
+		// Keep draining the worker's stdout so it can reach its own exit
+		// path instead of blocking on a full pipe.
+		io.Copy(io.Discard, br) //nolint:errcheck
+	}
+	for {
+		f, err := transport.ReadFrame(br)
+		if err != nil {
+			if flushErr := flushHeld(); flushErr != nil {
+				pw.CloseWithError(flushErr)
+				return
+			}
+			if err == io.EOF {
+				pw.Close()
+			} else {
+				pw.CloseWithError(err)
+			}
+			return
+		}
+		switch f.Type {
+		case transport.FrameHeartbeat:
+			seq := w.nextHeartbeat(worker)
+			drop := false
+			for _, i := range events {
+				ev := w.plan.Wire[i]
+				if ev.Round != seq {
+					continue
+				}
+				switch ev.Op {
+				case WireHBDrop:
+					if w.fire(i, worker) {
+						drop = true
+					}
+				case WireHBGarble:
+					if w.fire(i, worker) {
+						f.Payload = w.garble(ev)
+					}
+				}
+			}
+			if drop {
+				continue
+			}
+		case transport.FrameMessages:
+			// A delayed frame is released by the next Messages frame: the
+			// supervisor (and every relayed-to peer) sees round r+1 before
+			// round r, exercising the future-frame stash end-to-end.
+			matched := false
+			for _, i := range events {
+				ev := w.plan.Wire[i]
+				if ev.Round != f.Round {
+					continue
+				}
+				switch ev.Op {
+				case WireCorrupt:
+					if w.fire(i, worker) {
+						raw := encodeFrame(f)
+						off := 4 + int(w.plan.mix(uint64(ev.Op), uint64(ev.Round), uint64(ev.Worker))%uint64(len(raw)-4))
+						raw[off] ^= 1 << (w.plan.mix(uint64(ev.Op), uint64(ev.Round), uint64(ev.Worker)) >> 32 % 8)
+						pw.Write(raw) //nolint:errcheck
+						sever(io.ErrUnexpectedEOF)
+						return
+					}
+				case WireTrunc:
+					if w.fire(i, worker) {
+						raw := encodeFrame(f)
+						cut := 1 + int(w.plan.mix(uint64(ev.Op), uint64(ev.Round), uint64(ev.Worker))%uint64(len(raw)-1))
+						if cut >= len(raw) {
+							cut = len(raw) - 1
+						}
+						pw.Write(raw[:cut]) //nolint:errcheck
+						sever(io.ErrUnexpectedEOF)
+						return
+					}
+				case WireDup:
+					if w.fire(i, worker) {
+						if err := flushHeld(); err != nil {
+							sever(err)
+							return
+						}
+						if err := transport.WriteFrame(pw, f); err != nil {
+							sever(err)
+							return
+						}
+						matched = true // second copy written by the common path below
+					}
+				case WireDelay:
+					if held == nil && w.fire(i, worker) {
+						cp := f
+						held = &cp
+						matched = true
+					}
+				}
+			}
+			if matched && held != nil && held.Round == f.Round {
+				continue // freshly delayed: do not write it yet
+			}
+			if err := transport.WriteFrame(pw, f); err != nil {
+				sever(err)
+				return
+			}
+			if err := flushHeld(); err != nil {
+				sever(err)
+				return
+			}
+			continue
+		default:
+			// Result, Error, Hello: a held frame must not outlive the
+			// stream's terminal frames — release it first, in order.
+			if err := flushHeld(); err != nil {
+				sever(err)
+				return
+			}
+		}
+		if err := transport.WriteFrame(pw, f); err != nil {
+			sever(err)
+			return
+		}
+	}
+}
+
+// garble builds a seeded, deliberately non-JSON heartbeat payload so the
+// supervisor's telemetry decode fails while the frame itself stays valid.
+func (w *Wire) garble(ev WireEvent) []byte {
+	junk := make([]byte, 16)
+	v := w.plan.mix(uint64(ev.Op), uint64(ev.Round), uint64(ev.Worker))
+	for i := range junk {
+		junk[i] = byte(v >> (uint(i%8) * 8))
+	}
+	junk[0] = 0xff // never valid JSON
+	return junk
+}
+
+// encodeFrame renders a frame to raw wire bytes for mutation.
+func encodeFrame(f transport.Frame) []byte {
+	var buf bytes.Buffer
+	if err := transport.WriteFrame(&buf, f); err != nil {
+		// Only reachable for oversized payloads, which a decoded frame
+		// cannot carry.
+		panic(fmt.Sprintf("chaos: re-encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// Downlink returns the frame-holding writer for worker's stdin, or nil when
+// no reorder event targets it. A nil *Downlink writes frames through
+// unchanged.
+func (w *Wire) Downlink(worker int) *Downlink {
+	if w == nil {
+		return nil
+	}
+	var idx []int
+	for i, ev := range w.plan.Wire {
+		if ev.Worker == worker && ev.Op == WireReorder {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	return &Downlink{w: w, worker: worker, events: idx}
+}
+
+// Downlink reorders relayed frames on their way into one worker process:
+// Messages frames for the target round are held until a later round's frame
+// passes, which the receiving worker must stash (transport future-frame
+// path) before the held frames complete its barrier. Not safe for
+// concurrent use — the supervisor serializes all writes to one worker on a
+// single goroutine.
+type Downlink struct {
+	w      *Wire
+	worker int
+	events []int
+	held   []transport.Frame
+	active int // index into w.plan.Wire of the in-flight event, -1 if none
+	holds  bool
+}
+
+// Write sends one frame to dst, applying any due reorder. On error the held
+// frames are dropped — the connection is going down anyway.
+func (d *Downlink) Write(dst io.Writer, f transport.Frame) error {
+	if d == nil {
+		return transport.WriteFrame(dst, f)
+	}
+	if f.Type == transport.FrameMessages {
+		if !d.holds {
+			for _, i := range d.events {
+				ev := d.w.plan.Wire[i]
+				if ev.Round == f.Round && !d.firedAlready(i) {
+					d.holds = true
+					d.active = i
+					break
+				}
+			}
+			if d.holds && d.w.plan.Wire[d.active].Round == f.Round {
+				d.held = append(d.held, f)
+				return nil
+			}
+		} else {
+			ev := d.w.plan.Wire[d.active]
+			if f.Round == ev.Round {
+				d.held = append(d.held, f)
+				return nil
+			}
+			if f.Round > ev.Round {
+				// The future frame passes first; then the held barrier
+				// completes out of order.
+				if err := transport.WriteFrame(dst, f); err != nil {
+					d.drop()
+					return err
+				}
+				return d.flush(dst, true)
+			}
+		}
+	} else if d.holds {
+		// Stop (or anything terminal) must not starve a worker blocked on
+		// the held barrier: release in order first.
+		if err := d.flush(dst, false); err != nil {
+			d.drop()
+			return err
+		}
+	}
+	return transport.WriteFrame(dst, f)
+}
+
+// firedAlready reports the shared once-latch without claiming it; the claim
+// happens at flush time, when the reorder has actually been observed.
+func (d *Downlink) firedAlready(i int) bool {
+	d.w.mu.Lock()
+	defer d.w.mu.Unlock()
+	return d.w.fired[i]
+}
+
+// flush writes the held frames in arrival order. reordered records whether
+// a future frame actually jumped the queue (claiming the event) or the hold
+// was abandoned by a terminal frame.
+func (d *Downlink) flush(dst io.Writer, reordered bool) error {
+	held := d.held
+	active := d.active
+	d.drop()
+	if reordered {
+		d.w.fire(active, d.worker)
+	}
+	for _, h := range held {
+		if err := transport.WriteFrame(dst, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drop clears the hold state.
+func (d *Downlink) drop() {
+	d.held = nil
+	d.holds = false
+	d.active = -1
+}

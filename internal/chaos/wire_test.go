@@ -1,0 +1,264 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/rulingset/mprs/internal/transport"
+)
+
+// frames renders a frame sequence to raw wire bytes.
+func frames(t *testing.T, fs ...transport.Frame) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, f := range fs {
+		if err := transport.WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+// readAll drains an uplink until EOF or error, returning the frames read and
+// the terminal error (nil for clean EOF).
+func readAll(r io.Reader) ([]transport.Frame, error) {
+	var got []transport.Frame
+	for {
+		f, err := transport.ReadFrame(r)
+		if err == io.EOF {
+			return got, nil
+		}
+		if err != nil {
+			return got, err
+		}
+		got = append(got, f)
+	}
+}
+
+func msg(worker, round int, payload string) transport.Frame {
+	return transport.Frame{Type: transport.FrameMessages, Worker: worker, Round: round, Payload: []byte(payload)}
+}
+
+func mustPlan(t *testing.T, spec string, seed int64) *Plan {
+	t.Helper()
+	p, err := Parse(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUplinkPassthroughIdentity(t *testing.T) {
+	// A wire with events for worker 1 must leave worker 0's uplink reader
+	// untouched (same object) and worker 1's untargeted frames byte-identical.
+	w := NewWire(mustPlan(t, "wire:dup@5:1", 1), nil)
+	src := frames(t, msg(0, 3, "a"))
+	if got := w.Uplink(0, src); got != src {
+		t.Error("uplink with no events for the worker must be the source reader")
+	}
+
+	in := []transport.Frame{
+		{Type: transport.FrameHello, Worker: 1, Round: 0},
+		msg(1, 3, "hello"),
+		{Type: transport.FrameHeartbeat, Worker: 1, Round: 3},
+		{Type: transport.FrameResult, Worker: 1, Round: 9, Payload: []byte("res")},
+	}
+	got, err := readAll(w.Uplink(1, frames(t, in...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("got %d frames, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i].Type != in[i].Type || got[i].Round != in[i].Round || !bytes.Equal(got[i].Payload, in[i].Payload) {
+			t.Errorf("frame %d = %+v, want %+v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestUplinkCorruptSeversWithFraming(t *testing.T) {
+	w := NewWire(mustPlan(t, "wire:corrupt@5:1", 3), nil)
+	got, err := readAll(w.Uplink(1, frames(t, msg(1, 4, "ok"), msg(1, 5, "target"), msg(1, 6, "after"))))
+	if !errors.Is(err, transport.ErrFraming) {
+		t.Fatalf("err = %v, want ErrFraming", err)
+	}
+	if len(got) != 1 || got[0].Round != 4 {
+		t.Fatalf("frames before the fault = %+v", got)
+	}
+}
+
+func TestUplinkTruncSeversWithFraming(t *testing.T) {
+	w := NewWire(mustPlan(t, "wire:trunc@5:0", 11), nil)
+	_, err := readAll(w.Uplink(0, frames(t, msg(0, 5, "target payload bytes"))))
+	if !errors.Is(err, transport.ErrFraming) {
+		t.Fatalf("err = %v, want ErrFraming", err)
+	}
+}
+
+func TestUplinkDupDeliversTwice(t *testing.T) {
+	w := NewWire(mustPlan(t, "wire:dup@5:1", 0), nil)
+	got, err := readAll(w.Uplink(1, frames(t, msg(1, 5, "x"), msg(1, 6, "y"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Round != 5 || got[1].Round != 5 || got[2].Round != 6 {
+		t.Fatalf("rounds = %v", roundsOf(got))
+	}
+	if !bytes.Equal(got[0].Payload, got[1].Payload) {
+		t.Error("dup copies differ")
+	}
+}
+
+func TestUplinkDelayReordersWithNextFrame(t *testing.T) {
+	var notes []string
+	w := NewWire(mustPlan(t, "wire:delay@5:2", 0), func(worker int, note string) {
+		notes = append(notes, note)
+	})
+	got, err := readAll(w.Uplink(2, frames(t, msg(2, 4, "a"), msg(2, 5, "held"), msg(2, 6, "b"), msg(2, 7, "c"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 6, 5, 7}
+	if rs := roundsOf(got); len(rs) != len(want) {
+		t.Fatalf("rounds = %v, want %v", rs, want)
+	} else {
+		for i := range want {
+			if rs[i] != want[i] {
+				t.Fatalf("rounds = %v, want %v", rs, want)
+			}
+		}
+	}
+	if len(notes) != 1 || notes[0] != "wire:delay@5:2" {
+		t.Errorf("notes = %v", notes)
+	}
+}
+
+func TestUplinkDelayFlushedByTerminalFrame(t *testing.T) {
+	// If no later Messages frame ever comes, the held frame must not be lost:
+	// the Result frame (and EOF) flush it in order.
+	w := NewWire(mustPlan(t, "wire:delay@5:0", 0), nil)
+	got, err := readAll(w.Uplink(0, frames(t, msg(0, 5, "held"), transport.Frame{Type: transport.FrameResult, Worker: 0, Round: 5})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Round != 5 || got[0].Type != transport.FrameMessages || got[1].Type != transport.FrameResult {
+		t.Fatalf("frames = %+v", got)
+	}
+}
+
+func TestUplinkHeartbeatDropAndGarble(t *testing.T) {
+	w := NewWire(mustPlan(t, "wire:hbdrop@1:1,wire:hbgarble@2:1", 5), nil)
+	hb := func(payload string) transport.Frame {
+		return transport.Frame{Type: transport.FrameHeartbeat, Worker: 1, Round: 2, Payload: []byte(payload)}
+	}
+	got, err := readAll(w.Uplink(1, frames(t, hb(`{"telemetry":{}}`), hb(`{"telemetry":{}}`), hb(`{"telemetry":{}}`))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First dropped, second garbled, third untouched.
+	if len(got) != 2 {
+		t.Fatalf("got %d heartbeats, want 2", len(got))
+	}
+	if _, err := transport.DecodeHeartbeat(got[0].Payload); err == nil {
+		t.Error("garbled heartbeat decoded cleanly")
+	}
+	if _, err := transport.DecodeHeartbeat(got[1].Payload); err != nil {
+		t.Errorf("untouched heartbeat: %v", err)
+	}
+}
+
+func TestUplinkEventsFireOncePerRun(t *testing.T) {
+	// A restarted worker replays the same rounds through a fresh uplink; the
+	// shared latch must keep generation 2 clean.
+	w := NewWire(mustPlan(t, "wire:corrupt@5:1", 3), nil)
+	if _, err := readAll(w.Uplink(1, frames(t, msg(1, 5, "gen1")))); !errors.Is(err, transport.ErrFraming) {
+		t.Fatalf("gen1 err = %v, want ErrFraming", err)
+	}
+	got, err := readAll(w.Uplink(1, frames(t, msg(1, 5, "gen2"))))
+	if err != nil {
+		t.Fatalf("gen2 err = %v, want clean replay", err)
+	}
+	if len(got) != 1 || string(got[0].Payload) != "gen2" {
+		t.Fatalf("gen2 frames = %+v", got)
+	}
+}
+
+func TestDownlinkReorderHoldsRoundUntilFuture(t *testing.T) {
+	w := NewWire(mustPlan(t, "wire:reorder@5:0", 0), nil)
+	d := w.Downlink(0)
+	if d == nil {
+		t.Fatal("no downlink for targeted worker")
+	}
+	if w.Downlink(1) != nil {
+		t.Fatal("downlink for untargeted worker")
+	}
+	var buf bytes.Buffer
+	// Peers' round-5 frames arrive, then a round-6 frame jumps the queue.
+	for _, f := range []transport.Frame{msg(1, 5, "p1"), msg(2, 5, "p2"), msg(1, 6, "future"), msg(2, 6, "p2b")} {
+		if err := d.Write(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := readAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{6, 5, 5, 6}
+	rs := roundsOf(got)
+	for i := range want {
+		if i >= len(rs) || rs[i] != want[i] {
+			t.Fatalf("rounds = %v, want %v", rs, want)
+		}
+	}
+}
+
+func TestDownlinkStopFlushesHeld(t *testing.T) {
+	w := NewWire(mustPlan(t, "wire:reorder@5:0", 0), nil)
+	d := w.Downlink(0)
+	var buf bytes.Buffer
+	for _, f := range []transport.Frame{msg(1, 5, "p1"), {Type: transport.FrameStop, Worker: 0}} {
+		if err := d.Write(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := readAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Type != transport.FrameMessages || got[1].Type != transport.FrameStop {
+		t.Fatalf("frames = %+v", got)
+	}
+}
+
+func TestNilWireIsPassthrough(t *testing.T) {
+	var w *Wire
+	src := frames(t, msg(0, 1, "x"))
+	if w.Uplink(0, src) != src {
+		t.Error("nil wire uplink not identity")
+	}
+	var d *Downlink
+	var buf bytes.Buffer
+	if err := d.Write(&buf, msg(0, 1, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := readAll(&buf); err != nil || len(got) != 1 {
+		t.Fatalf("nil downlink write: %v %v", got, err)
+	}
+	if NewWire(nil, nil) != nil {
+		t.Error("NewWire(nil) != nil")
+	}
+	if NewWire(mustPlan(t, "disk:torn@4:0", 0), nil) != nil {
+		t.Error("NewWire with no wire events != nil")
+	}
+}
+
+func roundsOf(fs []transport.Frame) []int {
+	rs := make([]int, len(fs))
+	for i, f := range fs {
+		rs[i] = f.Round
+	}
+	return rs
+}

@@ -219,7 +219,7 @@ func TestFingerprintMismatchIsHard(t *testing.T) {
 	}
 	// Bypass the manifest guard (delete it): LoadLatest must still refuse the
 	// intact-but-foreign checkpoint, not skip it like corruption.
-	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+	if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil {
 		t.Fatal(err)
 	}
 	s2, err := Open(dir, "fp-b", 3)

@@ -1,0 +1,75 @@
+package durable
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// FS abstracts the handful of filesystem operations the Store performs — one
+// method per os call site, same names, same semantics — so fault-injection
+// harnesses (internal/chaos) can interpose on exactly the syscalls whose
+// failure modes the checkpoint format is designed to survive: torn writes,
+// ENOSPC, fsync errors, and a crash between temp write and rename. OSFS is
+// the production implementation; everything in this package routes through
+// an FS, so injected faults exercise the real Persist/LoadLatest code paths,
+// not copies of them.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenFile opens for writing (Persist's temp files).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens for reading; also used on directories for fsync.
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// File is the slice of *os.File the Store needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// WriteFile implements FS.
+func (OSFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+// ErrPersist is wrapped by every Persist failure. It marks the error as
+// retryable in the crash-recovery sense: the durable directory still holds
+// the previous valid checkpoint, so a supervisor can restart the worker and
+// resume from it instead of treating the failure as deterministic (a
+// deterministic failure would recur on every replica; a full disk or a
+// failing fsync is a property of this process's environment and attempt).
+var ErrPersist = errors.New("durable: persist failed")

@@ -1,0 +1,202 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// faultFS wraps OSFS with switchable failures at the exact seams Persist
+// crosses: the manifest write (for crash-between-rename-and-manifest) and
+// file Sync (for fsync failures).
+type faultFS struct {
+	OSFS
+	failManifestWrite bool // WriteFile of MANIFEST.json.tmp errors
+	tornManifestWrite bool // WriteFile of MANIFEST.json.tmp silently writes half
+	failSync          bool // File.Sync errors
+}
+
+func (f *faultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if strings.HasPrefix(filepath.Base(name), ManifestName) {
+		if f.failManifestWrite {
+			return fmt.Errorf("injected: manifest write lost")
+		}
+		if f.tornManifestWrite {
+			return f.OSFS.WriteFile(name, data[:len(data)/2], perm)
+		}
+	}
+	return f.OSFS.WriteFile(name, data, perm)
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.OSFS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if f.failSync {
+		return &failSyncFile{File: file}, nil
+	}
+	return file, nil
+}
+
+type failSyncFile struct{ File }
+
+func (f *failSyncFile) Sync() error { return fmt.Errorf("injected: fsync failed") }
+
+func faultTestState(rounds int) [][]uint64 {
+	st := make([][]uint64, 4)
+	for m := range st {
+		st[m] = []uint64{uint64(m), uint64(rounds), 0xfeedface}
+	}
+	return st
+}
+
+// TestTornManifestLeavesDirectoryResumable is the crash-between-checkpoint-
+// rename-and-manifest-update story: the checkpoint file lands, the manifest
+// update dies. The directory must stay resumable at the new checkpoint, and
+// the retention GC of subsequent Persists must never delete the newest valid
+// checkpoint the stale manifest does not know about.
+func TestTornManifestLeavesDirectoryResumable(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &faultFS{}
+	s, err := OpenFS(dir, "fp", 2, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{0, 4} {
+		if _, err := s.Persist(r, faultTestState(r)); err != nil {
+			t.Fatalf("persist %d: %v", r, err)
+		}
+	}
+	// Round 8: checkpoint renamed into place, manifest update crashes.
+	ffs.failManifestWrite = true
+	_, err = s.Persist(8, faultTestState(8))
+	if err == nil {
+		t.Fatal("persist with dying manifest write must fail")
+	}
+	if !errors.Is(err, ErrPersist) {
+		t.Errorf("manifest-write failure not classified retryable: %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, fileFor(8))); statErr != nil {
+		t.Fatalf("checkpoint file must be installed before the manifest update: %v", statErr)
+	}
+
+	// A restarted process opens the directory: the stale manifest (rounds 0
+	// and 4) must not mask the newest valid checkpoint.
+	s2, err := Open(dir, "fp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, state, err := s2.LoadLatest()
+	if err != nil {
+		t.Fatalf("directory not resumable after torn manifest: %v", err)
+	}
+	if meta.Round != 8 || state[0][1] != 8 {
+		t.Fatalf("resumed round %d, want 8", meta.Round)
+	}
+
+	// Retention GC on the reopened store: its manifest view predates round 8,
+	// so GC must drop only rounds it actually tracks — never ckpt-8.
+	if _, err := s2.Persist(12, faultTestState(12)); err != nil {
+		t.Fatalf("persist 12: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, fileFor(8))); err != nil {
+		t.Fatalf("GC deleted the newest valid checkpoint from before the torn manifest: %v", err)
+	}
+	if meta, _, err := s2.LoadLatest(); err != nil || meta.Round != 12 {
+		t.Fatalf("LoadLatest after GC: round %d, err %v", meta.Round, err)
+	}
+}
+
+// TestCorruptManifestIsAdvisory: a manifest torn mid-bytes (half the JSON)
+// still opens — the manifest is advisory — and the next Persist rewrites it
+// whole.
+func TestCorruptManifestIsAdvisory(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &faultFS{tornManifestWrite: true}
+	s, err := OpenFS(dir, "fp", 3, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Persist(4, faultTestState(4)); err != nil {
+		t.Fatalf("persist with silently torn manifest: %v", err)
+	}
+	// The installed manifest is garbage; Open must shrug and the checkpoint
+	// must load.
+	s2, err := Open(dir, "fp", 3)
+	if err != nil {
+		t.Fatalf("open over a corrupt manifest: %v", err)
+	}
+	if meta, _, err := s2.LoadLatest(); err != nil || meta.Round != 4 {
+		t.Fatalf("LoadLatest: round %d, err %v", meta.Round, err)
+	}
+	if _, err := s2.Persist(8, faultTestState(8)); err != nil {
+		t.Fatalf("persist after corrupt manifest: %v", err)
+	}
+	man, err := s2.readManifest()
+	if err != nil {
+		t.Fatalf("manifest not repaired by next Persist: %v", err)
+	}
+	if len(man.Checkpoints) == 0 || man.Checkpoints[len(man.Checkpoints)-1].Round != 8 {
+		t.Fatalf("repaired manifest = %+v", man)
+	}
+}
+
+// TestPersistFsyncErrorRetryable: a failing data-file fsync must surface as
+// ErrPersist (retryable), leave no half-written checkpoint behind, and leave
+// the previous checkpoint loadable.
+func TestPersistFsyncErrorRetryable(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &faultFS{}
+	s, err := OpenFS(dir, "fp", 3, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Persist(4, faultTestState(4)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.failSync = true
+	_, err = s.Persist(8, faultTestState(8))
+	if err == nil {
+		t.Fatal("persist with failing fsync must fail")
+	}
+	if !errors.Is(err, ErrPersist) {
+		t.Errorf("fsync failure not classified retryable: %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, fileFor(8))); statErr == nil {
+		t.Error("failed persist installed a checkpoint file")
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, fileFor(8)+tmpSuffix)); statErr == nil {
+		t.Error("failed persist left its temp file behind")
+	}
+	if meta, _, err := s.LoadLatest(); err != nil || meta.Round != 4 {
+		t.Fatalf("previous checkpoint lost: round %d, err %v", meta.Round, err)
+	}
+}
+
+// TestParseCheckpointName pins the exported name parser fault tooling keys on.
+func TestParseCheckpointName(t *testing.T) {
+	tests := []struct {
+		name  string
+		round int
+		tmp   bool
+		ok    bool
+	}{
+		{"ckpt-0000000004.ckpt", 4, false, true},
+		{"ckpt-0000000004.ckpt.tmp", 4, true, true},
+		{"ckpt-0000000000.ckpt", 0, false, true},
+		{"MANIFEST.json", 0, false, false},
+		{"MANIFEST.json.tmp", 0, true, false},
+		{"ckpt-x.ckpt", 0, false, false},
+	}
+	for _, tt := range tests {
+		round, tmp, ok := ParseCheckpointName(tt.name)
+		if round != tt.round || tmp != tt.tmp || ok != tt.ok {
+			t.Errorf("ParseCheckpointName(%q) = (%d, %t, %t), want (%d, %t, %t)",
+				tt.name, round, tmp, ok, tt.round, tt.tmp, tt.ok)
+		}
+	}
+}

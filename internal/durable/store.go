@@ -14,8 +14,10 @@ import (
 // ManifestSchema versions the checkpoint-directory manifest.
 const ManifestSchema = "mprs-ckpt-manifest/1"
 
-// manifestName is the manifest file inside a checkpoint directory.
-const manifestName = "MANIFEST.json"
+// ManifestName is the manifest file inside a checkpoint directory. Exported
+// so fault-injection tooling can recognize manifest writes without copying
+// the name.
+const ManifestName = "MANIFEST.json"
 
 // ckptPrefix/ckptSuffix frame checkpoint file names: ckpt-%010d.ckpt, the
 // zero-padded round making lexicographic order equal round order.
@@ -23,6 +25,10 @@ const (
 	ckptPrefix = "ckpt-"
 	ckptSuffix = ".ckpt"
 )
+
+// tmpSuffix marks an in-flight write (checkpoint or manifest) that has not
+// been renamed into place yet.
+const tmpSuffix = ".tmp"
 
 // DefaultRetain is the number of checkpoints kept when Open is given
 // retain <= 0: the newest plus two fallbacks for torn-write recovery.
@@ -50,6 +56,7 @@ type ManifestEntry struct {
 // Store writes and reads durable checkpoints in one directory. It satisfies
 // the simulator's CheckpointSink interface via Persist.
 type Store struct {
+	fsys        FS
 	dir         string
 	fingerprint string
 	build       json.RawMessage
@@ -64,13 +71,23 @@ type Store struct {
 // fingerprint, Open fails with ErrFingerprint — checkpoint directories are
 // per-run-configuration.
 func Open(dir, fingerprint string, retain int) (*Store, error) {
+	return OpenFS(dir, fingerprint, retain, OSFS{})
+}
+
+// OpenFS is Open against an injected filesystem — the seam fault-injection
+// harnesses use to drive torn writes, ENOSPC, fsync failures and
+// crash-between-temp-and-rename through the real Store code paths.
+func OpenFS(dir, fingerprint string, retain int, fsys FS) (*Store, error) {
 	if retain <= 0 {
 		retain = DefaultRetain
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
-	s := &Store{dir: dir, fingerprint: fingerprint, retain: retain}
+	s := &Store{fsys: fsys, dir: dir, fingerprint: fingerprint, retain: retain}
 	man, err := s.readManifest()
 	switch {
 	case err == nil:
@@ -123,16 +140,40 @@ func roundOf(name string) (int, bool) {
 	return round, true
 }
 
+// ParseCheckpointName reports the barrier round encoded in a checkpoint file
+// base name. tmp is true when the name carries the in-flight ".tmp" suffix
+// of a write that has not been renamed into place. Exported for
+// fault-injection tooling that must target a specific round's write without
+// copying the naming scheme.
+func ParseCheckpointName(name string) (round int, tmp, ok bool) {
+	if rest, cut := strings.CutSuffix(name, tmpSuffix); cut {
+		round, ok = roundOf(rest)
+		return round, true, ok
+	}
+	round, ok = roundOf(name)
+	return round, false, ok
+}
+
 // Persist durably writes the per-machine state captured at barrier round:
 // encode to a temp file, fsync, rename into place, fsync the directory, then
 // update the manifest and GC checkpoints beyond the retention window. The
 // returned count is the checkpoint file's size in bytes. Persist implements
-// the simulator's CheckpointSink.
+// the simulator's CheckpointSink. Every failure wraps ErrPersist: the
+// previous valid checkpoint is still on disk, so the caller may treat the
+// failure as retryable rather than deterministic.
 func (s *Store) Persist(round int, state [][]uint64) (int64, error) {
+	n, err := s.persist(round, state)
+	if err != nil {
+		return n, fmt.Errorf("%w: %w", ErrPersist, err)
+	}
+	return n, nil
+}
+
+func (s *Store) persist(round int, state [][]uint64) (int64, error) {
 	name := fileFor(round)
 	final := filepath.Join(s.dir, name)
-	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp := final + tmpSuffix
+	f, err := s.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("durable: %w", err)
 	}
@@ -146,10 +187,10 @@ func (s *Store) Persist(round int, state [][]uint64) (int64, error) {
 	if err != nil {
 		// Best-effort cleanup of the torn temp file; the write error is the
 		// one worth reporting.
-		_ = os.Remove(tmp)
+		_ = s.fsys.Remove(tmp) //detlint:ok errdrop -- best-effort cleanup of a torn temp file; the original write error is what callers need
 		return 0, fmt.Errorf("durable: writing %s: %w", name, err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.fsys.Rename(tmp, final); err != nil {
 		return 0, fmt.Errorf("durable: %w", err)
 	}
 	if err := s.syncDir(); err != nil {
@@ -175,7 +216,7 @@ func (s *Store) Persist(round int, state [][]uint64) (int64, error) {
 		return n, err
 	}
 	for _, e := range drop {
-		if err := os.Remove(filepath.Join(s.dir, e.File)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		if err := s.fsys.Remove(filepath.Join(s.dir, e.File)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return n, fmt.Errorf("durable: gc %s: %w", e.File, err)
 		}
 	}
@@ -184,7 +225,7 @@ func (s *Store) Persist(round int, state [][]uint64) (int64, error) {
 
 // syncDir fsyncs the checkpoint directory so the rename itself is durable.
 func (s *Store) syncDir() error {
-	d, err := os.Open(s.dir)
+	d, err := s.fsys.Open(s.dir)
 	if err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
@@ -201,7 +242,7 @@ func (s *Store) syncDir() error {
 // readManifest loads the manifest file; fs.ErrNotExist when absent.
 func (s *Store) readManifest() (Manifest, error) {
 	var man Manifest
-	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	data, err := s.fsys.ReadFile(filepath.Join(s.dir, ManifestName))
 	if err != nil {
 		return man, err
 	}
@@ -226,12 +267,12 @@ func (s *Store) writeManifest() error {
 	if err != nil {
 		return err
 	}
-	final := filepath.Join(s.dir, manifestName)
-	tmp := final + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	final := filepath.Join(s.dir, ManifestName)
+	tmp := final + tmpSuffix
+	if err := s.fsys.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.fsys.Rename(tmp, final); err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
 	return s.syncDir()
@@ -245,7 +286,7 @@ func (s *Store) writeManifest() error {
 // silently resume a different run. Returns ErrNoCheckpoint when nothing
 // verifies, with the newest file's corruption error attached.
 func (s *Store) LoadLatest() (Meta, [][]uint64, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fsys.ReadDir(s.dir)
 	if err != nil {
 		return Meta{}, nil, fmt.Errorf("durable: %w", err)
 	}
@@ -282,11 +323,11 @@ func (s *Store) LoadLatest() (Meta, [][]uint64, error) {
 
 // loadFile decodes and verifies one checkpoint file.
 func (s *Store) loadFile(name string) (Meta, [][]uint64, error) {
-	f, err := os.Open(filepath.Join(s.dir, name))
+	f, err := s.fsys.Open(filepath.Join(s.dir, name))
 	if err != nil {
 		return Meta{}, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	defer f.Close() //detlint:ok errdrop -- read-only handle; no buffered writes to lose
+	defer f.Close()
 	meta, state, err := Decode(f)
 	if err != nil {
 		return meta, nil, err

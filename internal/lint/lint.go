@@ -174,6 +174,7 @@ var criticalPkgs = map[string]bool{
 	"internal/durable":   true,
 	"internal/transport": true,
 	"internal/supervise": true,
+	"internal/chaos":     true,
 }
 
 // wallclockExempt reports whether the package at the module-relative path

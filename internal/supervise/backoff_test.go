@@ -1,0 +1,51 @@
+package supervise
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffForSaturates pins the shift-overflow fix: high attempt counts
+// must land exactly on max, never overflow into a negative or tiny duration.
+func TestBackoffForSaturates(t *testing.T) {
+	const (
+		initial = 100 * time.Millisecond
+		max     = 5 * time.Second
+	)
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, initial}, // clamped to attempt 1
+		{1, initial},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{6, 3200 * time.Millisecond},
+		{7, max}, // 6400ms > cap
+		{8, max},
+		{63, max},  // shift == 62: initial<<62 would overflow; cap comparison saturates
+		{64, max},  // shift == 63: structural saturation branch
+		{100, max}, // far past the width of time.Duration
+		{1 << 30, max},
+	}
+	for _, c := range cases {
+		got := backoffFor(c.attempt, initial, max)
+		if got != c.want {
+			t.Errorf("backoffFor(%d) = %v, want %v", c.attempt, got, c.want)
+		}
+		if got < 0 || got > max {
+			t.Errorf("backoffFor(%d) = %v out of [0, %v]", c.attempt, got, max)
+		}
+	}
+}
+
+// TestBackoffForNeverNegative sweeps attempts across the overflow boundary:
+// the pre-fix implementation went negative at attempt 64 with these inputs.
+func TestBackoffForNeverNegative(t *testing.T) {
+	for attempt := 0; attempt <= 256; attempt++ {
+		got := backoffFor(attempt, 100*time.Millisecond, 5*time.Second)
+		if got <= 0 {
+			t.Fatalf("backoffFor(%d) = %v, not positive", attempt, got)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package supervise
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rulingset/mprs/internal/chaos"
+)
+
+// The chaos oracle: every survivable fault schedule must yield Members,
+// canonical Stats and trace bytes identical to a fault-free in-process run;
+// every non-survivable one must yield a structured error — never a panic,
+// never a silently wrong answer.
+
+// chaosConfig builds a test supervisor config carrying the parsed plan.
+func chaosConfig(t *testing.T, workers int, plan string) Config {
+	t.Helper()
+	cfg := testConfig(workers)
+	p, err := chaos.Parse(plan, 7)
+	if err != nil {
+		t.Fatalf("chaos plan %q: %v", plan, err)
+	}
+	cfg.Chaos = p
+	return cfg
+}
+
+// TestChaosWireBenignOracle: wire faults the transport absorbs without any
+// restart — duplicated, delayed (uplink) and reordered (downlink) frames —
+// leave the run bit-identical with a zero restart budget.
+func TestChaosWireBenignOracle(t *testing.T) {
+	dir := t.TempDir()
+	inSpec := testSpec(t, "det2")
+	inSpec.TraceFile = filepath.Join(dir, "in.trace")
+	inRes, err := InProc{}.Run(inSpec)
+	if err != nil {
+		t.Fatalf("inproc: %v", err)
+	}
+	for _, plan := range []string{
+		"wire:dup@6:1",
+		"wire:delay@6:1",
+		"wire:reorder@6:2",
+		"wire:dup@5:0,wire:delay@9:2,wire:reorder@7:1",
+	} {
+		t.Run(plan, func(t *testing.T) {
+			sub := t.TempDir()
+			spec := testSpec(t, "det2")
+			spec.TraceFile = filepath.Join(sub, "mp.trace")
+			cfg := chaosConfig(t, 3, plan)
+			cfg.MaxRestarts = 0 // benign faults must not need the restart machinery
+			var lifecycle bytes.Buffer
+			cfg.Lifecycle = &lifecycle
+			res, err := Run(spec, cfg)
+			if err != nil {
+				t.Fatalf("chaos %q: %v\nlifecycle:\n%s", plan, err, lifecycle.String())
+			}
+			requireSameResult(t, inRes, res)
+			requireSameFile(t, inSpec.TraceFile, spec.TraceFile)
+			if !strings.Contains(lifecycle.String(), `"kind":"chaos"`) {
+				t.Errorf("lifecycle records no chaos event:\n%s", lifecycle.String())
+			}
+		})
+	}
+}
+
+// TestChaosWireSeverOracle: corrupt and truncated frames are stream-level
+// damage the framing layer must catch (ErrFraming, never a bad payload); the
+// supervisor treats them as a crash, restarts from checkpoint, and the run
+// stays bit-identical — including worker 0, the trace writer.
+func TestChaosWireSeverOracle(t *testing.T) {
+	dir := t.TempDir()
+	inSpec := testSpec(t, "det2")
+	inSpec.CheckpointEvery = 4
+	inSpec.CheckpointDir = filepath.Join(dir, "ck-in")
+	inSpec.TraceFile = filepath.Join(dir, "in.trace")
+	inRes, err := InProc{}.Run(inSpec)
+	if err != nil {
+		t.Fatalf("inproc: %v", err)
+	}
+	for _, tc := range []struct {
+		plan string
+		note string
+	}{
+		{"wire:corrupt@8:1", "wire:corrupt@8:1"},
+		{"wire:trunc@8:0", "wire:trunc@8:0"},
+	} {
+		t.Run(tc.plan, func(t *testing.T) {
+			sub := t.TempDir()
+			spec := testSpec(t, "det2")
+			spec.CheckpointEvery = 4
+			spec.CheckpointDir = filepath.Join(sub, "ck")
+			spec.TraceFile = filepath.Join(sub, "mp.trace")
+			cfg := chaosConfig(t, 3, tc.plan)
+			cfg.MaxRestarts = 2
+			cfg.BackoffInitial = 20 * time.Millisecond
+			var lifecycle bytes.Buffer
+			cfg.Lifecycle = &lifecycle
+			res, err := Run(spec, cfg)
+			if err != nil {
+				t.Fatalf("chaos %q: %v\nlifecycle:\n%s", tc.plan, err, lifecycle.String())
+			}
+			requireSameResult(t, inRes, res)
+			requireSameFile(t, inSpec.TraceFile, spec.TraceFile)
+			life := lifecycle.String()
+			for _, want := range []string{tc.note, `"kind":"crash"`, `"kind":"restart"`} {
+				if !strings.Contains(life, want) {
+					t.Errorf("lifecycle missing %s:\n%s", want, life)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosHeartbeatOracle: dropped and garbled heartbeat telemetry is an
+// observability wound, never a correctness one — liveness rides on the other
+// frames and the deterministic outputs are untouched.
+func TestChaosHeartbeatOracle(t *testing.T) {
+	inRes, err := InProc{}.Run(testSpec(t, "det2"))
+	if err != nil {
+		t.Fatalf("inproc: %v", err)
+	}
+	cfg := chaosConfig(t, 2, "wire:hbdrop@1:1,wire:hbgarble@2:1")
+	cfg.MaxRestarts = 0
+	cfg.Heartbeat = 600 * time.Millisecond // fast beats so the attacked ordinals actually occur
+	res, err := Run(testSpec(t, "det2"), cfg)
+	if err != nil {
+		t.Fatalf("heartbeat chaos: %v", err)
+	}
+	requireSameResult(t, inRes, res)
+}
+
+// TestChaosDiskTornCheckpointOracle: a torn checkpoint write reports success
+// (the lying-disk model), so only a later restart exposes it — the restarted
+// worker must skip the torn round-8 file, resume from round 4, and stay
+// bit-identical.
+func TestChaosDiskTornCheckpointOracle(t *testing.T) {
+	dir := t.TempDir()
+	inSpec := testSpec(t, "det2")
+	inSpec.CheckpointEvery = 4
+	inSpec.CheckpointDir = filepath.Join(dir, "ck-in")
+	inSpec.TraceFile = filepath.Join(dir, "in.trace")
+	inRes, err := InProc{}.Run(inSpec)
+	if err != nil {
+		t.Fatalf("inproc: %v", err)
+	}
+	spec := testSpec(t, "det2")
+	spec.CheckpointEvery = 4
+	spec.CheckpointDir = filepath.Join(dir, "ck-mp")
+	spec.TraceFile = filepath.Join(dir, "mp.trace")
+	cfg := chaosConfig(t, 2, "disk:torn@8:0,proc:kill@12:0")
+	cfg.MaxRestarts = 2
+	cfg.BackoffInitial = 20 * time.Millisecond
+	var lifecycle bytes.Buffer
+	cfg.Lifecycle = &lifecycle
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatalf("torn-checkpoint chaos: %v\nlifecycle:\n%s", err, lifecycle.String())
+	}
+	requireSameResult(t, inRes, res)
+	requireSameFile(t, inSpec.TraceFile, spec.TraceFile)
+}
+
+// TestChaosDiskENOSPCRetryableOracle: a failed persist is an environmental
+// error — the worker reports it as retryable, the supervisor restarts
+// instead of aborting, and the retry (chaos disk events fire only at
+// attempt 0) completes bit-identically.
+func TestChaosDiskENOSPCRetryableOracle(t *testing.T) {
+	dir := t.TempDir()
+	inSpec := testSpec(t, "det2")
+	inSpec.CheckpointEvery = 4
+	inSpec.CheckpointDir = filepath.Join(dir, "ck-in")
+	inRes, err := InProc{}.Run(inSpec)
+	if err != nil {
+		t.Fatalf("inproc: %v", err)
+	}
+	for _, plan := range []string{"disk:enospc@4:1", "disk:fsyncerr@4:1"} {
+		t.Run(plan, func(t *testing.T) {
+			sub := t.TempDir()
+			spec := testSpec(t, "det2")
+			spec.CheckpointEvery = 4
+			spec.CheckpointDir = filepath.Join(sub, "ck")
+			cfg := chaosConfig(t, 2, plan)
+			cfg.MaxRestarts = 2
+			cfg.BackoffInitial = 20 * time.Millisecond
+			var lifecycle bytes.Buffer
+			cfg.Lifecycle = &lifecycle
+			res, err := Run(spec, cfg)
+			if err != nil {
+				t.Fatalf("chaos %q: %v\nlifecycle:\n%s", plan, err, lifecycle.String())
+			}
+			requireSameResult(t, inRes, res)
+			if !strings.Contains(lifecycle.String(), "retryable: ") {
+				t.Errorf("lifecycle does not classify the persist failure as retryable:\n%s", lifecycle.String())
+			}
+		})
+	}
+}
+
+// TestChaosProcKillOracle: proc:kill@R:W is the chaos-grammar spelling of
+// the KillAt schedule — a real SIGKILL at deterministic progress, restarted
+// and bit-identical.
+func TestChaosProcKillOracle(t *testing.T) {
+	inRes, err := InProc{}.Run(testSpec(t, "det2"))
+	if err != nil {
+		t.Fatalf("inproc: %v", err)
+	}
+	cfg := chaosConfig(t, 3, "proc:kill@10:1")
+	cfg.MaxRestarts = 1
+	cfg.BackoffInitial = 20 * time.Millisecond
+	res, err := Run(testSpec(t, "det2"), cfg)
+	if err != nil {
+		t.Fatalf("proc:kill chaos: %v", err)
+	}
+	requireSameResult(t, inRes, res)
+}
+
+// TestChaosFlapQuarantineDegrades is the graceful-degradation contract: a
+// flapping worker (proc:flap kills it at the same round on every
+// incarnation) is quarantined after FlapLimit consecutive same-round
+// crashes, the fleet is torn down, and with DegradedFallback the job is
+// finished by a single in-process run resumed from the newest valid
+// checkpoint. Run returns the structured *DegradedError ALONGSIDE a result
+// whose members, canonical stats and trace bytes are identical to a clean
+// run's.
+func TestChaosFlapQuarantineDegrades(t *testing.T) {
+	dir := t.TempDir()
+	inSpec := testSpec(t, "det2")
+	inSpec.CheckpointEvery = 4
+	inSpec.CheckpointDir = filepath.Join(dir, "ck-in")
+	inSpec.TraceFile = filepath.Join(dir, "in.trace")
+	inRes, err := InProc{}.Run(inSpec)
+	if err != nil {
+		t.Fatalf("inproc: %v", err)
+	}
+	spec := testSpec(t, "det2")
+	spec.CheckpointEvery = 4
+	spec.CheckpointDir = filepath.Join(dir, "ck-mp")
+	spec.TraceFile = filepath.Join(dir, "mp.trace")
+	cfg := chaosConfig(t, 3, "proc:flap@10:1")
+	cfg.MaxRestarts = 5
+	cfg.BackoffInitial = 20 * time.Millisecond
+	cfg.DegradedFallback = true
+	var lifecycle bytes.Buffer
+	cfg.Lifecycle = &lifecycle
+	res, err := Run(spec, cfg)
+	var derr *DegradedError
+	if !errors.As(err, &derr) {
+		t.Fatalf("want *DegradedError, got %v\nlifecycle:\n%s", err, lifecycle.String())
+	}
+	if derr.Worker != 1 || !derr.Quarantined {
+		t.Errorf("DegradedError identity: %+v", derr)
+	}
+	if derr.Attempts < DefaultFlapLimit-1 {
+		t.Errorf("Attempts = %d, want >= %d (flap limit crashes)", derr.Attempts, DefaultFlapLimit-1)
+	}
+	if derr.CommittedRound <= 0 {
+		t.Errorf("CommittedRound = %d, want > 0", derr.CommittedRound)
+	}
+	if derr.ResumedFrom <= 0 {
+		t.Errorf("ResumedFrom = %d, want > 0 (checkpoints were persisted)", derr.ResumedFrom)
+	}
+	if derr.Stats.Rounds == 0 {
+		t.Errorf("degraded Stats empty: %+v", derr.Stats)
+	}
+	// The degraded answer is still the right answer, bit for bit.
+	requireSameResult(t, inRes, res)
+	requireSameFile(t, inSpec.TraceFile, spec.TraceFile)
+	life := lifecycle.String()
+	for _, want := range []string{`"kind":"quarantine"`, `"kind":"degrade"`, "degraded fallback"} {
+		if !strings.Contains(life, want) {
+			t.Errorf("lifecycle missing %s:\n%s", want, life)
+		}
+	}
+}
+
+// TestChaosFleetBudgetAborts: the fleet-wide restart budget is distinct from
+// the per-worker one — two crashes on two different workers exhaust a budget
+// of one even though neither worker hit MaxRestarts, and without
+// DegradedFallback that is a structured abort.
+func TestChaosFleetBudgetAborts(t *testing.T) {
+	cfg := chaosConfig(t, 3, "proc:kill@6:0,proc:kill@10:1")
+	cfg.MaxRestarts = 5
+	cfg.MaxFleetRestarts = 1
+	cfg.BackoffInitial = 20 * time.Millisecond
+	var lifecycle bytes.Buffer
+	cfg.Lifecycle = &lifecycle
+	_, err := Run(testSpec(t, "det2"), cfg)
+	var serr *SupervisorError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want *SupervisorError, got %v\nlifecycle:\n%s", err, lifecycle.String())
+	}
+	if serr.Worker != 1 {
+		t.Errorf("aborting worker = %d, want 1 (the one denied a restart): %+v", serr.Worker, serr)
+	}
+	if !strings.Contains(err.Error(), "fleet restart budget") {
+		t.Errorf("error does not name the fleet budget: %v", err)
+	}
+	if !strings.Contains(lifecycle.String(), `"kind":"quarantine"`) {
+		t.Errorf("lifecycle missing quarantine:\n%s", lifecycle.String())
+	}
+}
+
+// TestChaosPlanValidation: a plan targeting a worker the fleet does not have
+// is a configuration error before any process spawns.
+func TestChaosPlanValidation(t *testing.T) {
+	for _, plan := range []string{"wire:dup@5:7", "disk:torn@4:3", "proc:kill@5:2"} {
+		cfg := chaosConfig(t, 2, plan)
+		if _, err := Run(testSpec(t, "det2"), cfg); err == nil {
+			t.Errorf("plan %q accepted with 2 workers", plan)
+		}
+	}
+}

@@ -27,7 +27,7 @@ type LifecycleHeader struct {
 // timeline orders by seq.
 type LifecycleEvent struct {
 	Seq       int    `json:"seq"`
-	Kind      string `json:"kind"` // start, kill, crash, stall, backoff, restart, result, error, stop, abort, done
+	Kind      string `json:"kind"` // start, kill, crash, stall, backoff, restart, result, error, stop, abort, quarantine, degrade, chaos, done
 	Worker    int    `json:"worker"`
 	Round     int    `json:"round"`
 	Attempt   int    `json:"attempt,omitempty"`

@@ -214,7 +214,13 @@ func (s JobSpec) traceHeader() trace.Header {
 // openStore opens the durable checkpoint store rooted at dir (creating it),
 // stamped with the spec's fingerprint.
 func (s JobSpec) openStore(dir string) (*durable.Store, error) {
-	st, err := durable.Open(dir, s.Fingerprint(), s.CheckpointRetain)
+	return s.openStoreFS(dir, nil)
+}
+
+// openStoreFS is openStore against an injected filesystem (nil means the
+// real one) — the seam chaos disk events enter through.
+func (s JobSpec) openStoreFS(dir string, fsys durable.FS) (*durable.Store, error) {
+	st, err := durable.OpenFS(dir, s.Fingerprint(), s.CheckpointRetain, fsys)
 	if err != nil {
 		return nil, err
 	}

@@ -10,9 +10,11 @@ import (
 	"os/exec"
 	"time"
 
+	"github.com/rulingset/mprs/internal/chaos"
 	"github.com/rulingset/mprs/internal/mpc"
 	"github.com/rulingset/mprs/internal/rulingset"
 	"github.com/rulingset/mprs/internal/telemetry"
+	"github.com/rulingset/mprs/internal/trace"
 	"github.com/rulingset/mprs/internal/transport"
 )
 
@@ -36,7 +38,10 @@ func SelfExec(args ...string) SpawnFunc {
 			return nil, err
 		}
 		cmd := exec.Command(exe, args...)
-		cmd.Env = append(os.Environ(), EnvSpec+"="+string(blob))
+		// cmd.Environ (not os.Environ) so the inherited environment stays
+		// subprocess plumbing: it configures the child process and never
+		// feeds this process's deterministic computation.
+		cmd.Env = append(cmd.Environ(), EnvSpec+"="+string(blob))
 		return cmd, nil
 	}
 }
@@ -89,9 +94,40 @@ type Config struct {
 	// supervisor at the moment it declares the worker dead — the
 	// post-mortem a SIGKILL would otherwise destroy.
 	FlightDir string
+	// Chaos, when non-nil, is the deterministic substrate fault-injection
+	// plan (see internal/chaos): wire events interpose on the worker pipes,
+	// disk events ride into the worker processes via their env, and proc
+	// events merge into the kill schedule. Deliberately NOT part of the
+	// job's Fingerprint — chaos attacks the substrate, not the computation,
+	// so checkpoints written under chaos stay resumable by clean runs (the
+	// degraded fallback depends on exactly that).
+	Chaos *chaos.Plan
+	// FlapLimit quarantines a flapping worker: a worker that crashes
+	// FlapLimit consecutive times at the same committed round is making no
+	// progress (a deterministic crasher the restart loop cannot fix) and is
+	// quarantined rather than burning the remaining restart budget. 0 means
+	// the default (3); negative disables quarantine.
+	FlapLimit int
+	// MaxFleetRestarts caps restarts across the whole fleet, distinct from
+	// the per-worker MaxRestarts: a restart storm spread over many workers
+	// exhausts it even though no single worker hit its own budget. 0 means
+	// unlimited.
+	MaxFleetRestarts int
+	// DegradedFallback controls what happens when supervision gives up
+	// (quarantine, restart-storm budget, or a worker out of restarts): false
+	// aborts with a SupervisorError (the default, fail-fast contract); true
+	// degrades gracefully — kill the fleet, then finish the job as a single
+	// in-process run resumed from the newest valid checkpoint, returning the
+	// result alongside a structured *DegradedError so callers know the
+	// multi-process contract was not honored.
+	DegradedFallback bool
 	// Spawn builds worker commands; required (use SelfExec).
 	Spawn SpawnFunc
 }
+
+// DefaultFlapLimit is the consecutive same-round crash count that
+// quarantines a worker when Config.FlapLimit is 0.
+const DefaultFlapLimit = 3
 
 func (cfg Config) withDefaults() Config {
 	if cfg.Heartbeat <= 0 {
@@ -102,6 +138,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.FlapLimit == 0 {
+		cfg.FlapLimit = DefaultFlapLimit
 	}
 	return cfg
 }
@@ -136,12 +175,55 @@ func (e *SupervisorError) Error() string {
 // Unwrap exposes the underlying cause.
 func (e *SupervisorError) Unwrap() error { return e.Err }
 
+// DegradedError reports a job that finished, but not under the
+// multi-process contract: supervision gave up (a quarantined flapping
+// worker, an exhausted restart budget) and the job was completed by a
+// single in-process run resumed from the newest valid durable checkpoint.
+// Run returns it alongside a valid Result — the answer is correct and
+// bit-identical to a clean run's, and callers that care about the
+// fault-tolerance contract (CI, benchmarks) must still treat the run as
+// failed.
+type DegradedError struct {
+	// Worker is the worker whose failure exhausted supervision.
+	Worker int
+	// Attempts is that worker's restart count at the point it gave out.
+	Attempts int
+	// Quarantined is true when the trigger was flap quarantine or the
+	// fleet-wide restart budget rather than the worker's own MaxRestarts.
+	Quarantined bool
+	// Restarts is the fleet-wide restart count consumed before degrading.
+	Restarts int
+	// CommittedRound is the newest round the fleet had committed.
+	CommittedRound int
+	// ResumedFrom is the checkpoint round the fallback resumed from, or -1
+	// when it recomputed from scratch.
+	ResumedFrom int
+	// Stats is the fallback run's full model statistics.
+	Stats mpc.Stats
+	// Cause is the supervision failure that forced the degrade.
+	Cause error
+}
+
+// Error implements error.
+func (e *DegradedError) Error() string {
+	from := "scratch"
+	if e.ResumedFrom >= 0 {
+		from = fmt.Sprintf("checkpoint round %d", e.ResumedFrom)
+	}
+	return fmt.Sprintf("supervise: degraded to in-process fallback from %s after %d committed rounds (worker %d, %d attempts, %d fleet restarts): %v",
+		from, e.CommittedRound, e.Worker, e.Attempts, e.Restarts, e.Cause)
+}
+
+// Unwrap exposes the supervision failure that forced the degrade.
+func (e *DegradedError) Unwrap() error { return e.Cause }
+
 // proc states.
 const (
-	procRunning = iota
-	procWaiting // killed; restart scheduled after backoff
-	procDone    // result received
-	procDead    // exited after done, or abandoned during abort
+	procRunning     = iota
+	procWaiting     // killed; restart scheduled after backoff
+	procDone        // result received
+	procDead        // exited after done, or abandoned during abort
+	procQuarantined // flapping or over budget; never restarted again
 )
 
 type proc struct {
@@ -160,12 +242,25 @@ type proc struct {
 	lastRound int // newest heartbeat-reported round (monitoring only)
 	sentRound int // newest authoritative frame round received (the join point)
 	result    []byte
+
+	// Flap tracking: consecutive crashes pinned at the same committed round
+	// mean the restart loop is making no progress.
+	lastCrashRound int // sentRound at the previous crash; -1 before any
+	flaps          int // consecutive crashes at lastCrashRound
+
+	// streamEnded marks that this generation's reader goroutine saw the
+	// stream end — the process has exited and can write nothing more. The
+	// degraded fallback waits on this before reusing the trace file.
+	streamEnded bool
 }
 
 type event struct {
 	worker, gen int
 	frame       transport.Frame
 	err         error // non-nil: the worker's stream ended (EOF, torn frame)
+	// note, when set, is a chaos-injection notification (the event carries
+	// no frame and no stream state; gen is irrelevant).
+	note string
 }
 
 type supervisor struct {
@@ -192,11 +287,39 @@ type supervisor struct {
 	killAt        []KillAt
 	killFired     []bool
 
+	// wire is the chaos frame interposer (nil without wire events).
+	wire *chaos.Wire
+	// restartsUsed counts restarts across the fleet against
+	// cfg.MaxFleetRestarts.
+	restartsUsed int
+
 	aborting      bool
 	abortErr      *SupervisorError
 	abortHarvest  bool
 	abortDeadline time.Time
 	deadline      time.Time
+
+	// Degraded-fallback state: degrading flips when supervision gives up
+	// with DegradedFallback set. The fallback itself runs from Run's event
+	// loop (fallbackRun is a free function over Run's own spec parameter —
+	// deliberately not a method, so the deterministic fallback never reads
+	// through the wall-clock-tainted supervisor), and leaves its outcome
+	// here for finished().
+	degrading   bool
+	degradeDone bool
+	degradedRes rulingset.Result
+	degradeErr  error
+	degradePend degradeInfo
+}
+
+// degradeInfo is what beginDegrade records for the event loop to finish the
+// degradation with: who gave out and why.
+type degradeInfo struct {
+	worker      int
+	attempts    int
+	quarantined bool
+	committed   int
+	cause       error
 }
 
 // Run executes spec across cfg.Workers supervised worker processes and
@@ -216,6 +339,9 @@ func Run(spec JobSpec, cfg Config) (rulingset.Result, error) {
 	if cfg.Spawn == nil {
 		return rulingset.Result{}, fmt.Errorf("supervise: Config.Spawn is required (see SelfExec)")
 	}
+	if err := cfg.Chaos.ValidateWorkers(cfg.Workers); err != nil {
+		return rulingset.Result{}, err
+	}
 	fleet := cfg.Telemetry
 	if fleet == nil && cfg.FlightDir != "" {
 		fleet = telemetry.NewFleet()
@@ -230,13 +356,27 @@ func Run(spec JobSpec, cfg Config) (rulingset.Result, error) {
 		retained:      make([][]byte, cfg.Workers),
 		retainedRound: make([]int, cfg.Workers),
 		killAt:        cfg.KillAt,
-		killFired:     make([]bool, len(cfg.KillAt)),
 	}
+	// proc:kill chaos events are exactly KillAt in plan grammar; merge them
+	// so one latch array covers both sources.
+	for _, k := range cfg.Chaos.Kills() {
+		s.killAt = append(s.killAt, KillAt{Worker: k.Worker, Round: k.Round})
+	}
+	s.killFired = make([]bool, len(s.killAt))
+	// Wire chaos interposes on the worker pipes; fired events surface on the
+	// lifecycle stream via note events (non-blocking: dropping a note loses
+	// an observability line, never supervision).
+	s.wire = chaos.NewWire(cfg.Chaos, func(worker int, note string) {
+		select {
+		case s.events <- event{worker: worker, note: note}:
+		default:
+		}
+	})
 	if cfg.Timeout > 0 {
 		s.deadline = time.Now().Add(cfg.Timeout)
 	}
 	for i := range s.procs {
-		s.procs[i] = &proc{id: i}
+		s.procs[i] = &proc{id: i, lastCrashRound: -1}
 		if err := s.spawn(s.procs[i], 0, false); err != nil {
 			s.killAll()
 			return rulingset.Result{}, err
@@ -256,6 +396,15 @@ func Run(spec JobSpec, cfg Config) (rulingset.Result, error) {
 			s.handle(ev, time.Now())
 		case now := <-ticker.C:
 			s.tick(now)
+		}
+		if s.degrading && !s.degradeDone {
+			// Supervision gave up: wait for the killed fleet's streams to
+			// end (stream EOF proves each process — the only writer of its
+			// pipes and trace file — is gone), then finish the job with a
+			// single in-process run. fallbackRun takes Run's own spec, not
+			// the supervisor's copy: the fallback is deterministic.
+			s.drainStreams()
+			s.completeDegrade(fallbackRun(spec, cfg.Workers))
 		}
 		if res, err, done := s.finished(); done {
 			if err == nil && s.life.err != nil {
@@ -277,8 +426,16 @@ func (s *supervisor) spawn(p *proc, joinAfter int, resume bool) error {
 		Workers:     s.cfg.Workers,
 		JoinAfter:   joinAfter,
 		Resume:      resume,
+		Attempt:     p.attempts,
 		HeartbeatMS: s.cfg.Heartbeat.Milliseconds(),
 		Telemetry:   s.fleet != nil,
+	}
+	if s.cfg.Chaos != nil {
+		// Disk events execute inside the worker process (the durable.FS seam
+		// lives there); ship the plan through the env so both sides parse the
+		// identical schedule.
+		env.Chaos = s.cfg.Chaos.Spec
+		env.ChaosSeed = s.cfg.Chaos.Seed
 	}
 	cmd, err := s.cfg.Spawn(env)
 	if err != nil {
@@ -305,6 +462,7 @@ func (s *supervisor) spawn(p *proc, joinAfter int, resume bool) error {
 	p.quit = make(chan struct{})
 	p.lastSeen = time.Now()
 	p.sentRound = joinAfter
+	p.streamEnded = false
 	kind := "start"
 	if p.attempts > 0 {
 		kind = "restart"
@@ -317,8 +475,10 @@ func (s *supervisor) spawn(p *proc, joinAfter int, resume bool) error {
 
 	// Writer: drains the outbound queue onto the worker's stdin. A
 	// dedicated goroutine per worker so one slow or wedged pipe can never
-	// block the hub (the stall deadline deals with the wedged worker).
-	go func(stdin io.WriteCloser, q chan transport.Frame, quit chan struct{}) {
+	// block the hub (the stall deadline deals with the wedged worker). The
+	// chaos downlink (nil without a reorder event for this worker) may hold
+	// frames to deliver them out of order.
+	go func(stdin io.WriteCloser, q chan transport.Frame, quit chan struct{}, dl *chaos.Downlink) {
 		defer func() {
 			if err := stdin.Close(); err != nil {
 				_ = err // pipe already broken; the process is gone either way
@@ -329,19 +489,21 @@ func (s *supervisor) spawn(p *proc, joinAfter int, resume bool) error {
 			case <-quit:
 				return
 			case f := <-q:
-				if err := transport.WriteFrame(stdin, f); err != nil {
+				if err := dl.Write(stdin, f); err != nil {
 					<-quit // write end broken: the process died; wait for the supervisor to notice
 					return
 				}
 			}
 		}
-	}(stdin, p.outQ, p.quit)
+	}(stdin, p.outQ, p.quit, s.wire.Downlink(p.id))
 
 	// Reader: turns the worker's stream into events. Any read error —
 	// clean EOF or a torn frame from a mid-write kill — ends the stream
-	// with an error event; cmd.Wait then reaps the process.
+	// with an error event; cmd.Wait then reaps the process. The chaos
+	// uplink (the source reader itself without wire events) mutates frames
+	// per the plan before this side ever parses them.
 	go func(r io.Reader, id, gen int, cmd *exec.Cmd) {
-		conn := transport.NewConn(r, io.Discard)
+		conn := transport.NewConn(s.wire.Uplink(id, r), io.Discard)
 		for {
 			f, err := conn.Read()
 			if err != nil {
@@ -378,15 +540,22 @@ func (s *supervisor) enqueue(p *proc, f transport.Frame) {
 
 func (s *supervisor) handle(ev event, now time.Time) {
 	p := s.procs[ev.worker]
+	if ev.note != "" {
+		// A chaos injection fired; record it on the lifecycle stream. Not a
+		// frame and not stream state — generation is irrelevant.
+		s.life.emit(LifecycleEvent{Kind: "chaos", Worker: ev.worker, Round: p.sentRound, Attempt: p.attempts, Note: ev.note})
+		return
+	}
 	if ev.gen != p.gen {
 		return // stale stream from a generation we already killed
 	}
 	if ev.err != nil {
+		p.streamEnded = true
 		switch p.state {
 		case procDone:
 			p.state = procDead // clean exit after its result
 		case procRunning:
-			if s.aborting {
+			if s.aborting || s.degrading {
 				p.state = procDead
 				return
 			}
@@ -397,6 +566,9 @@ func (s *supervisor) handle(ev event, now time.Time) {
 			s.crash(p, cause, "crash")
 		}
 		return
+	}
+	if s.degrading {
+		return // the fleet is being torn down; frames no longer matter
 	}
 	p.lastSeen = now
 	f := ev.frame
@@ -416,15 +588,30 @@ func (s *supervisor) handle(ev event, now time.Time) {
 			}
 		}
 	case transport.FrameMessages:
+		if s.cfg.Chaos.FlapsAt(p.id, f.Round) {
+			// The flap kill discards the triggering frame BEFORE any relay
+			// or retention: the worker's committed round stays pinned, so
+			// every restarted incarnation replays to the same round and dies
+			// there again — the crash loop quarantine exists to catch.
+			s.life.emit(LifecycleEvent{Kind: "chaos", Worker: p.id, Round: f.Round, Attempt: p.attempts, Note: fmt.Sprintf("proc:flap kill at round %d", f.Round)})
+			s.crash(p, fmt.Errorf("supervise: injected flap kill of worker %d at round %d", p.id, f.Round), "crash")
+			return
+		}
 		if f.Round > p.lastRound {
 			p.lastRound = f.Round
 		}
 		if s.fleet != nil {
 			s.fleet.SetRound(p.id, f.Round)
 		}
-		p.sentRound = f.Round
-		s.retained[p.id] = f.Payload
-		s.retainedRound[p.id] = f.Round
+		if f.Round > p.sentRound {
+			// No-regress guard: a reordering link can deliver round r after
+			// r+1; the retained slot and the restart join point must only
+			// ever move forward. The frame itself is still relayed — peers
+			// handle out-of-order delivery via their stash.
+			p.sentRound = f.Round
+			s.retained[p.id] = f.Payload
+			s.retainedRound[p.id] = f.Round
+		}
 		for _, q := range s.procs {
 			if q.id != p.id && q.state == procRunning {
 				s.enqueue(q, f)
@@ -454,6 +641,15 @@ func (s *supervisor) handle(ev event, now time.Time) {
 			p.state = procDead
 			return
 		}
+		if we.Retryable {
+			// The worker classified its own failure as environmental (a
+			// failed checkpoint persist: the previous valid checkpoint is
+			// still on disk). Retrying can help, so this is a crash, not a
+			// deterministic abort.
+			s.life.emit(LifecycleEvent{Kind: "error", Worker: p.id, Round: we.Round, Attempt: p.attempts, Note: "retryable: " + we.Message})
+			s.crash(p, errors.New(we.Message), "crash")
+			return
+		}
 		// A worker failed deterministically (algorithm error, divergence,
 		// strict-mode violation): every replica would fail the same way, so
 		// restarting cannot help. Abort with the worker's own report.
@@ -475,9 +671,10 @@ func (s *supervisor) checkKillAt(p *proc, round int) {
 	}
 }
 
-// crash kills p's process group and either schedules its restart or begins
-// the abort when the restart budget is spent. kind labels the lifecycle
-// event ("crash" or "stall").
+// crash kills p's process group and either schedules its restart,
+// quarantines it (flapping at one round, or the fleet restart budget is
+// spent), or gives up supervision (abort, or the degraded fallback). kind
+// labels the lifecycle event ("crash" or "stall").
 func (s *supervisor) crash(p *proc, cause error, kind string) {
 	if p.state != procRunning {
 		return
@@ -485,25 +682,79 @@ func (s *supervisor) crash(p *proc, cause error, kind string) {
 	s.stop(p)
 	s.life.emit(LifecycleEvent{Kind: kind, Worker: p.id, Round: p.sentRound, Attempt: p.attempts, Note: cause.Error()})
 	s.flushFlight(p, kind, cause)
+	if p.sentRound == p.lastCrashRound {
+		p.flaps++
+	} else {
+		p.lastCrashRound = p.sentRound
+		p.flaps = 1
+	}
+	if s.cfg.FlapLimit > 0 && p.flaps >= s.cfg.FlapLimit {
+		s.quarantine(p, fmt.Errorf("supervise: worker %d crashed %d consecutive times at round %d: %w",
+			p.id, p.flaps, p.sentRound, cause))
+		return
+	}
 	if p.attempts >= s.cfg.MaxRestarts {
 		p.state = procDead
 		if s.fleet != nil {
 			s.fleet.SetLifecycle(p.id, telemetry.WorkerDead, p.attempts, 0)
 		}
-		s.beginAbort(p, cause, nil)
+		s.giveUp(p, cause, false)
+		return
+	}
+	if s.cfg.MaxFleetRestarts > 0 && s.restartsUsed >= s.cfg.MaxFleetRestarts {
+		s.quarantine(p, fmt.Errorf("supervise: fleet restart budget %d exhausted at worker %d: %w",
+			s.cfg.MaxFleetRestarts, p.id, cause))
 		return
 	}
 	p.attempts++
-	backoff := s.cfg.BackoffInitial << (p.attempts - 1)
-	if backoff > s.cfg.BackoffMax || backoff <= 0 {
-		backoff = s.cfg.BackoffMax
-	}
+	s.restartsUsed++
+	backoff := backoffFor(p.attempts, s.cfg.BackoffInitial, s.cfg.BackoffMax)
 	p.state = procWaiting
 	p.restartAt = time.Now().Add(backoff)
 	s.life.emit(LifecycleEvent{Kind: "backoff", Worker: p.id, Round: p.sentRound, Attempt: p.attempts, BackoffMS: backoff.Milliseconds()})
 	if s.fleet != nil {
 		s.fleet.SetLifecycle(p.id, telemetry.WorkerBackoff, p.attempts, backoff.Milliseconds())
 	}
+}
+
+// backoffFor computes the capped exponential restart backoff
+// initial·2^(attempt−1) with explicit shift saturation: any attempt whose
+// doubling would overflow — or merely exceed the cap — lands exactly on
+// max. (A plain initial << (attempt-1) overflows into negative durations
+// once attempt-1 reaches the width of the type; with a busy flapping worker
+// attempts grow without bound, so saturation must be structural, not
+// assumed.)
+func backoffFor(attempt int, initial, max time.Duration) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	shift := uint(attempt - 1)
+	if shift >= 63 || initial > max>>shift {
+		return max
+	}
+	return initial << shift
+}
+
+// quarantine permanently retires p — no further restarts — and gives up
+// supervision: flapping at a single round or blowing the fleet-wide budget
+// means the crash-restart loop is not converging.
+func (s *supervisor) quarantine(p *proc, cause error) {
+	p.state = procQuarantined
+	s.life.emit(LifecycleEvent{Kind: "quarantine", Worker: p.id, Round: p.sentRound, Attempt: p.attempts, Note: cause.Error()})
+	if s.fleet != nil {
+		s.fleet.SetLifecycle(p.id, telemetry.WorkerQuarantined, p.attempts, 0)
+	}
+	s.giveUp(p, cause, true)
+}
+
+// giveUp routes a supervision failure to the configured terminal path:
+// degraded in-process fallback or orderly abort.
+func (s *supervisor) giveUp(p *proc, cause error, quarantined bool) {
+	if s.cfg.DegradedFallback {
+		s.beginDegrade(p, cause, quarantined)
+		return
+	}
+	s.beginAbort(p, cause, nil)
 }
 
 // flushFlight writes the dying worker's post-mortem: the ring of recent
@@ -585,8 +836,166 @@ func (s *supervisor) beginAbort(from *proc, cause error, we *workerError) {
 	s.abortDeadline = time.Now().Add(2 * s.cfg.Heartbeat)
 }
 
+// beginDegrade is the graceful-degradation path: kill the fleet, wait for
+// every stream to actually end (a SIGKILLed worker that has not exited yet
+// could still race the fallback for the trace file), then finish the job as
+// a single in-process run resumed from the newest valid checkpoint. The
+// fallback runs synchronously — the event loop has nothing left to
+// supervise.
+func (s *supervisor) beginDegrade(from *proc, cause error, quarantined bool) {
+	if s.degrading || s.aborting {
+		return
+	}
+	s.degrading = true
+	committed := 0
+	for _, p := range s.procs {
+		if p.sentRound > committed {
+			committed = p.sentRound
+		}
+	}
+	s.life.emit(LifecycleEvent{Kind: "degrade", Worker: from.id, Round: committed, Attempt: from.attempts, Note: cause.Error()})
+	if s.fleet != nil {
+		s.fleet.SetDegraded(true)
+	}
+	s.killAll()
+	s.degradePend = degradeInfo{
+		worker:      from.id,
+		attempts:    from.attempts,
+		quarantined: quarantined,
+		committed:   committed,
+		cause:       cause,
+	}
+	// Run's event loop drains the dying streams and invokes the fallback —
+	// with its own untainted copy of the job spec — then completeDegrade
+	// records the outcome.
+}
+
+// completeDegrade records the fallback's outcome for finished().
+func (s *supervisor) completeDegrade(res rulingset.Result, resumedFrom int, err error) {
+	d := s.degradePend
+	if err != nil {
+		// Even the fallback failed: report as a plain supervisor abort
+		// carrying both causes.
+		s.degradeErr = &SupervisorError{
+			Worker:         d.worker,
+			Attempts:       d.attempts,
+			CommittedRound: d.committed,
+			Err:            fmt.Errorf("degraded fallback failed: %w (supervision gave up: %w)", err, d.cause),
+		}
+		s.degradeDone = true
+		return
+	}
+	s.degradedRes = res
+	s.degradeErr = &DegradedError{
+		Worker:         d.worker,
+		Attempts:       d.attempts,
+		Quarantined:    d.quarantined,
+		Restarts:       s.restartsUsed,
+		CommittedRound: d.committed,
+		ResumedFrom:    resumedFrom,
+		Stats:          res.Stats,
+		Cause:          d.cause,
+	}
+	s.life.emit(LifecycleEvent{Kind: "done", Worker: d.worker, Round: res.Stats.Rounds, Note: "degraded fallback"})
+	s.degradeDone = true
+}
+
+// drainStreams blocks until every spawned worker's current stream has ended
+// (its process has exited) or a grace deadline passes. SIGKILL delivery is
+// asynchronous; stream EOF is the proof the process — the only writer of
+// its pipes and trace file — is actually gone.
+func (s *supervisor) drainStreams() {
+	deadline := time.NewTimer(2 * s.cfg.Heartbeat)
+	defer deadline.Stop()
+	for {
+		pending := false
+		for _, p := range s.procs {
+			if p.cmd != nil && !p.streamEnded {
+				pending = true
+			}
+		}
+		if !pending {
+			return
+		}
+		select {
+		case ev := <-s.events:
+			if ev.note != "" || ev.err == nil {
+				continue // late frames and chaos notes no longer matter
+			}
+			if p := s.procs[ev.worker]; ev.gen == p.gen {
+				p.streamEnded = true
+				p.state = procDead
+			}
+		case <-deadline.C:
+			return
+		}
+	}
+}
+
+// fallbackRun finishes the job in-process: resume from the newest valid
+// checkpoint any worker persisted (they are replicas — any worker's
+// checkpoint resumes the whole job), recreate the trace file so its bytes
+// match an uninterrupted run's, and run the algorithm to completion. No
+// checkpoint sink: there is no supervisor left to resume from anything this
+// run would persist. Deliberately a free function over Run's own parameters
+// rather than a supervisor method: the fallback is a deterministic run, and
+// its inputs must not flow through the wall-clock-carrying supervisor state.
+func fallbackRun(spec JobSpec, workers int) (res rulingset.Result, resumedFrom int, retErr error) {
+	resumedFrom = -1
+	g, err := spec.BuildGraph()
+	if err != nil {
+		return rulingset.Result{}, resumedFrom, err
+	}
+	opts, err := spec.options()
+	if err != nil {
+		return rulingset.Result{}, resumedFrom, err
+	}
+	if spec.CheckpointDir != "" {
+		var best *mpc.ResumeState
+		for w := 0; w < workers; w++ {
+			store, err := spec.openStore(spec.workerCheckpointDir(w))
+			if err != nil {
+				continue // this worker's directory is unusable; others may not be
+			}
+			meta, state, err := store.LoadLatest()
+			if err != nil {
+				continue // no valid checkpoint here (torn, empty, or foreign)
+			}
+			if best == nil || meta.Round > best.Round {
+				best = &mpc.ResumeState{Round: meta.Round, State: state}
+			}
+		}
+		// A round-0 baseline is equivalent to starting from scratch.
+		if best != nil && best.Round > 0 {
+			opts.Resume = best
+			resumedFrom = best.Round
+		}
+	}
+	if spec.TraceFile != "" {
+		f, err := os.Create(spec.TraceFile)
+		if err != nil {
+			return rulingset.Result{}, resumedFrom, err
+		}
+		tr := trace.NewJSONL(f)
+		if err := tr.WriteHeader(spec.traceHeader()); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+			return rulingset.Result{}, resumedFrom, fmt.Errorf("trace %s: %w", spec.TraceFile, err)
+		}
+		opts.Tracer = tr
+		defer func() {
+			if err := tr.Close(); err != nil && retErr == nil {
+				retErr = fmt.Errorf("trace %s: %w", spec.TraceFile, err)
+			}
+		}()
+	}
+	res, err = runAlgo(spec.Algo, g, opts)
+	return res, resumedFrom, err
+}
+
 func (s *supervisor) tick(now time.Time) {
-	if s.aborting {
+	if s.aborting || s.degrading {
 		return // finishing is handled in finished()
 	}
 	if !s.deadline.IsZero() && now.After(s.deadline) {
@@ -612,6 +1021,13 @@ func (s *supervisor) tick(now time.Time) {
 
 // finished reports whether the run is over and with what.
 func (s *supervisor) finished() (rulingset.Result, error, bool) {
+	if s.degrading {
+		if s.degradeDone {
+			s.killAll()
+			return s.degradedRes, s.degradeErr, true
+		}
+		return rulingset.Result{}, nil, false
+	}
 	if s.aborting {
 		if s.abortHarvest || time.Now().After(s.abortDeadline) {
 			s.killAll()

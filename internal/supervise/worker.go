@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/rulingset/mprs/internal/chaos"
 	"github.com/rulingset/mprs/internal/durable"
 	"github.com/rulingset/mprs/internal/mpc"
 	"github.com/rulingset/mprs/internal/rulingset"
@@ -36,6 +37,15 @@ type WorkerEnv struct {
 	// checkpoint in its checkpoint subdirectory (no-op when the directory
 	// holds none — the worker then recomputes from round 1).
 	Resume bool `json:"resume"`
+	// Attempt is this incarnation's restart count (0 for the first spawn).
+	// Chaos disk events fire only at attempt 0: they model transient
+	// environment failures, so a retry must run clean.
+	Attempt int `json:"attempt,omitempty"`
+	// Chaos and ChaosSeed carry the supervisor's chaos plan (internal/chaos
+	// grammar) so the disk events execute inside this process, at the
+	// durable.FS seam, against the real checkpoint store.
+	Chaos     string `json:"chaos,omitempty"`
+	ChaosSeed int64  `json:"chaos_seed,omitempty"`
 	// HeartbeatMS is the supervisor's liveness deadline; the worker sends
 	// heartbeats at a quarter of it.
 	HeartbeatMS int64 `json:"heartbeat_ms"`
@@ -55,6 +65,11 @@ type workerError struct {
 	// Stopped marks an orderly supervisor-requested stop rather than a
 	// failure of the worker's own run.
 	Stopped bool `json:"stopped,omitempty"`
+	// Retryable marks an environmental failure (a failed checkpoint
+	// persist: the previous valid checkpoint is still on disk) rather than
+	// a deterministic one — the supervisor may restart this worker instead
+	// of aborting the job.
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 // WorkerMain is the entry point of a worker process: it runs the job over
@@ -76,6 +91,7 @@ func WorkerMain(env WorkerEnv, in io.Reader, out io.Writer) error {
 		case errors.As(err, &ce):
 			we.Round, we.Stats = ce.Round, ce.Stats
 		}
+		we.Retryable = errors.Is(err, durable.ErrPersist)
 		payload, merr := json.Marshal(we)
 		if merr != nil {
 			payload = nil
@@ -156,8 +172,16 @@ func runWorker(env WorkerEnv, conn *transport.Conn) (res rulingset.Result, retEr
 		}
 	}()
 
+	// Chaos disk events (if any) interpose on this worker's checkpoint
+	// store at the durable.FS seam; an invalid plan string is a
+	// deterministic config error.
+	chaosPlan, err := chaos.Parse(env.Chaos, env.ChaosSeed)
+	if err != nil {
+		return rulingset.Result{}, err
+	}
+
 	if spec.CheckpointDir != "" {
-		store, err := spec.openStore(spec.workerCheckpointDir(env.Worker))
+		store, err := spec.openStoreFS(spec.workerCheckpointDir(env.Worker), chaos.NewDiskFS(chaosPlan, env.Worker, env.Attempt))
 		if err != nil {
 			return rulingset.Result{}, err
 		}

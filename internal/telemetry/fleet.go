@@ -15,8 +15,9 @@ import (
 // each worker's series tagged worker="<id>" plus fleet-level aggregates — so
 // one /metrics scrape shows the whole fleet.
 type Fleet struct {
-	mu      sync.Mutex
-	workers map[int]*fleetWorker
+	mu       sync.Mutex
+	workers  map[int]*fleetWorker
+	degraded bool
 }
 
 type fleetWorker struct {
@@ -100,7 +101,19 @@ const (
 	WorkerBackoff = "backoff"
 	WorkerDone    = "done"
 	WorkerDead    = "dead"
+	// WorkerQuarantined marks a worker the supervisor retired permanently:
+	// flapping (consecutive crashes at one round) or a blown fleet-wide
+	// restart budget.
+	WorkerQuarantined = "quarantined"
 )
+
+// SetDegraded records that the supervisor abandoned multi-process execution
+// and fell back to a single in-process run.
+func (f *Fleet) SetDegraded(v bool) {
+	f.mu.Lock()
+	f.degraded = v
+	f.mu.Unlock()
+}
 
 // Gather implements Gatherer: fleet aggregates, per-worker lifecycle gauges,
 // and every worker's own series re-labeled with worker="<id>", sorted by
@@ -115,11 +128,14 @@ func (f *Fleet) Gather() []Point {
 	sort.Ints(ids)
 
 	var out []Point
-	running, restarts, committed := 0, 0, 0
+	running, quarantined, restarts, committed := 0, 0, 0, 0
 	for _, id := range ids {
 		w := f.workers[id]
 		if w.state == WorkerRunning {
 			running++
+		}
+		if w.state == WorkerQuarantined {
+			quarantined++
 		}
 		restarts += w.attempts
 		if w.lastRound > committed {
@@ -146,8 +162,10 @@ func (f *Fleet) Gather() []Point {
 	out = append(out,
 		Point{Name: "mprs_fleet_workers", Help: "Worker processes the supervisor knows.", Kind: KindGauge, Value: float64(len(ids))},
 		Point{Name: "mprs_fleet_workers_running", Help: "Workers currently in the running state.", Kind: KindGauge, Value: float64(running)},
+		Point{Name: "mprs_fleet_workers_quarantined", Help: "Workers permanently retired by quarantine.", Kind: KindGauge, Value: float64(quarantined)},
 		Point{Name: "mprs_fleet_restarts_total", Help: "Worker restarts across the fleet.", Kind: KindCounter, Value: float64(restarts)},
 		Point{Name: "mprs_fleet_committed_round", Help: "Newest round any worker reported entering.", Kind: KindGauge, Value: float64(committed)},
+		Point{Name: "mprs_fleet_degraded", Help: "1 after the supervisor fell back to a single in-process run.", Kind: KindGauge, Value: boolGauge(f.degraded)},
 	)
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {
@@ -156,4 +174,11 @@ func (f *Fleet) Gather() []Point {
 		return labelKey(out[i].Labels) < labelKey(out[j].Labels)
 	})
 	return out
+}
+
+func boolGauge(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }

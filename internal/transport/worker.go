@@ -14,6 +14,15 @@ import (
 // round and full Stats for the supervisor to harvest.
 var ErrStopped = errors.New("transport: stopped by supervisor")
 
+// maxStashAhead bounds how far beyond the current round a peer frame may be
+// stashed. The barrier lockstep keeps honest peers within one round of each
+// other; a supervisor restart can re-deliver the retained frame of the round
+// after the join round; and a reordering link can put a round r+1 frame ahead
+// of round r. All of those fit within two rounds of lookahead, so anything
+// further is treated as stream corruption rather than buffered — the stash
+// must stay bounded even against a peer with a garbage round counter.
+const maxStashAhead = 2
+
 // OwnerOf maps machine id m to its owning worker: contiguous balanced blocks
 // over total machines, the first total%workers workers owning one extra. The
 // balanced split guarantees every worker owns at least one machine whenever
@@ -125,6 +134,14 @@ func (w *Worker) Exchange(round int, boxes [][]mpc.Message) ([][]mpc.Message, er
 			}
 			if f.Round < round {
 				continue // stale re-delivery from a supervisor restart; already replayed locally
+			}
+			if f.Round > round+maxStashAhead {
+				// The barrier lockstep bounds legitimate lookahead (see
+				// maxStashAhead); anything further is a corrupt or hostile
+				// round counter, and stashing it would let a single bad
+				// frame grow the pending map without limit.
+				return nil, fmt.Errorf("%w: worker %d at round %d received frame for round %d, beyond lookahead %d",
+					ErrFraming, w.id, round, f.Round, maxStashAhead)
 			}
 			stash := got
 			if f.Round > round {
